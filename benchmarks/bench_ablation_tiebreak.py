@@ -1,0 +1,32 @@
+"""Ablation — random rank tie-breaking (§5.1: "tie-breaking is done
+randomly").  Measures the makespan spread MemHEFT exhibits over tie-break
+seeds, to separate algorithmic signal from tie-break noise."""
+
+import pytest
+
+from repro.dags.datasets import small_rand_set
+from repro.experiments.ablation import tiebreak_ablation
+from repro.experiments.figures import RAND_PLATFORM
+from repro.experiments.report import render_table
+from repro.scheduling.ranks import rank_order
+
+
+@pytest.mark.figure
+def test_tiebreak_ablation(show, scale, benchmark):
+    graphs = small_rand_set(min(scale.small_n_graphs, 8), scale.small_size)
+    rows = benchmark.pedantic(tiebreak_ablation, args=(graphs, RAND_PLATFORM),
+                              kwargs={"n_seeds": 5}, rounds=1, iterations=1)
+    table = render_table(
+        ["graph", "deterministic", "seeded mean", "min", "max"],
+        [[r.graph_name, r.deterministic, round(r.seeded_mean, 1),
+          r.seeded_min, r.seeded_max] for r in rows],
+        title="MemHEFT rank tie-break spread")
+    print("\n" + table)
+    for r in rows:
+        assert r.seeded_min <= r.deterministic * 1.5  # noise, not regime change
+
+
+def test_bench_rank_computation(benchmark, scale):
+    graph = small_rand_set(1, scale.small_size)[0]
+    order = benchmark(rank_order, graph)
+    assert len(order) == graph.n_tasks

@@ -1,0 +1,37 @@
+"""Figure 11 — makespan vs memory for one SmallRandSet DAG, all four
+heuristics plus the lower bound.
+
+Expected shape: the memory-aware makespans decrease towards the HEFT /
+MinMin values as memory grows and both anchor exactly at alpha = 1;
+the lower bound sits below everything.
+"""
+
+import pytest
+
+from repro.experiments.figures import RAND_PLATFORM, fig11
+from repro.experiments.sweep import absolute_sweep, reference_run
+from repro.dags.datasets import small_rand_set
+
+
+@pytest.mark.figure
+def test_fig11_regenerates(show, scale, benchmark):
+    result = benchmark.pedantic(fig11, args=(scale,), rounds=1, iterations=1)
+    show(result)
+    data = result.data
+    assert data.lower_bound <= data.heft_makespan + 1e-9
+    assert data.lower_bound <= data.minmin_makespan + 1e-9
+    # Feasible series exist and the last point matches the HEFT anchor.
+    last = data.series("memheft")[-1]
+    assert last.makespan == pytest.approx(data.heft_makespan)
+    for algo in ("memheft", "memminmin"):
+        spans = [p.makespan for p in data.series(algo) if p.makespan]
+        assert spans, f"{algo} never schedules on the sweep grid"
+        assert min(spans) >= data.lower_bound - 1e-9
+
+
+def test_bench_absolute_sweep(benchmark, scale):
+    graph = small_rand_set(1, scale.small_size)[0]
+    ref = reference_run(graph, RAND_PLATFORM)
+    grid = [ref.ref_memory * k / 6 for k in range(1, 7)]
+    result = benchmark(absolute_sweep, graph, RAND_PLATFORM, grid)
+    assert result.points

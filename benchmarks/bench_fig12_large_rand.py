@@ -1,0 +1,38 @@
+"""Figure 12 — LargeRandSet: normalised makespan + success rate vs alpha.
+
+Expected shape (paper §6.2.2): both heuristics schedule everything well
+below alpha = 1 (the paper reaches 0.3); MemHEFT's average makespan falls
+roughly linearly with memory; MemMinMin dominates when memory is critical
+while MemHEFT edges ahead when memory is plentiful.
+"""
+
+import pytest
+
+from repro.dags.datasets import large_rand_set
+from repro.experiments.figures import RAND_PLATFORM, fig12
+from repro.scheduling.memminmin import memminmin
+
+
+@pytest.mark.figure
+def test_fig12_regenerates(show, scale, benchmark):
+    result = benchmark.pedantic(fig12, args=(scale,), rounds=1, iterations=1)
+    show(result)
+    data = result.data
+    for algo in ("memheft", "memminmin"):
+        rates = [c.success_rate for c in data.series(algo)]
+        assert rates == sorted(rates)
+        assert rates[-1] == 1.0
+        # Heuristics keep succeeding strictly below alpha = 1.
+        assert sum(r == 1.0 for r in rates) >= 2
+    # Normalised makespan decreases towards 1 as memory grows.
+    for algo in ("memheft", "memminmin"):
+        spans = [c.mean_norm_makespan for c in data.series(algo)
+                 if c.mean_norm_makespan is not None]
+        assert spans[-1] == pytest.approx(1.0, abs=0.1)
+        assert max(spans) >= spans[-1] - 1e-9
+
+
+def test_bench_memminmin_on_large_graph(benchmark, scale):
+    graph = large_rand_set(1, scale.large_size)[0]
+    schedule = benchmark(memminmin, graph, RAND_PLATFORM)
+    assert len(schedule) == graph.n_tasks

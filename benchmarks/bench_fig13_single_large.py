@@ -1,0 +1,46 @@
+"""Figure 13 — makespan vs memory for one LargeRandSet DAG.
+
+Expected shape: same as Figure 11 but on a larger instance — smooth
+degradation as memory shrinks, failure only at very tight bounds.
+"""
+
+import pytest
+
+from repro.dags.datasets import large_rand_set
+from repro.experiments.figures import RAND_PLATFORM, fig13
+from repro.experiments.sweep import reference_run
+from repro.scheduling.memheft import memheft
+
+
+@pytest.mark.figure
+def test_fig13_regenerates(show, scale, benchmark):
+    result = benchmark.pedantic(fig13, args=(scale,), rounds=1, iterations=1)
+    show(result)
+    data = result.data
+    for algo in ("memheft", "memminmin"):
+        spans = [p.makespan for p in data.series(algo) if p.makespan]
+        assert spans
+        assert min(spans) >= data.lower_bound - 1e-9
+        # Loosest bound anchors near the memory-oblivious reference.
+        assert spans[-1] <= 1.25 * data.heft_makespan
+    # Memory-aware heuristics survive below HEFT's requirement.
+    mh = data.min_feasible_memory("memheft")
+    assert mh is not None and mh < data.heft_memory
+
+
+def test_bench_memheft_on_large_graph(benchmark, scale):
+    graph = large_rand_set(1, scale.large_size)[0]
+    ref = reference_run(graph, RAND_PLATFORM)
+    # Time the tightest feasible bound on a coarse grid: memory pressure is
+    # where the memory-aware bookkeeping actually costs something.
+    from repro.scheduling.state import InfeasibleScheduleError
+    bounded = RAND_PLATFORM
+    for alpha in (0.7, 0.85, 1.0):
+        bounded = RAND_PLATFORM.with_uniform_bound(alpha * ref.ref_memory)
+        try:
+            memheft(graph, bounded)
+            break
+        except InfeasibleScheduleError:
+            continue
+    schedule = benchmark(memheft, graph, bounded)
+    assert len(schedule) == graph.n_tasks

@@ -1,0 +1,41 @@
+"""Figure 14 — tiled LU factorisation: makespan vs memory (in tiles).
+
+Expected shape (paper §6.2.3): MemMinMin gives the better makespans when
+memory is plentiful, but fails well before MemHEFT as memory shrinks —
+the factorisation releases many non-critical tasks early, MemMinMin
+schedules them eagerly and fills memory, while MemHEFT follows the
+critical path and keeps working down to roughly the memory needed to hold
+the matrix split across the two memories.
+"""
+
+import pytest
+
+from repro.dags.linalg import lu_dag
+from repro.experiments.figures import MIRAGE_PLATFORM, fig14
+from repro.scheduling.memheft import memheft
+
+
+@pytest.mark.figure
+def test_fig14_regenerates(show, scale, benchmark):
+    result = benchmark.pedantic(fig14, args=(scale,), rounds=1, iterations=1)
+    show(result)
+    data = result.data
+    mh = data.min_feasible_memory("memheft")
+    mm = data.min_feasible_memory("memminmin")
+    assert mh is not None, "MemHEFT must schedule LU somewhere on the grid"
+    if mm is not None:
+        # The headline claim: MemHEFT survives at most as much memory.
+        assert mh <= mm
+    # Everything respects the lower bound and anchors at HEFT for alpha=1.
+    for algo in ("memheft", "memminmin"):
+        for p in data.series(algo):
+            if p.makespan is not None:
+                assert p.makespan >= data.lower_bound - 1e-6
+    assert data.series("memheft")[-1].makespan == pytest.approx(
+        data.heft_makespan, rel=1e-6)
+
+
+def test_bench_memheft_lu(benchmark, scale):
+    graph = lu_dag(scale.lu_tiles)
+    schedule = benchmark(memheft, graph, MIRAGE_PLATFORM)
+    assert len(schedule) == graph.n_tasks

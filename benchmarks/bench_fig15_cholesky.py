@@ -1,0 +1,47 @@
+"""Figure 15 — tiled Cholesky factorisation: makespan vs memory (tiles).
+
+Expected shape: as Figure 14 (Cholesky works on the lower half of the
+matrix, so everything happens at roughly half the LU memory footprint).
+"""
+
+import pytest
+
+from repro.dags.linalg import cholesky_dag
+from repro.experiments.figures import MIRAGE_PLATFORM, fig15
+from repro.scheduling.memminmin import memminmin
+
+
+@pytest.mark.figure
+def test_fig15_regenerates(show, scale, benchmark):
+    result = benchmark.pedantic(fig15, args=(scale,), rounds=1, iterations=1)
+    show(result)
+    data = result.data
+    mh = data.min_feasible_memory("memheft")
+    mm = data.min_feasible_memory("memminmin")
+    assert mh is not None
+    if mm is not None:
+        assert mh <= mm
+    for algo in ("memheft", "memminmin"):
+        for p in data.series(algo):
+            if p.makespan is not None:
+                assert p.makespan >= data.lower_bound - 1e-6
+
+
+def test_cholesky_cheaper_than_lu_at_same_tiles(scale, benchmark):
+    """Cross-figure sanity: Cholesky (half the matrix) needs less memory
+    and less time than LU for the same tile count."""
+    from repro.dags.linalg import lu_dag
+    from repro.experiments.sweep import reference_run
+    chol = benchmark.pedantic(
+        reference_run, args=(cholesky_dag(scale.cholesky_tiles), MIRAGE_PLATFORM),
+        rounds=1, iterations=1)
+    lu = reference_run(lu_dag(scale.lu_tiles), MIRAGE_PLATFORM)
+    if scale.cholesky_tiles == scale.lu_tiles:
+        assert chol.ref_memory <= lu.ref_memory
+        assert chol.makespan <= lu.makespan
+
+
+def test_bench_memminmin_cholesky(benchmark, scale):
+    graph = cholesky_dag(scale.cholesky_tiles)
+    schedule = benchmark(memminmin, graph, MIRAGE_PLATFORM)
+    assert len(schedule) == graph.n_tasks

@@ -1,0 +1,66 @@
+"""Extension — the full min-min-family comparison under memory pressure.
+
+MemSufferage (this library's extension, see
+``repro.scheduling.sufferage``) against the paper's MemHEFT and MemMinMin
+on the SmallRandSet sweep: one table of success rates and normalised
+makespans per relative-memory point, plus schedule-quality metrics at a
+representative bound.
+"""
+
+import pytest
+
+from repro.dags.datasets import small_rand_set
+from repro.experiments.figures import RAND_PLATFORM
+from repro.experiments.metrics import STATS_HEADERS, schedule_stats
+from repro.experiments.report import render_normalized_sweep, render_table
+from repro.experiments.sweep import default_alphas, normalized_sweep
+from repro.scheduling.registry import get_scheduler
+from repro.scheduling.state import InfeasibleScheduleError
+from repro.scheduling.sufferage import memsufferage
+
+FAMILY = ("memheft", "memminmin", "memsufferage")
+
+
+@pytest.mark.figure
+def test_family_sweep(show, scale, benchmark):
+    graphs = small_rand_set(scale.small_n_graphs, scale.small_size)
+    result = benchmark.pedantic(
+        normalized_sweep,
+        args=(graphs, RAND_PLATFORM, FAMILY, default_alphas(scale.n_alphas)),
+        rounds=1, iterations=1)
+    print()
+    print(render_normalized_sweep(result, title="Heuristic family sweep "
+                                                "(memsufferage = extension)"))
+    for algo in FAMILY:
+        rates = [c.success_rate for c in result.series(algo)]
+        assert rates == sorted(rates)
+        assert rates[-1] == 1.0
+
+
+@pytest.mark.figure
+def test_family_quality_metrics(show, scale, benchmark):
+    graph = small_rand_set(1, scale.small_size)[0]
+    rows = []
+
+    def run():
+        rows.clear()
+        for name in FAMILY:
+            try:
+                s = get_scheduler(name)(graph, RAND_PLATFORM)
+            except InfeasibleScheduleError:  # pragma: no cover
+                continue
+            stats = schedule_stats(graph, RAND_PLATFORM, s)
+            rows.append([name] + stats.as_row())
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(["algorithm"] + STATS_HEADERS, rows,
+                       title=f"Schedule quality on {graph.name} (unbounded)"))
+    assert len(rows) == len(FAMILY)
+
+
+def test_bench_memsufferage(benchmark, scale):
+    graph = small_rand_set(1, scale.small_size)[0]
+    schedule = benchmark(memsufferage, graph, RAND_PLATFORM)
+    assert len(schedule) == graph.n_tasks

@@ -1,0 +1,28 @@
+"""Solver micro-benchmarks: the ILP (CPLEX substitute) and the exact eager
+search on the paper's worked example."""
+
+import pytest
+
+from repro.core.platform import Platform
+from repro.dags.toy import dex
+from repro.ilp import build_model, optimal_eager, solve_branch_and_bound
+
+
+def test_bench_ilp_model_build(benchmark):
+    model = benchmark(build_model, dex(), Platform(1, 1, 5, 5))
+    assert model.n_constraints > 0
+
+
+def test_bench_ilp_solve_dex_m5(benchmark):
+    def run():
+        model = build_model(dex(), Platform(1, 1, 5, 5))
+        return solve_branch_and_bound(model, time_limit=120)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.status == "optimal"
+    assert res.objective == pytest.approx(6.0, abs=1e-4)
+
+
+def test_bench_eager_search_dex(benchmark):
+    res = benchmark(optimal_eager, dex(), Platform(1, 1, 4, 4))
+    assert res.makespan == 7

@@ -1,0 +1,32 @@
+"""Heuristic runtime scaling with graph size.
+
+The paper quotes a worst-case complexity of ``O(n^2 (n + m))`` for both
+heuristics (§5.2).  This bench times MemHEFT and MemMinMin on a size
+ladder of the LargeRandSet family — the measured growth should stay
+polynomial and comfortably handle the 1000-task paper scale.
+"""
+
+import pytest
+
+from repro.dags.daggen import random_dag
+from repro.experiments.figures import RAND_PLATFORM
+from repro.scheduling.memheft import memheft
+from repro.scheduling.memminmin import memminmin
+
+SIZES = (25, 50, 100, 200)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_memheft_scaling(benchmark, size):
+    graph = random_dag(size=size, rng=size,
+                       w_range=(1, 100), c_range=(1, 100), f_range=(1, 100))
+    schedule = benchmark(memheft, graph, RAND_PLATFORM)
+    assert len(schedule) == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_memminmin_scaling(benchmark, size):
+    graph = random_dag(size=size, rng=size,
+                       w_range=(1, 100), c_range=(1, 100), f_range=(1, 100))
+    schedule = benchmark(memminmin, graph, RAND_PLATFORM)
+    assert len(schedule) == size

@@ -1,0 +1,24 @@
+"""Table 1 — kernel running times, and the cost of building the linear
+algebra DAGs they parameterise."""
+
+import pytest
+
+from repro.dags.linalg import KERNEL_TIMES_MS, cholesky_dag, lu_dag
+from repro.experiments.figures import table1
+
+
+@pytest.mark.figure
+def test_table1_regenerates(show, benchmark):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    show(result)
+    assert result.data == KERNEL_TIMES_MS
+
+
+def test_bench_lu_dag_construction(benchmark, scale):
+    g = benchmark(lu_dag, scale.lu_tiles)
+    assert g.n_tasks > 0
+
+
+def test_bench_cholesky_dag_construction(benchmark, scale):
+    g = benchmark(cholesky_dag, scale.cholesky_tiles)
+    assert g.n_tasks > 0

@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Benchmarks default to the ``ci`` scale so ``pytest benchmarks/
+--benchmark-only`` finishes in minutes; set ``REPRO_SCALE=default`` or
+``REPRO_SCALE=paper`` to grow them (see ``repro.experiments.config``).
+
+Each ``bench_*`` module does two things:
+
+1. regenerates the *content* of one paper table/figure (printed to the
+   terminal, captured into EXPERIMENTS.md), and
+2. times the representative scheduling computation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import get_scale
+
+
+def pytest_configure(config):
+    # Benchmarks live outside testpaths; give them their own marker doc.
+    config.addinivalue_line("markers", "figure: regenerates a paper figure")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Scale preset for every benchmark (env: REPRO_SCALE, default ci)."""
+    return get_scale(os.environ.get("REPRO_SCALE", "ci"))
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a figure table so it lands in the captured bench output."""
+    def _show(result):
+        print()
+        print(str(result))
+    return _show

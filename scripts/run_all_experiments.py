@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate every paper table/figure and write the reports to results/.
+
+Usage: python scripts/run_all_experiments.py [scale] [experiment ...]
+
+``scale`` is ci / default / paper (default: default).  With no experiment
+names, runs everything including the two ablations.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.dags.datasets import small_rand_set
+from repro.experiments.ablation import comm_policy_ablation, tiebreak_ablation
+from repro.experiments.config import get_scale
+from repro.experiments.figures import EXPERIMENTS, RAND_PLATFORM
+from repro.experiments.report import render_table
+from repro.experiments.sweep import default_alphas
+
+
+def run_ablations(scale) -> str:
+    graphs = small_rand_set(min(scale.small_n_graphs, 10), scale.small_size)
+    rows = comm_policy_ablation(graphs, RAND_PLATFORM,
+                                default_alphas(scale.n_alphas))
+    parts = [render_table(
+        ["alpha", "late:success", "eager:success", "late:norm", "eager:norm"],
+        [[round(r.alpha, 3), r.late_success, r.eager_success,
+          None if r.late_mean_norm is None else round(r.late_mean_norm, 3),
+          None if r.eager_mean_norm is None else round(r.eager_mean_norm, 3)]
+         for r in rows],
+        title="MemHEFT transfer-placement ablation (late = paper policy)")]
+    tb = tiebreak_ablation(graphs[:6], RAND_PLATFORM, n_seeds=5)
+    parts.append(render_table(
+        ["graph", "deterministic", "seeded mean", "min", "max"],
+        [[r.graph_name, r.deterministic, round(r.seeded_mean, 1),
+          r.seeded_min, r.seeded_max] for r in tb],
+        title="MemHEFT rank tie-break spread"))
+    return "\n\n".join(parts)
+
+
+def main() -> int:
+    scale_name = sys.argv[1] if len(sys.argv) > 1 else "default"
+    wanted = sys.argv[2:] or list(EXPERIMENTS) + ["ablations"]
+    scale = get_scale(scale_name)
+    out_dir = Path(__file__).resolve().parent.parent / "results" / scale.name
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in wanted:
+        t0 = time.perf_counter()
+        if name == "ablations":
+            text = run_ablations(scale)
+        else:
+            text = str(EXPERIMENTS[name](scale))
+        dt = time.perf_counter() - t0
+        path = out_dir / f"{name}.txt"
+        path.write_text(text + f"\n\n[generated at scale={scale.name} "
+                               f"in {dt:.1f}s]\n")
+        print(f"[{dt:7.1f}s] {name} -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Setup shim: keeps legacy installs (``python setup.py develop``) working in
+offline environments without the ``wheel`` package; configuration lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

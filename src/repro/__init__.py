@@ -1,0 +1,85 @@
+"""repro — Memory-aware list scheduling for hybrid (dual-memory) platforms.
+
+Reproduction of Herrmann, Marchal & Robert, INRIA RR-8461 (2014):
+scheduling task graphs on a platform with two processor/memory classes
+(e.g. CPUs + GPUs) so as to minimise the makespan without exceeding either
+memory capacity.
+
+Quickstart::
+
+    from repro import Platform, memheft, validate_schedule
+    from repro.dags import dex
+
+    graph = dex()                                   # the paper's toy DAG
+    platform = Platform(n_blue=1, n_red=1, mem_blue=5, mem_red=5)
+    schedule = memheft(graph, platform)
+    peaks = validate_schedule(graph, platform, schedule)
+    print(schedule.makespan, peaks)
+"""
+
+from .core import (
+    MEMORIES,
+    CommEvent,
+    Memory,
+    MemoryProfile,
+    Placement,
+    Platform,
+    Schedule,
+    ScheduleError,
+    TaskGraph,
+    critical_path_lower_bound,
+    is_valid,
+    lower_bound,
+    memory_peaks,
+    memory_usage,
+    validate_schedule,
+)
+from .scheduling import (
+    BASELINES,
+    MEMORY_AWARE,
+    SCHEDULERS,
+    InfeasibleScheduleError,
+    get_scheduler,
+    heft,
+    memheft,
+    memminmin,
+    memsufferage,
+    minmin,
+    rank_order,
+    sufferage,
+    upward_ranks,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TaskGraph",
+    "Platform",
+    "Memory",
+    "MEMORIES",
+    "Schedule",
+    "Placement",
+    "CommEvent",
+    "MemoryProfile",
+    "ScheduleError",
+    "InfeasibleScheduleError",
+    "validate_schedule",
+    "is_valid",
+    "memory_usage",
+    "memory_peaks",
+    "lower_bound",
+    "critical_path_lower_bound",
+    "heft",
+    "minmin",
+    "sufferage",
+    "memheft",
+    "memminmin",
+    "memsufferage",
+    "upward_ranks",
+    "rank_order",
+    "SCHEDULERS",
+    "MEMORY_AWARE",
+    "BASELINES",
+    "get_scheduler",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Small shared helpers (tolerances, RNG coercion)."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+#: Absolute tolerance used for every floating-point comparison of times and
+#: memory amounts throughout the library.  Task times and file sizes in the
+#: paper's experiments are small integers, so 1e-9 is far below any meaningful
+#: difference while absorbing accumulated rounding error.
+EPS: float = 1e-9
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(rng: RngLike) -> np.random.Generator:
+    """Coerce ``None`` / seed / Generator into a :class:`numpy.random.Generator`."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def feq(a: float, b: float, eps: float = EPS) -> bool:
+    """Float equality within the library tolerance."""
+    return abs(a - b) <= eps
+
+
+def fle(a: float, b: float, eps: float = EPS) -> bool:
+    """``a <= b`` within the library tolerance."""
+    return a <= b + eps
+
+
+def fmt_num(x: float) -> str:
+    """Compact number rendering for reports (drops trailing ``.0``)."""
+    if x == float("inf"):
+        return "inf"
+    if float(x).is_integer():
+        return str(int(x))
+    return f"{x:.4g}"

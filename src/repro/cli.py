@@ -1,0 +1,242 @@
+"""Command-line interface (installed as ``memsched``; also
+``python -m repro``).
+
+Subcommands::
+
+    memsched generate  --kind daggen --size 30 --seed 1 -o graph.json
+    memsched schedule  graph.json --algo memheft --blue 1 --red 1 \
+                       --mem-blue 40 --mem-red 40 --gantt
+    memsched validate  graph.json schedule.json
+    memsched bounds    graph.json --blue 2 --red 1
+    memsched ilp       graph.json --blue 1 --red 1 --mem-blue 5 --mem-red 5
+    memsched experiment fig10 --scale ci
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Optional, Sequence
+
+from .core.bounds import (
+    critical_path_lower_bound,
+    lower_bound,
+    split_work_lower_bound,
+    work_lower_bound,
+)
+from .core.platform import MEMORIES, Platform
+from .core.trace import format_trace, memory_timeline, trace_schedule
+from .core.validation import ScheduleError, validate_schedule
+from .dags.daggen import random_dag
+from .dags.linalg import cholesky_dag, lu_dag
+from .dags.toy import dex
+from .experiments.config import SCALES, get_scale
+from .experiments.figures import EXPERIMENTS
+from .ilp import solve_ilp
+from .io.dot import to_dot
+from .io.gantt import ascii_gantt, memory_sparkline, schedule_summary
+from .io.json_io import load_graph, load_schedule, save_graph, save_schedule
+from .scheduling.registry import SCHEDULERS, get_scheduler
+from .scheduling.state import InfeasibleScheduleError
+
+
+def _platform_from_args(args: argparse.Namespace) -> Platform:
+    return Platform(
+        n_blue=args.blue,
+        n_red=args.red,
+        mem_blue=math.inf if args.mem_blue is None else args.mem_blue,
+        mem_red=math.inf if args.mem_red is None else args.mem_red,
+    )
+
+
+def _add_platform_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--blue", type=int, default=1, help="blue (CPU) processors")
+    parser.add_argument("--red", type=int, default=1, help="red (GPU) processors")
+    parser.add_argument("--mem-blue", type=float, default=None,
+                        help="blue memory capacity (default: unbounded)")
+    parser.add_argument("--mem-red", type=float, default=None,
+                        help="red memory capacity (default: unbounded)")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "daggen":
+        graph = random_dag(size=args.size, width=args.width, density=args.density,
+                           jumps=args.jumps, rng=args.seed)
+    elif args.kind == "lu":
+        graph = lu_dag(args.tiles)
+    elif args.kind == "cholesky":
+        graph = cholesky_dag(args.tiles)
+    elif args.kind == "dex":
+        graph = dex()
+    else:  # pragma: no cover - argparse choices prevent this
+        raise ValueError(args.kind)
+    if args.output:
+        save_graph(graph, args.output)
+        print(f"wrote {graph.n_tasks} tasks / {graph.n_edges} edges to {args.output}")
+    if args.dot:
+        print(to_dot(graph))
+    if not args.output and not args.dot:
+        print(f"{graph.name}: {graph.n_tasks} tasks, {graph.n_edges} edges "
+              "(use -o/--dot to export)")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    platform = _platform_from_args(args)
+    scheduler = get_scheduler(args.algo)
+    try:
+        schedule = scheduler(graph, platform)
+    except InfeasibleScheduleError as exc:
+        print(f"INFEASIBLE: {exc}", file=sys.stderr)
+        return 2
+    peaks = validate_schedule(graph, platform, schedule)
+    print(f"algorithm : {args.algo}")
+    print(f"makespan  : {schedule.makespan:g}")
+    print(f"peaks     : blue={peaks[list(peaks)[0]]:g} "
+          f"red={peaks[list(peaks)[1]]:g}")
+    if args.gantt:
+        print(ascii_gantt(schedule))
+        for memory in MEMORIES:
+            timeline = memory_timeline(graph, platform, schedule, memory)
+            spark = memory_sparkline(timeline, platform.capacity(memory),
+                                     span=schedule.makespan)
+            print(f"{memory.value:>5} mem {spark}")
+    if args.summary:
+        print(schedule_summary(schedule))
+    if args.trace:
+        print(format_trace(trace_schedule(graph, platform, schedule)))
+    if args.output:
+        save_schedule(schedule, args.output)
+        print(f"wrote schedule to {args.output}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    schedule = load_schedule(args.schedule)
+    try:
+        peaks = validate_schedule(graph, schedule.platform, schedule)
+    except ScheduleError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 2
+    print(f"valid schedule; makespan={schedule.makespan:g}; "
+          f"peaks={{{', '.join(f'{m.value}: {v:g}' for m, v in peaks.items())}}}")
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    platform = _platform_from_args(args)
+    print(f"critical path : {critical_path_lower_bound(graph):g}")
+    print(f"work          : {work_lower_bound(graph, platform):g}")
+    print(f"split work    : {split_work_lower_bound(graph, platform):g}")
+    print(f"lower bound   : {lower_bound(graph, platform):g}")
+    return 0
+
+
+def cmd_ilp(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    platform = _platform_from_args(args)
+    sol = solve_ilp(graph, platform, node_limit=args.node_limit,
+                    time_limit=args.time_limit)
+    print(f"status      : {sol.status}")
+    print(f"makespan    : {sol.makespan}")
+    print(f"lower bound : {sol.lower_bound:g}")
+    print(f"nodes       : {sol.nodes} ({sol.runtime:.2f}s)")
+    if sol.schedule is not None and args.gantt:
+        print(ascii_gantt(sol.schedule))
+    return 0 if sol.status in ("optimal", "feasible") else 2
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    result = EXPERIMENTS[args.figure](scale)
+    print(result)
+    if args.csv:
+        from pathlib import Path
+
+        from .experiments.report import absolute_to_csv, sweep_to_csv
+        from .experiments.sweep import AbsoluteSweepResult, SweepResult
+        data = result.data
+        if isinstance(data, dict):  # fig10 carries two sweeps
+            data = data.get("heuristics", data)
+        if isinstance(data, SweepResult):
+            Path(args.csv).write_text(sweep_to_csv(data))
+        elif isinstance(data, AbsoluteSweepResult):
+            Path(args.csv).write_text(absolute_to_csv(data))
+        else:
+            print(f"--csv not supported for {args.figure}", file=sys.stderr)
+            return 2
+        print(f"wrote CSV to {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="memsched",
+        description="Memory-aware list scheduling for hybrid platforms "
+                    "(Herrmann, Marchal & Robert, 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a task graph")
+    p.add_argument("--kind", choices=("daggen", "lu", "cholesky", "dex"),
+                   default="daggen")
+    p.add_argument("--size", type=int, default=30, help="tasks (daggen)")
+    p.add_argument("--width", type=float, default=0.3)
+    p.add_argument("--density", type=float, default=0.5)
+    p.add_argument("--jumps", type=int, default=5)
+    p.add_argument("--tiles", type=int, default=4, help="tiles (lu/cholesky)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", help="write graph JSON here")
+    p.add_argument("--dot", action="store_true", help="print DOT to stdout")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("schedule", help="schedule a graph with a heuristic")
+    p.add_argument("graph", help="graph JSON file")
+    p.add_argument("--algo", choices=sorted(SCHEDULERS), default="memheft")
+    _add_platform_args(p)
+    p.add_argument("--gantt", action="store_true",
+                   help="ASCII Gantt chart + memory sparklines")
+    p.add_argument("--summary", action="store_true")
+    p.add_argument("--trace", action="store_true",
+                   help="time-ordered event log with memory occupancy")
+    p.add_argument("-o", "--output", help="write schedule JSON here")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("validate", help="validate a schedule against a graph")
+    p.add_argument("graph")
+    p.add_argument("schedule")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("bounds", help="print makespan lower bounds")
+    p.add_argument("graph")
+    _add_platform_args(p)
+    p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("ilp", help="solve the exact ILP (small graphs)")
+    p.add_argument("graph")
+    _add_platform_args(p)
+    p.add_argument("--node-limit", type=int, default=20000)
+    p.add_argument("--time-limit", type=float, default=60.0)
+    p.add_argument("--gantt", action="store_true")
+    p.set_defaults(func=cmd_ilp)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("figure", choices=sorted(EXPERIMENTS))
+    p.add_argument("--scale", choices=sorted(SCALES), default=None)
+    p.add_argument("--csv", help="also write the series as CSV here")
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Makespan lower bounds (the "Lower bound" series of Figure 11).
+
+Three bounds, all valid for *any* memory capacities (memory constraints can
+only increase the optimal makespan, so memory-oblivious bounds remain valid):
+
+* :func:`critical_path_lower_bound` — longest path where each task counts
+  for its fastest processing time and communications count for zero (both
+  endpoints may share a memory).
+* :func:`work_lower_bound` — total fastest work spread over all processors.
+* :func:`split_work_lower_bound` — the tighter load-balance bound from the
+  fractional assignment LP: choose the fraction of each task mapped to blue
+  to minimise ``max(blue load / P1, red load / P2)``.
+
+:func:`lower_bound` is the max of the three.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .graph import TaskGraph
+from .platform import Platform
+
+
+def critical_path_lower_bound(graph: TaskGraph) -> float:
+    """Longest path with per-task ``min(W_blue, W_red)`` and zero comms."""
+    return graph.longest_path_length(weight="min")
+
+
+def work_lower_bound(graph: TaskGraph, platform: Platform) -> float:
+    """Total fastest work divided by the total processor count."""
+    if platform.n_procs == 0:
+        return math.inf
+    return graph.total_work(None) / platform.n_procs
+
+
+def split_work_lower_bound(graph: TaskGraph, platform: Platform) -> float:
+    """Fractional-assignment load-balance bound.
+
+    LP: minimise ``T`` s.t. ``sum_i x_i W1_i <= P1 T``,
+    ``sum_i (1 - x_i) W2_i <= P2 T``, ``0 <= x_i <= 1``.
+    Degenerates gracefully when one resource class is empty.
+    """
+    tasks = list(graph.tasks())
+    n = len(tasks)
+    if n == 0:
+        return 0.0
+    w1 = np.array([graph.w_blue(t) for t in tasks])
+    w2 = np.array([graph.w_red(t) for t in tasks])
+    if platform.n_blue == 0:
+        return float(w2.sum()) / max(platform.n_red, 1)
+    if platform.n_red == 0:
+        return float(w1.sum()) / max(platform.n_blue, 1)
+
+    # Variables: x_0..x_{n-1}, T.  Minimise T.
+    c = np.zeros(n + 1)
+    c[-1] = 1.0
+    a_ub = np.zeros((2, n + 1))
+    a_ub[0, :n] = w1
+    a_ub[0, -1] = -platform.n_blue
+    a_ub[1, :n] = -w2
+    a_ub[1, -1] = -platform.n_red
+    b_ub = np.array([0.0, -w2.sum()])
+    bounds = [(0.0, 1.0)] * n + [(0.0, None)]
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not res.success:  # pragma: no cover - LP above is always feasible
+        return 0.0
+    return float(res.fun)
+
+
+def lower_bound(graph: TaskGraph, platform: Platform) -> float:
+    """Best available makespan lower bound (max of all bounds)."""
+    return max(
+        critical_path_lower_bound(graph),
+        work_lower_bound(graph, platform),
+        split_work_lower_bound(graph, platform),
+    )
+
+
+def memory_lower_bound(graph: TaskGraph) -> float:
+    """Smallest uniform memory bound under which *any* schedule can exist.
+
+    Every task must run on some memory that simultaneously holds all its
+    input and output files (§3.2), so no schedule exists when both
+    capacities are below ``max_i MemReq(i)``.  This is the structural
+    infeasibility floor visible in Figures 10-15: below it even the exact
+    ILP reports infeasible.
+    """
+    return max((graph.mem_req(t) for t in graph.tasks()), default=0.0)
+
+
+def schedulable_memory(graph: TaskGraph, platform: Platform) -> bool:
+    """Necessary (not sufficient) memory check: every task fits somewhere."""
+    caps = (platform.mem_blue, platform.mem_red)
+    return all(graph.mem_req(t) <= max(caps) for t in graph.tasks())

@@ -1,0 +1,247 @@
+"""Task-graph model (paper §3.1–3.2).
+
+A :class:`TaskGraph` is a DAG whose nodes are tasks with one processing time
+per memory (``W^(1)`` on blue, ``W^(2)`` on red) and whose edges are data
+files: edge ``(i, j)`` carries a file of size ``F_ij`` that must reside in
+memory while either endpoint executes, and whose transfer between memories
+takes ``C_ij`` time units.
+
+The class wraps a :class:`networkx.DiGraph` and exposes the accessors the
+schedulers need (parents/children, per-memory time, memory requirement of a
+task, cached topological order).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Iterator, Optional
+
+import networkx as nx
+
+from .platform import Memory
+
+Task = Hashable
+Edge = tuple[Task, Task]
+
+#: Node attribute names on the underlying networkx graph.
+ATTR_W_BLUE = "w_blue"
+ATTR_W_RED = "w_red"
+#: Edge attribute names.
+ATTR_SIZE = "size"
+ATTR_COMM = "comm"
+
+
+class TaskGraph:
+    """Directed acyclic task graph with dual processing times and file edges."""
+
+    def __init__(self, name: str = "taskgraph") -> None:
+        self.name = name
+        self._g = nx.DiGraph()
+        self._topo_cache: Optional[tuple[Task, ...]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task, w_blue: float, w_red: float) -> Task:
+        """Add a task with its blue/red processing times; returns ``task``.
+
+        Zero times are allowed (the paper's fictitious broadcast-pipeline
+        tasks have null processing time on both resources).
+        """
+        if task in self._g:
+            raise ValueError(f"duplicate task {task!r}")
+        if w_blue < 0 or w_red < 0 or not (math.isfinite(w_blue) and math.isfinite(w_red)):
+            raise ValueError(f"processing times of {task!r} must be finite and >= 0")
+        self._g.add_node(task, **{ATTR_W_BLUE: float(w_blue), ATTR_W_RED: float(w_red)})
+        self._topo_cache = None
+        return task
+
+    def add_dependency(self, u: Task, v: Task, size: float = 0.0, comm: float = 0.0) -> None:
+        """Add edge ``(u, v)``: a file of ``size`` units, transfer time ``comm``."""
+        if u not in self._g or v not in self._g:
+            raise ValueError(f"both endpoints of ({u!r}, {v!r}) must be tasks")
+        if u == v:
+            raise ValueError(f"self-loop on {u!r}")
+        if self._g.has_edge(u, v):
+            raise ValueError(f"duplicate edge ({u!r}, {v!r})")
+        if size < 0 or comm < 0 or not (math.isfinite(size) and math.isfinite(comm)):
+            raise ValueError(f"size/comm of ({u!r}, {v!r}) must be finite and >= 0")
+        # Acyclicity is checked lazily (validate() / topological_order()):
+        # a per-edge reachability test would make graph construction quadratic.
+        self._g.add_edge(u, v, **{ATTR_SIZE: float(size), ATTR_COMM: float(comm)})
+        self._topo_cache = None
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return self._g.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        return self._g.number_of_edges()
+
+    def __len__(self) -> int:
+        return self.n_tasks
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._g
+
+    def tasks(self) -> Iterator[Task]:
+        return iter(self._g.nodes)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._g.edges)
+
+    def parents(self, task: Task) -> list[Task]:
+        """Immediate predecessors of ``task``."""
+        return list(self._g.predecessors(task))
+
+    def children(self, task: Task) -> list[Task]:
+        """Immediate successors of ``task``."""
+        return list(self._g.successors(task))
+
+    def in_degree(self, task: Task) -> int:
+        return self._g.in_degree(task)
+
+    def out_degree(self, task: Task) -> int:
+        return self._g.out_degree(task)
+
+    def roots(self) -> list[Task]:
+        """Tasks without predecessors."""
+        return [t for t in self._g.nodes if self._g.in_degree(t) == 0]
+
+    def sinks(self) -> list[Task]:
+        """Tasks without successors."""
+        return [t for t in self._g.nodes if self._g.out_degree(t) == 0]
+
+    # ------------------------------------------------------------------
+    # weights
+    # ------------------------------------------------------------------
+    def w(self, task: Task, memory: Memory) -> float:
+        """Processing time of ``task`` on a processor of ``memory``."""
+        attr = ATTR_W_BLUE if memory is Memory.BLUE else ATTR_W_RED
+        return self._g.nodes[task][attr]
+
+    def w_blue(self, task: Task) -> float:
+        return self._g.nodes[task][ATTR_W_BLUE]
+
+    def w_red(self, task: Task) -> float:
+        return self._g.nodes[task][ATTR_W_RED]
+
+    def w_min(self, task: Task) -> float:
+        """Fastest processing time of ``task`` over both resources."""
+        d = self._g.nodes[task]
+        return min(d[ATTR_W_BLUE], d[ATTR_W_RED])
+
+    def w_mean(self, task: Task) -> float:
+        """Mean processing time (used by the HEFT upward rank)."""
+        d = self._g.nodes[task]
+        return 0.5 * (d[ATTR_W_BLUE] + d[ATTR_W_RED])
+
+    def size(self, u: Task, v: Task) -> float:
+        """File size ``F_uv`` of edge ``(u, v)``."""
+        return self._g.edges[u, v][ATTR_SIZE]
+
+    def comm(self, u: Task, v: Task) -> float:
+        """Cross-memory transfer time ``C_uv`` of edge ``(u, v)``."""
+        return self._g.edges[u, v][ATTR_COMM]
+
+    # ------------------------------------------------------------------
+    # memory requirements (paper §3.2)
+    # ------------------------------------------------------------------
+    def in_size(self, task: Task) -> float:
+        """Total size of the input files of ``task``."""
+        return sum(self._g.edges[p, task][ATTR_SIZE] for p in self._g.predecessors(task))
+
+    def out_size(self, task: Task) -> float:
+        """Total size of the output files of ``task``."""
+        return sum(self._g.edges[task, c][ATTR_SIZE] for c in self._g.successors(task))
+
+    def mem_req(self, task: Task) -> float:
+        """``MemReq(i)``: memory needed while ``task`` executes
+        (all input files plus all output files, §3.2)."""
+        return self.in_size(task) + self.out_size(task)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def topological_order(self) -> tuple[Task, ...]:
+        """A (cached) topological order of the tasks.
+
+        Raises ``ValueError`` if the graph contains a cycle.
+        """
+        if self._topo_cache is None:
+            try:
+                self._topo_cache = tuple(nx.topological_sort(self._g))
+            except nx.NetworkXUnfeasible as exc:
+                raise ValueError("task graph contains a cycle") from exc
+        return self._topo_cache
+
+    def ancestors(self, task: Task) -> set[Task]:
+        return nx.ancestors(self._g, task)
+
+    def descendants(self, task: Task) -> set[Task]:
+        return nx.descendants(self._g, task)
+
+    def longest_path_length(self, weight: str = "min") -> float:
+        """Length of the longest path using per-task weights
+        (``min``, ``mean``, ``blue`` or ``red``), ignoring communications."""
+        pick = {
+            "min": self.w_min,
+            "mean": self.w_mean,
+            "blue": self.w_blue,
+            "red": self.w_red,
+        }[weight]
+        best: dict[Task, float] = {}
+        for t in self.topological_order():
+            incoming = max((best[p] for p in self._g.predecessors(t)), default=0.0)
+            best[t] = incoming + pick(t)
+        return max(best.values(), default=0.0)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise ValueError("task graph contains a cycle")
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying :class:`networkx.DiGraph`."""
+        return self._g.copy()
+
+    @classmethod
+    def from_networkx(cls, g: nx.DiGraph, name: str = "taskgraph") -> "TaskGraph":
+        """Build from a DiGraph carrying ``w_blue``/``w_red`` node attributes
+        and ``size``/``comm`` edge attributes (missing edge attrs default 0)."""
+        tg = cls(name=name)
+        for node, data in g.nodes(data=True):
+            tg.add_task(node, data[ATTR_W_BLUE], data[ATTR_W_RED])
+        for u, v, data in g.edges(data=True):
+            tg.add_dependency(u, v, data.get(ATTR_SIZE, 0.0), data.get(ATTR_COMM, 0.0))
+        return tg
+
+    def copy(self) -> "TaskGraph":
+        return TaskGraph.from_networkx(self._g, name=self.name)
+
+    # ------------------------------------------------------------------
+    # aggregate metrics
+    # ------------------------------------------------------------------
+    def total_work(self, memory: Optional[Memory] = None) -> float:
+        """Sum of processing times (on ``memory``, or the per-task minimum)."""
+        if memory is None:
+            return sum(self.w_min(t) for t in self._g.nodes)
+        return sum(self.w(t, memory) for t in self._g.nodes)
+
+    def total_comm(self) -> float:
+        """Sum of all edge transfer times."""
+        return sum(d[ATTR_COMM] for _, _, d in self._g.edges(data=True))
+
+    def total_file_size(self) -> float:
+        """Sum of all file sizes."""
+        return sum(d[ATTR_SIZE] for _, _, d in self._g.edges(data=True))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TaskGraph({self.name!r}, n_tasks={self.n_tasks}, n_edges={self.n_edges})"

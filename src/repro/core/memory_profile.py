@@ -1,0 +1,184 @@
+"""Piecewise-constant memory-occupancy profile (the ``free_mem`` staircase of §5.1).
+
+The paper's heuristics maintain, per memory, a staircase function
+``free_mem(t)`` stored as a list of couples ``[(x_1, val_1), .., (x_l, val_l)]``.
+We store the *used* memory instead (``free = capacity - used``), which keeps
+the same representation working when the capacity is infinite — the classical
+memory-oblivious heuristics are then just the memory-aware ones run with
+``capacity = inf`` while still being able to report their memory peaks.
+
+Supported queries:
+
+* :meth:`add` — add (or with a negative amount, release) memory over a
+  time interval ``[start, end)``; ``end=None`` means "until further notice"
+  (the paper's note that ``val_l`` may be non-zero because files stay
+  resident until their consumer is scheduled).
+* :meth:`earliest_fit` — the ``min { t : for all t' >= t, free(t') >= need }``
+  primitive used by ``task_mem_EST`` and ``comm_mem_EST``.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterator, Optional
+
+from .._util import EPS
+
+
+class MemoryProfile:
+    """Used-memory staircase over ``[0, +inf)`` with capacity queries."""
+
+    __slots__ = ("capacity", "_xs", "_vals", "_suffix_max", "_dirty")
+
+    def __init__(self, capacity: float = math.inf) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._xs: list[float] = [0.0]  # breakpoint times, sorted, xs[0] == 0
+        self._vals: list[float] = [0.0]  # used memory on [xs[k], xs[k+1]) (last: to +inf)
+        self._suffix_max: Optional[list[float]] = None
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _breakpoint_index(self, t: float) -> int:
+        """Index of the segment containing ``t``, inserting a breakpoint at
+        ``t`` if needed; ``t`` must be >= 0."""
+        k = bisect_right(self._xs, t) - 1
+        if self._xs[k] != t:
+            self._xs.insert(k + 1, t)
+            self._vals.insert(k + 1, self._vals[k])
+            k += 1
+        return k
+
+    def add(self, amount: float, start: float, end: Optional[float] = None) -> None:
+        """Add ``amount`` of used memory on ``[start, end)``.
+
+        ``end=None`` extends to +inf.  Negative amounts release memory.
+        ``start`` is clamped to 0.  Empty or zero-amount intervals are no-ops.
+        """
+        if amount == 0.0:
+            return
+        start = max(0.0, start)
+        if end is not None and end <= start:
+            return
+        i0 = self._breakpoint_index(start)
+        i1 = len(self._xs) if end is None else self._breakpoint_index(end)
+        for k in range(i0, i1):
+            self._vals[k] += amount
+        self._dirty = True
+
+    def release_from(self, amount: float, start: float) -> None:
+        """Release ``amount`` from ``start`` onwards (convenience wrapper)."""
+        self.add(-amount, start, None)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def used_at(self, t: float) -> float:
+        """Used memory at time ``t`` (segments are half-open ``[x_k, x_{k+1})``)."""
+        if t < 0:
+            return 0.0
+        k = bisect_right(self._xs, t) - 1
+        return self._vals[k]
+
+    def free_at(self, t: float) -> float:
+        """Free memory at time ``t``."""
+        return self.capacity - self.used_at(t)
+
+    def peak(self) -> float:
+        """Maximum used memory over all time."""
+        return max(self._vals)
+
+    def peak_in(self, start: float, end: float) -> float:
+        """Maximum used memory over ``[start, end)``."""
+        if end <= start:
+            return 0.0
+        k0 = max(0, bisect_right(self._xs, max(0.0, start)) - 1)
+        peak = 0.0
+        for k in range(k0, len(self._xs)):
+            if self._xs[k] >= end:
+                break
+            peak = max(peak, self._vals[k])
+        return peak
+
+    def _ensure_suffix_max(self) -> list[float]:
+        if self._dirty or self._suffix_max is None:
+            sm: list[float] = [0.0] * len(self._vals)
+            running = -math.inf
+            for k in range(len(self._vals) - 1, -1, -1):
+                running = max(running, self._vals[k])
+                sm[k] = running
+            self._suffix_max = sm
+            self._dirty = False
+        return self._suffix_max
+
+    def earliest_fit(self, need: float, not_before: float = 0.0) -> float:
+        """Earliest ``t >= not_before`` such that ``free(t') >= need`` for all
+        ``t' >= t`` — the query behind ``task_mem_EST`` / ``comm_mem_EST``
+        (§5.1).  Returns ``inf`` when ``need`` exceeds the capacity or the
+        tail of the profile never frees enough memory.
+        """
+        if need <= EPS:
+            return max(0.0, not_before)
+        if need > self.capacity + EPS:
+            return math.inf
+        threshold = self.capacity - need
+        sm = self._ensure_suffix_max()
+        # sm is non-increasing; find the leftmost segment whose suffix max
+        # fits under the threshold.
+        lo, hi = 0, len(sm)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if sm[mid] <= threshold + EPS:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo == len(sm):
+            return math.inf  # tail value itself exceeds the threshold
+        t = self._xs[lo] if lo > 0 else 0.0
+        return max(t, not_before)
+
+    # ------------------------------------------------------------------
+    # introspection / invariants
+    # ------------------------------------------------------------------
+    def segments(self) -> Iterator[tuple[float, float, float]]:
+        """Yield ``(start, end, used)`` segments; the last has ``end = inf``."""
+        for k in range(len(self._xs)):
+            end = self._xs[k + 1] if k + 1 < len(self._xs) else math.inf
+            yield (self._xs[k], end, self._vals[k])
+
+    def n_segments(self) -> int:
+        return len(self._xs)
+
+    def check_invariants(self) -> None:
+        """Used memory must stay within ``[0, capacity]`` (tolerance ``EPS``)."""
+        for k, v in enumerate(self._vals):
+            if v < -1e-6:
+                raise AssertionError(f"negative used memory {v} at segment {k}")
+            if v > self.capacity + 1e-6:
+                raise AssertionError(
+                    f"used memory {v} exceeds capacity {self.capacity} at segment {k}"
+                )
+
+    def compact(self) -> None:
+        """Merge adjacent segments with equal values (cosmetic/space only)."""
+        xs, vals = [self._xs[0]], [self._vals[0]]
+        for x, v in zip(self._xs[1:], self._vals[1:]):
+            if v != vals[-1]:
+                xs.append(x)
+                vals.append(v)
+        self._xs, self._vals = xs, vals
+        self._dirty = True
+
+    def copy(self) -> "MemoryProfile":
+        clone = MemoryProfile(self.capacity)
+        clone._xs = list(self._xs)
+        clone._vals = list(self._vals)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "inf" if math.isinf(self.capacity) else f"{self.capacity:g}"
+        return f"MemoryProfile(capacity={cap}, segments={len(self._xs)}, peak={self.peak():g})"

@@ -1,0 +1,109 @@
+"""Dual-memory platform model (paper §3.1).
+
+A platform holds ``n_blue`` identical processors attached to the *blue*
+memory and ``n_red`` identical processors attached to the *red* memory
+(e.g. multicore CPUs + GPU/FPGA accelerators).  Processors are indexed
+globally: ``0 .. n_blue-1`` are blue, ``n_blue .. n_blue+n_red-1`` are red.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from enum import Enum
+
+
+class Memory(Enum):
+    """One of the two memories of a dual-memory platform."""
+
+    BLUE = "blue"
+    RED = "red"
+
+    def other(self) -> "Memory":
+        """The opposite memory."""
+        return Memory.RED if self is Memory.BLUE else Memory.BLUE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Both memories, in canonical (blue, red) order.
+MEMORIES: tuple[Memory, Memory] = (Memory.BLUE, Memory.RED)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A dual-memory platform: processor counts and memory capacities.
+
+    Parameters
+    ----------
+    n_blue, n_red:
+        Number of identical processors attached to each memory (``P1`` and
+        ``P2`` in the paper).  At least one processor overall is required.
+    mem_blue, mem_red:
+        Memory capacities (``M^(blue)`` and ``M^(red)``); ``math.inf`` means
+        unbounded, which turns the memory-aware heuristics into their
+        classical memory-oblivious counterparts.
+    """
+
+    n_blue: int = 1
+    n_red: int = 1
+    mem_blue: float = math.inf
+    mem_red: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.n_blue < 0 or self.n_red < 0:
+            raise ValueError("processor counts must be non-negative")
+        if self.n_blue + self.n_red == 0:
+            raise ValueError("platform needs at least one processor")
+        if self.mem_blue < 0 or self.mem_red < 0:
+            raise ValueError("memory capacities must be non-negative")
+
+    # ------------------------------------------------------------------
+    # processor indexing
+    # ------------------------------------------------------------------
+    @property
+    def n_procs(self) -> int:
+        """Total number of processors."""
+        return self.n_blue + self.n_red
+
+    def procs(self, memory: Memory) -> range:
+        """Global indices of the processors attached to ``memory``."""
+        if memory is Memory.BLUE:
+            return range(0, self.n_blue)
+        return range(self.n_blue, self.n_blue + self.n_red)
+
+    def n_procs_of(self, memory: Memory) -> int:
+        """Number of processors attached to ``memory``."""
+        return self.n_blue if memory is Memory.BLUE else self.n_red
+
+    def memory_of(self, proc: int) -> Memory:
+        """Memory a global processor index operates on."""
+        if not 0 <= proc < self.n_procs:
+            raise ValueError(f"processor index {proc} out of range [0, {self.n_procs})")
+        return Memory.BLUE if proc < self.n_blue else Memory.RED
+
+    # ------------------------------------------------------------------
+    # memory capacities
+    # ------------------------------------------------------------------
+    def capacity(self, memory: Memory) -> float:
+        """Capacity of ``memory``."""
+        return self.mem_blue if memory is Memory.BLUE else self.mem_red
+
+    @property
+    def is_memory_bounded(self) -> bool:
+        """Whether at least one memory has a finite capacity."""
+        return math.isfinite(self.mem_blue) or math.isfinite(self.mem_red)
+
+    def with_bounds(self, mem_blue: float, mem_red: float) -> "Platform":
+        """Copy of this platform with different memory capacities."""
+        return replace(self, mem_blue=mem_blue, mem_red=mem_red)
+
+    def with_uniform_bound(self, bound: float) -> "Platform":
+        """Copy with the same capacity ``bound`` on both memories
+        (the ``M^(bound)`` setting used throughout the paper's §6)."""
+        return replace(self, mem_blue=bound, mem_red=bound)
+
+    def unbounded(self) -> "Platform":
+        """Copy of this platform with infinite memories."""
+        return replace(self, mem_blue=math.inf, mem_red=math.inf)

@@ -1,0 +1,84 @@
+"""Execution traces: a schedule flattened into a time-ordered event log
+plus per-memory usage timelines.
+
+`validate_schedule` checks a schedule; :func:`trace_schedule` *narrates*
+it — task starts/finishes, transfer starts/finishes and the running memory
+occupancy of both memories at each event.  Used by the CLI (``--trace``),
+by examples, and handy for debugging heuristic decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Literal
+
+from .graph import TaskGraph
+from .platform import MEMORIES, Memory, Platform
+from .schedule import Schedule
+from .validation import memory_usage
+
+Task = Hashable
+
+EventKind = Literal["task_start", "task_finish", "comm_start", "comm_finish"]
+
+#: Render order for events sharing a timestamp: finishes release resources
+#: before starts claim them, transfers land before the consumer starts.
+_KIND_ORDER = {"task_finish": 0, "comm_finish": 1, "comm_start": 2, "task_start": 3}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One schedule event with the memory occupancy right after it."""
+
+    time: float
+    kind: EventKind
+    what: str           # task name or "src->dst"
+    proc: int           # -1 for transfers
+    memory: str         # memory/direction label
+    used_blue: float
+    used_red: float
+
+
+def trace_schedule(graph: TaskGraph, platform: Platform,
+                   schedule: Schedule) -> list[TraceEvent]:
+    """Time-ordered event log of a complete schedule."""
+    profiles = memory_usage(graph, platform, schedule)
+
+    raw: list[tuple[float, str, str, int, str]] = []
+    for p in schedule.placements():
+        raw.append((p.start, "task_start", str(p.task), p.proc, p.memory.value))
+        raw.append((p.finish, "task_finish", str(p.task), p.proc, p.memory.value))
+    for ev in schedule.comms():
+        label = f"{ev.src}->{ev.dst}"
+        src = schedule.memory_of(ev.src).value
+        dst = schedule.memory_of(ev.dst).value
+        raw.append((ev.start, "comm_start", label, -1, f"{src}->{dst}"))
+        raw.append((ev.finish, "comm_finish", label, -1, f"{src}->{dst}"))
+
+    raw.sort(key=lambda r: (r[0], _KIND_ORDER[r[1]], r[2]))
+    out = []
+    for time, kind, what, proc, memory in raw:
+        out.append(TraceEvent(
+            time=time, kind=kind, what=what, proc=proc, memory=memory,
+            used_blue=profiles[Memory.BLUE].used_at(time),
+            used_red=profiles[Memory.RED].used_at(time),
+        ))
+    return out
+
+
+def format_trace(events: list[TraceEvent]) -> str:
+    """Human-readable rendering of a trace."""
+    lines = [f"{'time':>9}  {'event':<12} {'what':<20} {'where':<12} "
+             f"{'blue':>8} {'red':>8}"]
+    for ev in events:
+        where = f"P{ev.proc}" if ev.proc >= 0 else ev.memory
+        lines.append(f"{ev.time:9g}  {ev.kind:<12} {ev.what:<20} "
+                     f"{where:<12} {ev.used_blue:8g} {ev.used_red:8g}")
+    return "\n".join(lines)
+
+
+def memory_timeline(graph: TaskGraph, platform: Platform, schedule: Schedule,
+                    memory: Memory) -> list[tuple[float, float]]:
+    """``(time, used)`` breakpoints of one memory over the schedule."""
+    profile = memory_usage(graph, platform, schedule)[memory]
+    return [(start, used) for start, _end, used in profile.segments()]

@@ -1,0 +1,178 @@
+"""Independent schedule validator / replay simulator.
+
+Replays a :class:`~repro.core.schedule.Schedule` against its
+:class:`~repro.core.graph.TaskGraph` and :class:`~repro.core.platform.Platform`
+and checks every constraint of the model (§3):
+
+* **completeness** — every task placed exactly once, durations match the
+  per-memory processing times;
+* **flow** (§3.1) — producers finish before transfers start, transfers finish
+  before consumers start, same-memory edges respect precedence directly, and
+  every transfer window is at least ``C_ij`` long;
+* **resource** (§3.1) — tasks sharing a processor never overlap;
+* **memory** (§3.2) — the file-residency timeline never exceeds either
+  capacity.  File residency follows the paper exactly: an output file lives in
+  the producer's memory from the producer's start; a same-memory input is
+  freed when the consumer finishes; a cross-memory file additionally lives in
+  the destination memory from the start of its transfer until the consumer
+  finishes, and its source copy is freed when the transfer ends.
+
+The validator is written independently from the scheduler-side bookkeeping so
+tests can cross-check the two (DESIGN.md invariant 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from .._util import EPS
+from .graph import TaskGraph
+from .memory_profile import MemoryProfile
+from .platform import MEMORIES, Memory, Platform
+from .schedule import Schedule
+
+Task = Hashable
+
+
+class ScheduleError(ValueError):
+    """A schedule violates the model; the message names the constraint."""
+
+
+@dataclass(frozen=True)
+class FileResidency:
+    """One stay of one file in one memory: ``[start, end)``."""
+
+    src: Task
+    dst: Task
+    memory: Memory
+    size: float
+    start: float
+    end: float
+
+
+def file_residencies(graph: TaskGraph, schedule: Schedule) -> list[FileResidency]:
+    """Every interval during which an edge file occupies a memory."""
+    out: list[FileResidency] = []
+    for u, v in graph.edges():
+        size = graph.size(u, v)
+        if size == 0.0:
+            continue
+        pu = schedule.placement(u)
+        pv = schedule.placement(v)
+        if pu.memory is pv.memory:
+            out.append(FileResidency(u, v, pu.memory, size, pu.start, pv.finish))
+        else:
+            ev = schedule.comm(u, v)
+            if ev is None:
+                raise ScheduleError(f"cross-memory edge ({u!r}, {v!r}) has no communication")
+            out.append(FileResidency(u, v, pu.memory, size, pu.start, ev.finish))
+            out.append(FileResidency(u, v, pv.memory, size, ev.start, pv.finish))
+    return out
+
+
+def memory_usage(graph: TaskGraph, platform: Platform, schedule: Schedule
+                 ) -> dict[Memory, MemoryProfile]:
+    """Used-memory staircases of both memories, rebuilt from the schedule."""
+    profiles = {m: MemoryProfile(platform.capacity(m)) for m in MEMORIES}
+    for res in file_residencies(graph, schedule):
+        profiles[res.memory].add(res.size, res.start, res.end)
+    return profiles
+
+
+def memory_peaks(graph: TaskGraph, platform: Platform, schedule: Schedule
+                 ) -> dict[Memory, float]:
+    """Peak usage of each memory (``M^s_blue``, ``M^s_red`` of §3.3)."""
+    return {m: p.peak() for m, p in memory_usage(graph, platform, schedule).items()}
+
+
+def validate_schedule(
+    graph: TaskGraph,
+    platform: Platform,
+    schedule: Schedule,
+    *,
+    check_memory: bool = True,
+    eps: float = 1e-6,
+) -> dict[Memory, float]:
+    """Check every model constraint; returns the memory peaks on success.
+
+    Raises :class:`ScheduleError` naming the first violated constraint.
+    """
+    # -- completeness and durations ------------------------------------
+    for task in graph.tasks():
+        if task not in schedule:
+            raise ScheduleError(f"task {task!r} is not scheduled")
+        p = schedule.placement(task)
+        expect = graph.w(task, p.memory)
+        if abs(p.duration - expect) > eps:
+            raise ScheduleError(
+                f"task {task!r} runs for {p.duration} but W^({p.memory}) = {expect}"
+            )
+        if platform.n_procs_of(p.memory) == 0:
+            raise ScheduleError(f"task {task!r} placed on empty resource {p.memory}")
+
+    if len(schedule) != graph.n_tasks:
+        extra = {p.task for p in schedule.placements()} - set(graph.tasks())
+        raise ScheduleError(f"schedule places unknown tasks: {sorted(map(repr, extra))}")
+
+    # -- flow constraints ----------------------------------------------
+    for u, v in graph.edges():
+        pu, pv = schedule.placement(u), schedule.placement(v)
+        if pu.memory is pv.memory:
+            if schedule.comm(u, v) is not None:
+                raise ScheduleError(f"same-memory edge ({u!r}, {v!r}) has a communication")
+            if pu.finish > pv.start + eps:
+                raise ScheduleError(
+                    f"precedence violated on ({u!r}, {v!r}): "
+                    f"{pu.finish} > {pv.start}"
+                )
+        else:
+            ev = schedule.comm(u, v)
+            if ev is None:
+                raise ScheduleError(f"cross-memory edge ({u!r}, {v!r}) has no communication")
+            if ev.start < pu.finish - eps:
+                raise ScheduleError(
+                    f"communication ({u!r}, {v!r}) starts at {ev.start} "
+                    f"before producer finishes at {pu.finish}"
+                )
+            if ev.finish > pv.start + eps:
+                raise ScheduleError(
+                    f"communication ({u!r}, {v!r}) ends at {ev.finish} "
+                    f"after consumer starts at {pv.start}"
+                )
+            if ev.duration < graph.comm(u, v) - eps:
+                raise ScheduleError(
+                    f"communication ({u!r}, {v!r}) lasts {ev.duration} "
+                    f"< C = {graph.comm(u, v)}"
+                )
+
+    # -- resource constraints --------------------------------------------
+    for proc in range(platform.n_procs):
+        rows = schedule.tasks_on_proc(proc)
+        for a, b in zip(rows, rows[1:]):
+            if b.start < a.finish - eps:
+                raise ScheduleError(
+                    f"tasks {a.task!r} and {b.task!r} overlap on processor {proc}: "
+                    f"[{a.start}, {a.finish}) vs [{b.start}, {b.finish})"
+                )
+
+    # -- memory constraints ----------------------------------------------
+    peaks = memory_peaks(graph, platform, schedule)
+    if check_memory:
+        for memory in MEMORIES:
+            if peaks[memory] > platform.capacity(memory) + eps:
+                raise ScheduleError(
+                    f"{memory} memory peak {peaks[memory]} exceeds capacity "
+                    f"{platform.capacity(memory)}"
+                )
+    return peaks
+
+
+def is_valid(graph: TaskGraph, platform: Platform, schedule: Schedule,
+             *, check_memory: bool = True) -> bool:
+    """Boolean convenience wrapper around :func:`validate_schedule`."""
+    try:
+        validate_schedule(graph, platform, schedule, check_memory=check_memory)
+    except ScheduleError:
+        return False
+    return True

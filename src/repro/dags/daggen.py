@@ -1,0 +1,146 @@
+"""DAGGEN-style random layered DAG generator (paper §6.1.1).
+
+Reimplementation of the four-parameter generator the paper uses
+(https://github.com/frs69wq/daggen):
+
+* ``size``    — number of tasks, organised in levels;
+* ``width``   — maximum parallelism knob in ``(0, 1]``: small values yield
+  chain-like graphs, large values fork-join-like graphs.  Level sizes are
+  drawn uniformly in ``[1, 2 * width * sqrt(size)]``;
+* ``density`` — how many parents (among the previous level) each task gets;
+* ``jumps``   — extra edges may skip up to ``jumps`` levels forward.
+
+Weights are assigned separately by :func:`assign_uniform_weights` with the
+paper's ranges (``W in [1, 20]``, ``C, F in [1, 10]`` for SmallRandSet;
+all in ``[1, 100]`` for LargeRandSet).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .._util import RngLike, as_rng
+from ..core.graph import TaskGraph
+
+
+def daggen_layers(size: int, width: float, rng: RngLike = None) -> list[int]:
+    """Draw the level sizes: uniform in ``[1, max(1, round(2*width*sqrt(size)))]``
+    until ``size`` tasks are allocated (last level truncated)."""
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    if not 0 < width <= 1:
+        raise ValueError("width must be in (0, 1]")
+    gen = as_rng(rng)
+    cap = max(1, round(2.0 * width * math.sqrt(size)))
+    layers: list[int] = []
+    remaining = size
+    while remaining > 0:
+        w = int(gen.integers(1, cap + 1))
+        w = min(w, remaining)
+        layers.append(w)
+        remaining -= w
+    return layers
+
+
+def daggen(
+    size: int = 30,
+    width: float = 0.3,
+    density: float = 0.5,
+    jumps: int = 5,
+    rng: RngLike = None,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """Generate a random layered DAG; tasks are ``0..size-1`` in level order.
+
+    Weights are *not* assigned (all zero); combine with
+    :func:`assign_uniform_weights`.
+    """
+    if density < 0:
+        raise ValueError("density must be >= 0")
+    if jumps < 1:
+        raise ValueError("jumps must be >= 1")
+    gen = as_rng(rng)
+    layers = daggen_layers(size, width, gen)
+
+    g = TaskGraph(name=name or f"daggen(n={size},w={width},d={density},j={jumps})")
+    level_tasks: list[list[int]] = []
+    tid = 0
+    for layer in layers:
+        tasks = list(range(tid, tid + layer))
+        level_tasks.append(tasks)
+        for t in tasks:
+            g.add_task(t, 0.0, 0.0)
+        tid += layer
+
+    # Consecutive-level edges: each non-root task draws between 1 and
+    # 1 + round(density * (|prev| - 1)) distinct parents from the previous
+    # level, so the density knob spans "tree-ish" to "bipartite-complete-ish".
+    for lvl in range(1, len(level_tasks)):
+        prev = level_tasks[lvl - 1]
+        for t in level_tasks[lvl]:
+            max_parents = 1 + round(density * (len(prev) - 1))
+            k = int(gen.integers(1, max_parents + 1))
+            parents = gen.choice(len(prev), size=min(k, len(prev)), replace=False)
+            for p in sorted(int(i) for i in parents):
+                g.add_dependency(prev[p], t)
+
+    # Jump edges: from level l to levels l+2 .. l+jumps, each added with
+    # probability density / 2 per (task, distance) pair, one random source.
+    for lvl in range(len(level_tasks)):
+        for dist in range(2, jumps + 1):
+            target_lvl = lvl + dist
+            if target_lvl >= len(level_tasks):
+                break
+            for t in level_tasks[target_lvl]:
+                if gen.random() < density / 2.0:
+                    src = level_tasks[lvl][int(gen.integers(0, len(level_tasks[lvl])))]
+                    try:
+                        g.add_dependency(src, t)
+                    except ValueError:
+                        pass  # duplicate edge — keep the existing one
+    return g
+
+
+def assign_uniform_weights(
+    graph: TaskGraph,
+    rng: RngLike = None,
+    *,
+    w_range: tuple[int, int] = (1, 20),
+    c_range: tuple[int, int] = (1, 10),
+    f_range: tuple[int, int] = (1, 10),
+) -> TaskGraph:
+    """Overwrite weights with integers drawn uniformly from closed ranges
+    (the paper's SmallRandSet uses ``W in [1,20]``, ``C, F in [1,10]``).
+
+    Returns a new :class:`TaskGraph`; the input is not modified.
+    """
+    gen = as_rng(rng)
+    g = TaskGraph(name=graph.name)
+    for t in graph.topological_order():
+        g.add_task(t,
+                   w_blue=float(gen.integers(w_range[0], w_range[1] + 1)),
+                   w_red=float(gen.integers(w_range[0], w_range[1] + 1)))
+    for u, v in graph.edges():
+        g.add_dependency(u, v,
+                         size=float(gen.integers(f_range[0], f_range[1] + 1)),
+                         comm=float(gen.integers(c_range[0], c_range[1] + 1)))
+    return g
+
+
+def random_dag(
+    size: int = 30,
+    width: float = 0.3,
+    density: float = 0.5,
+    jumps: int = 5,
+    rng: RngLike = None,
+    *,
+    w_range: tuple[int, int] = (1, 20),
+    c_range: tuple[int, int] = (1, 10),
+    f_range: tuple[int, int] = (1, 10),
+) -> TaskGraph:
+    """One-call generator: :func:`daggen` structure + uniform weights."""
+    gen = as_rng(rng)
+    skeleton = daggen(size, width, density, jumps, rng=gen)
+    return assign_uniform_weights(skeleton, rng=gen,
+                                  w_range=w_range, c_range=c_range, f_range=f_range)

@@ -1,0 +1,77 @@
+"""The four benchmark DAG families of §6.1, plus the tiny set used for the
+optimal (ILP) comparison.
+
+Every builder is deterministic given its ``seed``; per-graph seeds are spawned
+from the set seed so individual graphs are reproducible in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.graph import TaskGraph
+from .daggen import random_dag
+from .linalg import cholesky_dag, lu_dag
+
+#: Structure parameters shared by both random sets (paper §6.1.1).
+RAND_WIDTH = 0.3
+RAND_DENSITY = 0.5
+RAND_JUMPS = 5
+
+
+def _seeds(seed: int, count: int) -> list[np.random.Generator]:
+    return [np.random.default_rng(s) for s in np.random.SeedSequence(seed).spawn(count)]
+
+
+def small_rand_set(n_graphs: int = 50, size: int = 30, seed: int = 2014
+                   ) -> list[TaskGraph]:
+    """SmallRandSet: 50 DAGs, 30 tasks, ``W in [1,20]``, ``C, F in [1,10]``."""
+    graphs = []
+    for idx, rng in enumerate(_seeds(seed, n_graphs)):
+        g = random_dag(size=size, width=RAND_WIDTH, density=RAND_DENSITY,
+                       jumps=RAND_JUMPS, rng=rng,
+                       w_range=(1, 20), c_range=(1, 10), f_range=(1, 10))
+        g.name = f"small_rand[{idx}]"
+        graphs.append(g)
+    return graphs
+
+
+def tiny_rand_set(n_graphs: int = 10, size: int = 7, seed: int = 7
+                  ) -> list[TaskGraph]:
+    """Same family as SmallRandSet but small enough for our branch-and-bound
+    ILP solver to prove optimality (CPLEX substitution, DESIGN.md §5)."""
+    graphs = []
+    for idx, rng in enumerate(_seeds(seed, n_graphs)):
+        g = random_dag(size=size, width=0.5, density=RAND_DENSITY,
+                       jumps=min(RAND_JUMPS, 3), rng=rng,
+                       w_range=(1, 20), c_range=(1, 10), f_range=(1, 10))
+        g.name = f"tiny_rand[{idx}]"
+        graphs.append(g)
+    return graphs
+
+
+def large_rand_set(n_graphs: int = 15, size: int = 150, seed: int = 1000
+                   ) -> list[TaskGraph]:
+    """LargeRandSet: the paper uses 100 DAGs of 1000 tasks with all weights
+    in ``[1, 100]``; defaults here are scaled down for a pure-Python run
+    (pass ``n_graphs=100, size=1000`` for paper scale)."""
+    graphs = []
+    for idx, rng in enumerate(_seeds(seed, n_graphs)):
+        g = random_dag(size=size, width=RAND_WIDTH, density=RAND_DENSITY,
+                       jumps=RAND_JUMPS, rng=rng,
+                       w_range=(1, 100), c_range=(1, 100), f_range=(1, 100))
+        g.name = f"large_rand[{idx}]"
+        graphs.append(g)
+    return graphs
+
+
+def lu_set(tile_counts: Sequence[int] = (4, 8, 13)) -> list[TaskGraph]:
+    """LUSet: LU factorisation DAGs for several tiled-matrix sizes."""
+    return [lu_dag(t) for t in tile_counts]
+
+
+def cholesky_set(tile_counts: Sequence[int] = (4, 8, 13)) -> list[TaskGraph]:
+    """CholeskySet: Cholesky factorisation DAGs."""
+    return [cholesky_dag(t) for t in tile_counts]

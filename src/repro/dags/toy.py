@@ -1,0 +1,86 @@
+"""Small hand-built task graphs: the paper's worked example and classic shapes."""
+
+from __future__ import annotations
+
+from .._util import RngLike, as_rng
+from ..core.graph import TaskGraph
+
+
+def dex() -> TaskGraph:
+    """The 4-task example ``Dex`` of Figure 2.
+
+    ``T1 -> {T2, T3} -> T4`` with
+
+    * ``W(1) = (3, 2, 6, 1)`` on blue, ``W(2) = (1, 2, 3, 1)`` on red,
+    * file sizes ``F(1,2)=1, F(1,3)=2, F(2,4)=1, F(3,4)=2``,
+    * all communication times ``C = 1``.
+
+    Used by the paper to illustrate the memory/makespan trade-off:
+    with one processor per memory the optimal makespan is 6 under bounds
+    ``M = 5`` (schedule ``s1``, red peak 5) and 7 under ``M = 4``
+    (schedule ``s2``).
+    """
+    g = TaskGraph(name="dex")
+    g.add_task("T1", w_blue=3, w_red=1)
+    g.add_task("T2", w_blue=2, w_red=2)
+    g.add_task("T3", w_blue=6, w_red=3)
+    g.add_task("T4", w_blue=1, w_red=1)
+    g.add_dependency("T1", "T2", size=1, comm=1)
+    g.add_dependency("T1", "T3", size=2, comm=1)
+    g.add_dependency("T2", "T4", size=1, comm=1)
+    g.add_dependency("T3", "T4", size=2, comm=1)
+    return g
+
+
+def chain(n: int, *, w_blue: float = 2.0, w_red: float = 1.0,
+          size: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """A linear chain of ``n`` tasks (no parallelism, width 1)."""
+    if n < 1:
+        raise ValueError("chain needs at least one task")
+    g = TaskGraph(name=f"chain{n}")
+    for k in range(n):
+        g.add_task(k, w_blue, w_red)
+    for k in range(n - 1):
+        g.add_dependency(k, k + 1, size=size, comm=comm)
+    return g
+
+
+def fork_join(width: int, *, w_blue: float = 2.0, w_red: float = 1.0,
+              size: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """Source -> ``width`` parallel tasks -> sink (maximum parallelism)."""
+    if width < 1:
+        raise ValueError("fork_join needs width >= 1")
+    g = TaskGraph(name=f"forkjoin{width}")
+    g.add_task("src", w_blue, w_red)
+    g.add_task("sink", w_blue, w_red)
+    for k in range(width):
+        g.add_task(k, w_blue, w_red)
+        g.add_dependency("src", k, size=size, comm=comm)
+        g.add_dependency(k, "sink", size=size, comm=comm)
+    return g
+
+
+def diamond(*, w_blue: float = 2.0, w_red: float = 1.0,
+            size: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """The 4-task diamond (fork_join of width 2)."""
+    g = fork_join(2, w_blue=w_blue, w_red=w_red, size=size, comm=comm)
+    g.name = "diamond"
+    return g
+
+
+def random_weights_graph(n: int, rng: RngLike = None) -> TaskGraph:
+    """A tiny random DAG with unit-range weights — convenience for tests.
+
+    Each pair ``(i, j)`` with ``i < j`` gets an edge with probability 0.4,
+    so the graph is always acyclic.
+    """
+    gen = as_rng(rng)
+    g = TaskGraph(name=f"rand{n}")
+    for k in range(n):
+        g.add_task(k, w_blue=float(gen.integers(1, 10)), w_red=float(gen.integers(1, 10)))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if gen.random() < 0.4:
+                g.add_dependency(i, j, size=float(gen.integers(1, 5)),
+                                 comm=float(gen.integers(1, 5)))
+    return g

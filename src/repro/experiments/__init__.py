@@ -1,0 +1,72 @@
+"""Experiment harness: memory sweeps, per-figure drivers, ablations."""
+
+from .ablation import comm_policy_ablation, tiebreak_ablation
+from .config import SCALES, Scale, get_scale
+from .figures import (
+    EXPERIMENTS,
+    MIRAGE_PLATFORM,
+    RAND_PLATFORM,
+    FigureResult,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table1,
+)
+from .metrics import STATS_HEADERS, ScheduleStats, schedule_stats
+from .report import (
+    absolute_to_csv,
+    render_absolute_sweep,
+    render_normalized_sweep,
+    render_table,
+    sweep_to_csv,
+)
+from .sweep import (
+    AbsolutePoint,
+    AbsoluteSweepResult,
+    ReferenceRun,
+    SweepCell,
+    SweepResult,
+    absolute_sweep,
+    default_alphas,
+    normalized_sweep,
+    reference_run,
+)
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "get_scale",
+    "FigureResult",
+    "EXPERIMENTS",
+    "RAND_PLATFORM",
+    "MIRAGE_PLATFORM",
+    "table1",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "normalized_sweep",
+    "absolute_sweep",
+    "default_alphas",
+    "reference_run",
+    "ReferenceRun",
+    "SweepCell",
+    "SweepResult",
+    "AbsolutePoint",
+    "AbsoluteSweepResult",
+    "render_table",
+    "render_normalized_sweep",
+    "render_absolute_sweep",
+    "sweep_to_csv",
+    "absolute_to_csv",
+    "schedule_stats",
+    "ScheduleStats",
+    "STATS_HEADERS",
+    "comm_policy_ablation",
+    "tiebreak_ablation",
+]

@@ -1,0 +1,93 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* :func:`comm_policy_ablation` — the paper schedules incoming transfers *as
+  late as possible* (§5.1); the ``eager`` variant fires them as early as
+  memory allows.  Late transfers keep the destination memory free longer and
+  should succeed at tighter bounds.
+* :func:`tiebreak_ablation` — the paper breaks rank ties randomly; this
+  measures the makespan spread over tie-break seeds (and the deterministic
+  order) to show how much of the result is tie-break noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.graph import TaskGraph
+from ..core.platform import Platform
+from ..scheduling.memheft import memheft
+from ..scheduling.state import InfeasibleScheduleError
+from .sweep import reference_run
+
+
+@dataclass
+class CommPolicyRow:
+    alpha: float
+    late_success: int
+    eager_success: int
+    late_mean_norm: Optional[float]
+    eager_mean_norm: Optional[float]
+    n_graphs: int
+
+
+def comm_policy_ablation(
+    graphs: Sequence[TaskGraph],
+    platform: Platform,
+    alphas: Sequence[float],
+) -> list[CommPolicyRow]:
+    """Compare MemHEFT with late vs eager transfer placement."""
+    refs = [reference_run(g, platform) for g in graphs]
+    rows: list[CommPolicyRow] = []
+    for alpha in alphas:
+        stats = {"late": [], "eager": []}
+        for ref in refs:
+            bounded = platform.with_uniform_bound(alpha * ref.ref_memory)
+            for policy in ("late", "eager"):
+                try:
+                    s = memheft(ref.graph, bounded, comm_policy=policy)
+                except InfeasibleScheduleError:
+                    continue
+                stats[policy].append(s.makespan / ref.makespan)
+        rows.append(CommPolicyRow(
+            alpha=alpha,
+            late_success=len(stats["late"]),
+            eager_success=len(stats["eager"]),
+            late_mean_norm=float(np.mean(stats["late"])) if stats["late"] else None,
+            eager_mean_norm=float(np.mean(stats["eager"])) if stats["eager"] else None,
+            n_graphs=len(refs),
+        ))
+    return rows
+
+
+@dataclass
+class TiebreakRow:
+    graph_name: str
+    deterministic: float
+    seeded_mean: float
+    seeded_min: float
+    seeded_max: float
+
+
+def tiebreak_ablation(
+    graphs: Sequence[TaskGraph],
+    platform: Platform,
+    *,
+    n_seeds: int = 5,
+) -> list[TiebreakRow]:
+    """Makespan spread of MemHEFT over rank tie-break randomisation."""
+    rows: list[TiebreakRow] = []
+    for graph in graphs:
+        det = memheft(graph, platform).makespan
+        seeded = [memheft(graph, platform, rng=seed).makespan
+                  for seed in range(n_seeds)]
+        rows.append(TiebreakRow(
+            graph_name=graph.name,
+            deterministic=det,
+            seeded_mean=float(np.mean(seeded)),
+            seeded_min=float(np.min(seeded)),
+            seeded_max=float(np.max(seeded)),
+        ))
+    return rows

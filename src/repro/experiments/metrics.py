@@ -1,0 +1,73 @@
+"""Schedule quality metrics beyond the makespan.
+
+The paper evaluates makespan and memory peaks; downstream users usually
+also want utilisation and transfer volume when comparing schedules, so
+:func:`schedule_stats` collects everything in one pass (peaks come from
+the independent validator replay, not the scheduler's own accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.bounds import lower_bound
+from ..core.graph import TaskGraph
+from ..core.platform import Memory, Platform
+from ..core.schedule import Schedule
+from ..core.validation import memory_peaks
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Aggregate quality metrics of one schedule."""
+
+    makespan: float
+    peak_blue: float
+    peak_red: float
+    #: Mean busy fraction over all processors, within the makespan.
+    utilization: float
+    #: Busy fraction of the busiest processor.
+    max_utilization: float
+    #: Number of cross-memory transfers.
+    n_transfers: int
+    #: Total size transferred between the memories.
+    transfer_volume: float
+    #: makespan / combinatorial lower bound (>= 1; 1 means provably optimal).
+    optimality_ratio: float
+
+    def as_row(self) -> list:
+        """Flat row for the report tables."""
+        return [round(self.makespan, 2), round(self.peak_blue, 2),
+                round(self.peak_red, 2), round(self.utilization, 3),
+                self.n_transfers, round(self.transfer_volume, 2),
+                round(self.optimality_ratio, 3)]
+
+
+STATS_HEADERS = ["makespan", "peak_blue", "peak_red", "util",
+                 "transfers", "volume", "mk/LB"]
+
+
+def schedule_stats(graph: TaskGraph, platform: Platform,
+                   schedule: Schedule) -> ScheduleStats:
+    """Compute :class:`ScheduleStats` for a complete schedule."""
+    span = schedule.makespan
+    peaks = memory_peaks(graph, platform, schedule)
+    if span > 0:
+        busy = [schedule.proc_busy_time(p) / span
+                for p in range(platform.n_procs)]
+    else:
+        busy = [0.0] * platform.n_procs
+    volume = 0.0
+    for ev in schedule.comms():
+        volume += graph.size(ev.src, ev.dst)
+    lb = lower_bound(graph, platform)
+    return ScheduleStats(
+        makespan=span,
+        peak_blue=peaks[Memory.BLUE],
+        peak_red=peaks[Memory.RED],
+        utilization=sum(busy) / len(busy) if busy else 0.0,
+        max_utilization=max(busy, default=0.0),
+        n_transfers=schedule.n_comms,
+        transfer_volume=volume,
+        optimality_ratio=span / lb if lb > 0 else float("inf"),
+    )

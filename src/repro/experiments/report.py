@@ -1,0 +1,99 @@
+"""ASCII rendering of experiment results (the library has no plotting
+dependency; every figure is reported as the table of its series)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .._util import fmt_num
+from .sweep import AbsoluteSweepResult, SweepResult
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Minimal fixed-width table renderer."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[k]) for r in cells) for k in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return fmt_num(value)
+    return str(value)
+
+
+def sweep_to_csv(result: SweepResult) -> str:
+    """Normalised sweep as CSV (one row per alpha x algorithm cell)."""
+    lines = ["alpha,algorithm,n_graphs,n_success,success_rate,mean_norm_makespan"]
+    for cell in result.cells:
+        mk = "" if cell.mean_norm_makespan is None else f"{cell.mean_norm_makespan:.6g}"
+        lines.append(f"{cell.alpha:.6g},{cell.algorithm},{cell.n_graphs},"
+                     f"{cell.n_success},{cell.success_rate:.6g},{mk}")
+    return "\n".join(lines) + "\n"
+
+
+def absolute_to_csv(result: AbsoluteSweepResult) -> str:
+    """Absolute sweep as CSV (plus the baseline/lower-bound constants)."""
+    lines = ["memory,algorithm,makespan"]
+    for p in sorted(result.points, key=lambda p: (p.algorithm, p.memory)):
+        mk = "" if p.makespan is None else f"{p.makespan:.6g}"
+        lines.append(f"{p.memory:.6g},{p.algorithm},{mk}")
+    lines.append(f"{result.heft_memory:.6g},heft,{result.heft_makespan:.6g}")
+    lines.append(f"{result.minmin_memory:.6g},minmin,{result.minmin_makespan:.6g}")
+    lines.append(f"0,lower_bound,{result.lower_bound:.6g}")
+    return "\n".join(lines) + "\n"
+
+
+def render_normalized_sweep(result: SweepResult, title: str = "") -> str:
+    """Figure 10/12-style table: one row per alpha, per-algorithm columns
+    (normalised makespan and success rate)."""
+    headers = ["alpha"]
+    for name in result.algorithms:
+        headers += [f"{name}:norm_mk", f"{name}:success"]
+    rows = []
+    for alpha in result.alphas:
+        row: list[object] = [round(alpha, 4)]
+        for name in result.algorithms:
+            cell = result.cell(alpha, name)
+            row.append(None if cell.mean_norm_makespan is None
+                       else round(cell.mean_norm_makespan, 3))
+            row.append(round(cell.success_rate, 3))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_absolute_sweep(result: AbsoluteSweepResult, title: str = "") -> str:
+    """Figure 11/13/14/15-style table: makespan per memory bound, with the
+    memory-oblivious baselines shown from the bound where their peak fits."""
+    algos = sorted({p.algorithm for p in result.points})
+    headers = ["memory"] + algos + ["heft", "minmin", "lower_bound"]
+    rows = []
+    for mem in result.memories:
+        row: list[object] = [mem]
+        for name in algos:
+            match = [p.makespan for p in result.points
+                     if p.algorithm == name and p.memory == mem]
+            row.append(match[0] if match else None)
+        row.append(result.heft_makespan if mem >= result.heft_memory else None)
+        row.append(result.minmin_makespan if mem >= result.minmin_memory else None)
+        row.append(round(result.lower_bound, 2))
+        rows.append(row)
+    table = render_table(headers, rows, title=title)
+    footer = (
+        f"\nHEFT needs memory >= {fmt_num(result.heft_memory)} "
+        f"(makespan {fmt_num(result.heft_makespan)}); "
+        f"MinMin needs >= {fmt_num(result.minmin_memory)} "
+        f"(makespan {fmt_num(result.minmin_makespan)})."
+    )
+    return table + footer

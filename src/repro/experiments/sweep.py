@@ -1,0 +1,221 @@
+"""Memory-sweep machinery behind Figures 10–15.
+
+Two sweep styles, mirroring the paper:
+
+* :func:`normalized_sweep` (Figures 10, 12) — for each graph, run
+  memory-oblivious HEFT to get its memory peaks; then for each relative
+  memory ``alpha`` set both bounds to ``alpha * max(HEFT peaks)`` and record,
+  per heuristic, the success rate and the average makespan normalised by the
+  HEFT makespan (averaged over successfully scheduled graphs only, as in the
+  paper).
+* :func:`absolute_sweep` (Figures 11, 13, 14, 15) — one graph, an absolute
+  grid of memory bounds, makespan per algorithm per bound; the
+  memory-oblivious baselines appear from the bound where their own peak
+  fits, and the combinatorial lower bound gives the flat reference line.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.bounds import lower_bound
+from ..core.graph import TaskGraph
+from ..core.platform import Memory, Platform
+from ..core.validation import validate_schedule
+from ..scheduling.heft import heft
+from ..scheduling.minmin import minmin
+from ..scheduling.registry import get_scheduler
+from ..scheduling.state import InfeasibleScheduleError
+
+
+@dataclass(frozen=True)
+class ReferenceRun:
+    """Memory-oblivious HEFT reference for one graph (§6.2.1)."""
+
+    graph: TaskGraph
+    makespan: float
+    peak_blue: float
+    peak_red: float
+
+    @property
+    def ref_memory(self) -> float:
+        """``max(M^HEFT_blue, M^HEFT_red)`` — the alpha = 1 normalisation."""
+        return max(self.peak_blue, self.peak_red)
+
+
+def reference_run(graph: TaskGraph, platform: Platform) -> ReferenceRun:
+    """Run memory-oblivious HEFT and harvest makespan + memory peaks."""
+    schedule = heft(graph, platform)
+    return ReferenceRun(
+        graph=graph,
+        makespan=schedule.makespan,
+        peak_blue=schedule.meta["peak_blue"],
+        peak_red=schedule.meta["peak_red"],
+    )
+
+
+@dataclass
+class SweepCell:
+    """Aggregated result of one (alpha, algorithm) grid point."""
+
+    alpha: float
+    algorithm: str
+    n_graphs: int
+    n_success: int
+    mean_norm_makespan: Optional[float]  # None when nothing scheduled
+
+    @property
+    def success_rate(self) -> float:
+        return self.n_success / self.n_graphs if self.n_graphs else 0.0
+
+
+@dataclass
+class SweepResult:
+    """Full grid of a normalised sweep (rows of Figure 10 / 12)."""
+
+    algorithms: tuple[str, ...]
+    alphas: tuple[float, ...]
+    cells: list[SweepCell] = field(default_factory=list)
+
+    def cell(self, alpha: float, algorithm: str) -> SweepCell:
+        for c in self.cells:
+            if c.algorithm == algorithm and math.isclose(c.alpha, alpha):
+                return c
+        raise KeyError((alpha, algorithm))
+
+    def series(self, algorithm: str) -> list[SweepCell]:
+        return sorted((c for c in self.cells if c.algorithm == algorithm),
+                      key=lambda c: c.alpha)
+
+
+def default_alphas(n: int = 10) -> tuple[float, ...]:
+    """Evenly spaced relative-memory grid in ``(0, 1]``."""
+    return tuple(float(a) for a in np.linspace(1.0 / n, 1.0, n))
+
+
+def normalized_sweep(
+    graphs: Sequence[TaskGraph],
+    platform: Platform,
+    algorithms: Sequence[str] = ("memheft", "memminmin"),
+    alphas: Optional[Sequence[float]] = None,
+    *,
+    check: bool = False,
+    extra_solver: Optional[
+        Callable[[TaskGraph, Platform], Optional[float]]
+    ] = None,
+    extra_name: str = "optimal",
+) -> SweepResult:
+    """Normalised-memory sweep over a set of graphs (Figures 10 and 12).
+
+    ``extra_solver`` optionally adds one more series (the ILP optimum in
+    Figure 10): a callable returning a makespan or ``None`` when it cannot
+    schedule within the bounds.
+    ``check=True`` re-validates every produced schedule with the independent
+    validator (slower; used by integration tests).
+    """
+    alphas = tuple(alphas) if alphas is not None else default_alphas()
+    refs = [reference_run(g, platform) for g in graphs]
+    names = tuple(algorithms) + ((extra_name,) if extra_solver else ())
+    result = SweepResult(algorithms=names, alphas=alphas)
+
+    for alpha in alphas:
+        scores: dict[str, list[float]] = {name: [] for name in names}
+        successes: dict[str, int] = {name: 0 for name in names}
+        for ref in refs:
+            bound = alpha * ref.ref_memory
+            bounded = platform.with_uniform_bound(bound)
+            for name in algorithms:
+                try:
+                    schedule = get_scheduler(name)(ref.graph, bounded)
+                except InfeasibleScheduleError:
+                    continue
+                if check:
+                    validate_schedule(ref.graph, bounded, schedule)
+                successes[name] += 1
+                scores[name].append(schedule.makespan / ref.makespan)
+            if extra_solver is not None:
+                span = extra_solver(ref.graph, bounded)
+                if span is not None:
+                    successes[extra_name] += 1
+                    scores[extra_name].append(span / ref.makespan)
+        for name in names:
+            vals = scores[name]
+            result.cells.append(SweepCell(
+                alpha=alpha,
+                algorithm=name,
+                n_graphs=len(refs),
+                n_success=successes[name],
+                mean_norm_makespan=float(np.mean(vals)) if vals else None,
+            ))
+    return result
+
+
+@dataclass
+class AbsolutePoint:
+    """One (memory bound, algorithm) point of an absolute sweep."""
+
+    memory: float
+    algorithm: str
+    makespan: Optional[float]  # None => infeasible at this bound
+
+
+@dataclass
+class AbsoluteSweepResult:
+    """Rows of Figures 11/13/14/15 for a single graph."""
+
+    graph_name: str
+    memories: tuple[float, ...]
+    points: list[AbsolutePoint]
+    heft_makespan: float
+    heft_memory: float
+    minmin_makespan: float
+    minmin_memory: float
+    lower_bound: float
+
+    def series(self, algorithm: str) -> list[AbsolutePoint]:
+        return sorted((p for p in self.points if p.algorithm == algorithm),
+                      key=lambda p: p.memory)
+
+    def min_feasible_memory(self, algorithm: str) -> Optional[float]:
+        """Smallest swept bound where ``algorithm`` produced a schedule."""
+        feasible = [p.memory for p in self.series(algorithm) if p.makespan is not None]
+        return min(feasible) if feasible else None
+
+
+def absolute_sweep(
+    graph: TaskGraph,
+    platform: Platform,
+    memories: Sequence[float],
+    algorithms: Sequence[str] = ("memheft", "memminmin"),
+    *,
+    check: bool = False,
+) -> AbsoluteSweepResult:
+    """Makespan-vs-memory for one graph (Figures 11, 13, 14, 15)."""
+    ref_heft = heft(graph, platform)
+    ref_minmin = minmin(graph, platform)
+    points: list[AbsolutePoint] = []
+    for bound in memories:
+        bounded = platform.with_uniform_bound(bound)
+        for name in algorithms:
+            try:
+                schedule = get_scheduler(name)(graph, bounded)
+            except InfeasibleScheduleError:
+                points.append(AbsolutePoint(bound, name, None))
+                continue
+            if check:
+                validate_schedule(graph, bounded, schedule)
+            points.append(AbsolutePoint(bound, name, schedule.makespan))
+    return AbsoluteSweepResult(
+        graph_name=graph.name,
+        memories=tuple(memories),
+        points=points,
+        heft_makespan=ref_heft.makespan,
+        heft_memory=max(ref_heft.meta["peak_blue"], ref_heft.meta["peak_red"]),
+        minmin_makespan=ref_minmin.makespan,
+        minmin_memory=max(ref_minmin.meta["peak_blue"], ref_minmin.meta["peak_red"]),
+        lower_bound=lower_bound(graph, platform),
+    )

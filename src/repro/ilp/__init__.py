@@ -1,0 +1,102 @@
+"""Exact resolution: the ILP of §4 plus search-based cross-checks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.graph import TaskGraph
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from ..scheduling.memheft import memheft
+from ..scheduling.memminmin import memminmin
+from ..scheduling.state import InfeasibleScheduleError
+from .bruteforce import EagerSearchResult, optimal_eager
+from .extract import extract_schedule
+from .model import ILPModel, build_model
+from .solver import BBResult, solve_branch_and_bound
+
+
+@dataclass
+class ILPSolution:
+    """High-level outcome of :func:`solve_ilp`."""
+
+    status: str  # "optimal" | "feasible" | "infeasible" | "limit"
+    makespan: Optional[float]
+    schedule: Optional[Schedule]
+    lower_bound: float
+    nodes: int
+    runtime: float
+
+    @property
+    def proved_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def solve_ilp(
+    graph: TaskGraph,
+    platform: Platform,
+    *,
+    node_limit: int = 20000,
+    time_limit: float = 60.0,
+    seed_with_heuristics: bool = True,
+    log: bool = False,
+) -> ILPSolution:
+    """Solve the scheduling ILP for ``graph`` on ``platform``.
+
+    Heuristic schedules (when feasible) seed the incumbent: the branch and
+    bound then only needs to close the gap downwards, and if it exhausts the
+    tree without improving, the heuristic value is *proven* optimal and the
+    heuristic schedule is returned as an optimal witness.
+    """
+    incumbent_value: Optional[float] = None
+    incumbent_schedule: Optional[Schedule] = None
+    if seed_with_heuristics:
+        for algo in (memminmin, memheft):
+            try:
+                s = algo(graph, platform)
+            except InfeasibleScheduleError:
+                continue
+            if incumbent_value is None or s.makespan < incumbent_value:
+                incumbent_value = s.makespan
+                incumbent_schedule = s
+
+    model = build_model(graph, platform, makespan_ub=incumbent_value)
+    result = solve_branch_and_bound(
+        model,
+        incumbent=incumbent_value,
+        node_limit=node_limit,
+        time_limit=time_limit,
+        log=log,
+    )
+
+    schedule: Optional[Schedule] = None
+    if result.x is not None:
+        schedule = extract_schedule(model, result.x)
+    elif result.objective is not None:
+        schedule = incumbent_schedule  # heuristic proven optimal (or best known)
+    if schedule is not None and result.objective is not None:
+        schedule.meta["ilp_status"] = result.status
+
+    return ILPSolution(
+        status=result.status,
+        makespan=result.objective,
+        schedule=schedule,
+        lower_bound=result.lower_bound,
+        nodes=result.nodes,
+        runtime=result.runtime,
+    )
+
+
+__all__ = [
+    "ILPModel",
+    "build_model",
+    "BBResult",
+    "solve_branch_and_bound",
+    "extract_schedule",
+    "ILPSolution",
+    "solve_ilp",
+    "EagerSearchResult",
+    "optimal_eager",
+]

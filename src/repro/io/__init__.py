@@ -1,0 +1,33 @@
+"""Serialisation and rendering: JSON, DOT, ASCII Gantt."""
+
+from .dot import to_dot
+from .gantt import ascii_gantt, memory_sparkline, schedule_summary
+from .json_io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_schedule,
+    platform_from_dict,
+    platform_to_dict,
+    save_graph,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "to_dot",
+    "ascii_gantt",
+    "memory_sparkline",
+    "schedule_summary",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "platform_to_dict",
+    "platform_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]

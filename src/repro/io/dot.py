@@ -1,0 +1,31 @@
+"""Graphviz DOT export of task graphs (inspection / debugging aid)."""
+
+from __future__ import annotations
+
+from .._util import fmt_num
+from ..core.graph import TaskGraph
+
+
+def _quote(s: object) -> str:
+    text = str(s).replace('"', r"\"")
+    return f'"{text}"'
+
+
+def to_dot(graph: TaskGraph, *, show_weights: bool = True) -> str:
+    """Render the DAG as a DOT digraph; node labels show ``W_blue/W_red``,
+    edge labels ``F (C)``."""
+    lines = [f"digraph {_quote(graph.name)} {{", "  rankdir=TB;"]
+    for t in graph.topological_order():
+        if show_weights:
+            label = f"{t}\\n{fmt_num(graph.w_blue(t))}/{fmt_num(graph.w_red(t))}"
+            lines.append(f"  {_quote(t)} [label={_quote(label)}];")
+        else:
+            lines.append(f"  {_quote(t)};")
+    for u, v in graph.edges():
+        if show_weights:
+            label = f"{fmt_num(graph.size(u, v))} ({fmt_num(graph.comm(u, v))})"
+            lines.append(f"  {_quote(u)} -> {_quote(v)} [label={_quote(label)}];")
+        else:
+            lines.append(f"  {_quote(u)} -> {_quote(v)};")
+    lines.append("}")
+    return "\n".join(lines)

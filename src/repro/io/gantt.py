@@ -1,0 +1,90 @@
+"""ASCII Gantt rendering of schedules (one row per processor + transfers)."""
+
+from __future__ import annotations
+
+from .._util import fmt_num
+from ..core.platform import Memory
+from ..core.schedule import Schedule
+
+
+def ascii_gantt(schedule: Schedule, *, width: int = 72) -> str:
+    """Text Gantt chart: ``#`` task execution, ``~`` cross-memory transfer.
+
+    Each processor row shows the tasks placed on it (labels inlined when the
+    bar is wide enough); a final ``comms`` row shows transfer windows.
+    """
+    span = schedule.makespan
+    if span <= 0:
+        return "(empty schedule)"
+    unit = span / width
+
+    def col(t: float) -> int:
+        return min(width, max(0, round(t / unit)))
+
+    lines: list[str] = [f"makespan = {fmt_num(span)}   ('#' task, '~' transfer)"]
+    platform = schedule.platform
+    for proc in range(platform.n_procs):
+        mem = platform.memory_of(proc)
+        row = [" "] * width
+        for p in schedule.tasks_on_proc(proc):
+            a, b = col(p.start), max(col(p.start) + 1, col(p.finish))
+            for k in range(a, min(b, width)):
+                row[k] = "#"
+            label = str(p.task)
+            if b - a > len(label) + 1:
+                for k, ch in enumerate(label):
+                    row[a + 1 + k] = ch
+        colour = "blue" if mem is Memory.BLUE else "red "
+        lines.append(f"P{proc:<2} ({colour}) |{''.join(row)}|")
+
+    comm_rows = sorted(schedule.comms(), key=lambda ev: ev.start)
+    if comm_rows:
+        row = [" "] * width
+        for ev in comm_rows:
+            a, b = col(ev.start), max(col(ev.start) + 1, col(ev.finish))
+            for k in range(a, min(b, width)):
+                row[k] = "~"
+        lines.append(f"transfers   |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def memory_sparkline(used: list[tuple[float, float]], capacity: float,
+                     *, width: int = 72, span: float | None = None) -> str:
+    """One-line occupancy sparkline from ``(time, used)`` breakpoints.
+
+    Eight fill levels (`` ▁▂▃▄▅▆▇█``) sampled on a uniform time grid;
+    ``capacity`` may be ``inf`` (scales to the observed peak instead).
+    """
+    if not used:
+        return "|" + " " * width + "|"
+    horizon = span if span is not None else used[-1][0]
+    if horizon <= 0:
+        return "|" + " " * width + "|"
+    peak = max(v for _, v in used)
+    denom = capacity if capacity not in (0, float("inf")) else (peak or 1.0)
+    blocks = " ▁▂▃▄▅▆▇█"
+    cells = []
+    times = [t for t, _ in used]
+    from bisect import bisect_right
+    for k in range(width):
+        t = horizon * (k + 0.5) / width
+        idx = max(0, bisect_right(times, t) - 1)
+        frac = min(1.0, used[idx][1] / denom) if denom else 0.0
+        cells.append(blocks[round(frac * (len(blocks) - 1))])
+    return "|" + "".join(cells) + "|"
+
+
+def schedule_summary(schedule: Schedule) -> str:
+    """One line per task: window, processor, memory; then transfers."""
+    rows = sorted(schedule.placements(), key=lambda p: (p.start, p.proc))
+    lines = [
+        f"{str(p.task):>16s}  [{fmt_num(p.start):>8s}, {fmt_num(p.finish):>8s})"
+        f"  proc={p.proc} mem={p.memory.value}"
+        for p in rows
+    ]
+    for ev in sorted(schedule.comms(), key=lambda e: e.start):
+        lines.append(
+            f"{str(ev.src) + '->' + str(ev.dst):>16s}  "
+            f"[{fmt_num(ev.start):>8s}, {fmt_num(ev.finish):>8s})  transfer"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""JSON (de)serialisation for graphs, platforms and schedules.
+
+Task identifiers are arbitrary hashables in memory; JSON round-tripping
+stringifies non-(str/int) tasks, so linear-algebra tuple ids survive as
+their ``repr`` strings (documented, stable).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Union
+
+from ..core.graph import TaskGraph
+from ..core.platform import Memory, Platform
+from ..core.schedule import CommEvent, Placement, Schedule
+
+PathLike = Union[str, Path]
+
+
+def _task_key(task: Any) -> Union[str, int]:
+    if isinstance(task, (str, int)):
+        return task
+    return repr(task)
+
+
+# ----------------------------------------------------------------------
+# graphs
+# ----------------------------------------------------------------------
+def graph_to_dict(graph: TaskGraph) -> dict:
+    return {
+        "name": graph.name,
+        "tasks": [
+            {"id": _task_key(t), "w_blue": graph.w_blue(t), "w_red": graph.w_red(t)}
+            for t in graph.topological_order()
+        ],
+        "edges": [
+            {"src": _task_key(u), "dst": _task_key(v),
+             "size": graph.size(u, v), "comm": graph.comm(u, v)}
+            for u, v in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(data: dict) -> TaskGraph:
+    g = TaskGraph(name=data.get("name", "taskgraph"))
+    for row in data["tasks"]:
+        g.add_task(row["id"], row["w_blue"], row["w_red"])
+    for row in data["edges"]:
+        g.add_dependency(row["src"], row["dst"],
+                         size=row.get("size", 0.0), comm=row.get("comm", 0.0))
+    return g
+
+
+def save_graph(graph: TaskGraph, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def load_graph(path: PathLike) -> TaskGraph:
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# platforms
+# ----------------------------------------------------------------------
+def platform_to_dict(platform: Platform) -> dict:
+    def cap(x: float) -> Union[float, None]:
+        return None if math.isinf(x) else x
+
+    return {
+        "n_blue": platform.n_blue,
+        "n_red": platform.n_red,
+        "mem_blue": cap(platform.mem_blue),
+        "mem_red": cap(platform.mem_red),
+    }
+
+
+def platform_from_dict(data: dict) -> Platform:
+    def cap(x: Union[float, None]) -> float:
+        return math.inf if x is None else float(x)
+
+    return Platform(
+        n_blue=data["n_blue"],
+        n_red=data["n_red"],
+        mem_blue=cap(data.get("mem_blue")),
+        mem_red=cap(data.get("mem_red")),
+    )
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+def schedule_to_dict(schedule: Schedule) -> dict:
+    return {
+        "platform": platform_to_dict(schedule.platform),
+        "placements": [
+            {"task": _task_key(p.task), "proc": p.proc,
+             "memory": p.memory.value, "start": p.start, "finish": p.finish}
+            for p in schedule.placements()
+        ],
+        "comms": [
+            {"src": _task_key(ev.src), "dst": _task_key(ev.dst),
+             "start": ev.start, "finish": ev.finish}
+            for ev in schedule.comms()
+        ],
+        "meta": {k: v for k, v in schedule.meta.items()
+                 if isinstance(v, (str, int, float, bool))},
+    }
+
+
+def schedule_from_dict(data: dict) -> Schedule:
+    schedule = Schedule(platform_from_dict(data["platform"]))
+    for row in data["placements"]:
+        schedule.add(Placement(
+            task=row["task"], proc=row["proc"], memory=Memory(row["memory"]),
+            start=row["start"], finish=row["finish"],
+        ))
+    for row in data["comms"]:
+        schedule.add_comm(CommEvent(
+            src=row["src"], dst=row["dst"],
+            start=row["start"], finish=row["finish"],
+        ))
+    schedule.meta.update(data.get("meta", {}))
+    return schedule
+
+
+def save_schedule(schedule: Schedule, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: PathLike) -> Schedule:
+    return schedule_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,40 @@
+"""k-memory generalisation of the dual-memory model (paper §7 future work).
+
+The paper's conclusion proposes adapting the heuristics to "more complex
+platforms, such as hybrid platforms with several types of accelerators,
+and/or including more than two memories".  This subpackage does exactly
+that: :class:`MultiPlatform` holds any number of memory classes, each with
+its own processor pool and capacity; :func:`multi_memheft` and
+:func:`multi_memminmin` generalise Algorithms 1-2; and the ``k = 2`` case
+reproduces the dual-memory implementation decision-for-decision
+(``tests/multi/test_equivalence.py``).
+"""
+
+from .graph import MultiTaskGraph
+from .heuristics import (
+    multi_memheft,
+    multi_memminmin,
+    multi_rank_order,
+    multi_upward_ranks,
+)
+from .platform import MultiPlatform
+from .schedule import MultiCommEvent, MultiPlacement, MultiSchedule
+from .state import MultiESTBreakdown, MultiInfeasibleError, MultiSchedulerState
+from .validation import multi_memory_usage, validate_multi_schedule
+
+__all__ = [
+    "MultiPlatform",
+    "MultiTaskGraph",
+    "MultiSchedule",
+    "MultiPlacement",
+    "MultiCommEvent",
+    "MultiSchedulerState",
+    "MultiESTBreakdown",
+    "MultiInfeasibleError",
+    "multi_upward_ranks",
+    "multi_rank_order",
+    "multi_memheft",
+    "multi_memminmin",
+    "multi_memory_usage",
+    "validate_multi_schedule",
+]

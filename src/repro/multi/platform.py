@@ -1,0 +1,85 @@
+"""k-memory platform model (the paper's §7 future-work generalisation).
+
+A :class:`MultiPlatform` has ``k`` memory classes; class ``c`` owns
+``n_procs[c]`` identical processors sharing a memory of capacity
+``capacities[c]``.  The dual-memory platform of the paper is the ``k = 2``
+special case (class 0 = blue, class 1 = red), and the generalised
+heuristics reproduce the two-memory ones decision-for-decision there
+(tested in ``tests/multi/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class MultiPlatform:
+    """Processor counts and memory capacities per memory class."""
+
+    n_procs: tuple[int, ...]
+    capacities: tuple[float, ...]
+
+    def __init__(self, n_procs: Sequence[int],
+                 capacities: Sequence[float] | None = None) -> None:
+        n_procs = tuple(int(n) for n in n_procs)
+        if capacities is None:
+            capacities = tuple(math.inf for _ in n_procs)
+        else:
+            capacities = tuple(float(c) for c in capacities)
+        if len(n_procs) != len(capacities):
+            raise ValueError("n_procs and capacities must have equal length")
+        if not n_procs:
+            raise ValueError("at least one memory class is required")
+        if any(n < 0 for n in n_procs) or sum(n_procs) == 0:
+            raise ValueError("need non-negative counts and >= 1 processor")
+        if any(c < 0 for c in capacities):
+            raise ValueError("capacities must be >= 0")
+        object.__setattr__(self, "n_procs", n_procs)
+        object.__setattr__(self, "capacities", capacities)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        return len(self.n_procs)
+
+    @property
+    def total_procs(self) -> int:
+        return sum(self.n_procs)
+
+    def classes(self) -> range:
+        return range(self.n_classes)
+
+    def procs(self, cls: int) -> range:
+        """Global processor indices of memory class ``cls``."""
+        start = sum(self.n_procs[:cls])
+        return range(start, start + self.n_procs[cls])
+
+    def class_of(self, proc: int) -> int:
+        """Memory class of a global processor index."""
+        if not 0 <= proc < self.total_procs:
+            raise ValueError(f"processor {proc} out of range")
+        acc = 0
+        for cls, n in enumerate(self.n_procs):
+            acc += n
+            if proc < acc:
+                return cls
+        raise AssertionError("unreachable")
+
+    def capacity(self, cls: int) -> float:
+        return self.capacities[cls]
+
+    @property
+    def is_memory_bounded(self) -> bool:
+        return any(math.isfinite(c) for c in self.capacities)
+
+    def with_capacities(self, capacities: Sequence[float]) -> "MultiPlatform":
+        return MultiPlatform(self.n_procs, capacities)
+
+    def with_uniform_capacity(self, bound: float) -> "MultiPlatform":
+        return MultiPlatform(self.n_procs, [bound] * self.n_classes)
+
+    def unbounded(self) -> "MultiPlatform":
+        return MultiPlatform(self.n_procs, None)

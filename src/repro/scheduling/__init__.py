@@ -1,0 +1,28 @@
+"""Scheduling heuristics: MemHEFT, MemMinMin and their classical baselines."""
+
+from .heft import heft
+from .memheft import memheft
+from .memminmin import memminmin
+from .minmin import minmin
+from .ranks import rank_order, upward_ranks
+from .registry import BASELINES, MEMORY_AWARE, SCHEDULERS, get_scheduler
+from .state import ESTBreakdown, InfeasibleScheduleError, SchedulerState
+from .sufferage import memsufferage, sufferage
+
+__all__ = [
+    "heft",
+    "minmin",
+    "sufferage",
+    "memheft",
+    "memminmin",
+    "memsufferage",
+    "upward_ranks",
+    "rank_order",
+    "SchedulerState",
+    "ESTBreakdown",
+    "InfeasibleScheduleError",
+    "SCHEDULERS",
+    "MEMORY_AWARE",
+    "BASELINES",
+    "get_scheduler",
+]

@@ -1,0 +1,55 @@
+"""MemMinMin — memory-aware MinMin (paper Algorithm 2).
+
+No static priority: at each step the heuristic evaluates every *available*
+task (all parents scheduled) on both memories and commits the pair
+``(task, memory)`` with the minimum EFT.  Raises
+:class:`InfeasibleScheduleError` when no available task fits (the ``Error``
+branch of Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from .._util import EPS
+from ..core.graph import TaskGraph
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from .state import ESTBreakdown, InfeasibleScheduleError, SchedulerState
+
+Task = Hashable
+
+
+def memminmin(graph: TaskGraph, platform: Platform, *,
+              comm_policy: str = "late") -> Schedule:
+    """Schedule ``graph`` on ``platform`` with MemMinMin.
+
+    ``comm_policy``: ``"late"`` (paper) or ``"eager"`` (ablation).
+    """
+    state = SchedulerState(graph, platform, comm_policy=comm_policy)
+    # Stable task indices make the (unspecified) tie-break deterministic.
+    index = {t: k for k, t in enumerate(graph.topological_order())}
+    available: set[Task] = set(graph.roots())
+
+    while available:
+        best: ESTBreakdown | None = None
+        for task in sorted(available, key=index.__getitem__):
+            cand = state.best_est(task)
+            if cand is None:
+                continue
+            if best is None or cand.eft < best.eft - EPS:
+                best = cand
+        if best is None:
+            raise InfeasibleScheduleError(
+                "MemMinMin: no available task fits within the memory bounds "
+                f"({len(available)} available, bounds blue={platform.mem_blue}, "
+                f"red={platform.mem_red})"
+            )
+        state.commit(best)
+        available.discard(best.task)
+        available.update(state.pop_newly_ready())
+
+    if not state.done:  # pragma: no cover - readiness propagation guarantees this
+        raise InfeasibleScheduleError("MemMinMin: tasks remain but none is available")
+    return state.finalize("memminmin")

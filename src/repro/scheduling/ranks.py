@@ -1,0 +1,51 @@
+"""Task prioritisation: the upward rank of §5.1.
+
+``rank(i) = (W_blue_i + W_red_i) / 2 + max_{j in Children(i)} (rank(j) + C_ij / 2)``
+
+computed in reverse topological order.  The task list of MemHEFT sorts by
+non-increasing rank; the paper breaks ties randomly, which we reproduce with
+a seeded RNG (``rng=None`` keeps a deterministic insertion-order tie-break,
+used by tests and the tie-breaking ablation bench).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .._util import RngLike, as_rng
+from ..core.graph import TaskGraph
+
+Task = Hashable
+
+
+def upward_ranks(graph: TaskGraph) -> dict[Task, float]:
+    """Upward rank of every task (mean execution + half mean communication)."""
+    ranks: dict[Task, float] = {}
+    for task in reversed(graph.topological_order()):
+        best_child = 0.0
+        for child in graph.children(task):
+            cand = ranks[child] + graph.comm(task, child) / 2.0
+            if cand > best_child:
+                best_child = cand
+        ranks[task] = graph.w_mean(task) + best_child
+    return ranks
+
+
+def rank_order(graph: TaskGraph, rng: RngLike = None) -> list[Task]:
+    """Tasks sorted by non-increasing upward rank.
+
+    With ``rng`` given (seed or Generator), ties are broken uniformly at
+    random as in the paper; otherwise ties keep a stable deterministic order.
+    """
+    ranks = upward_ranks(graph)
+    order = list(graph.tasks())
+    if rng is None:
+        index = {t: k for k, t in enumerate(order)}
+        order.sort(key=lambda t: (-ranks[t], index[t]))
+        return order
+
+    gen = as_rng(rng)
+    # Shuffle first, then stable-sort by rank: equal ranks stay shuffled.
+    gen.shuffle(order)
+    order.sort(key=lambda t: -ranks[t])
+    return order

@@ -1,0 +1,44 @@
+"""Name-based scheduler lookup used by the CLI and the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..core.graph import TaskGraph
+from ..core.platform import Platform
+from ..core.schedule import Schedule
+from .heft import heft
+from .memheft import memheft
+from .memminmin import memminmin
+from .minmin import minmin
+from .sufferage import memsufferage, sufferage
+
+
+class Scheduler(Protocol):
+    def __call__(self, graph: TaskGraph, platform: Platform) -> Schedule: ...
+
+
+#: All scheduling heuristics by canonical name.
+SCHEDULERS: dict[str, Callable[..., Schedule]] = {
+    "heft": heft,
+    "minmin": minmin,
+    "sufferage": sufferage,
+    "memheft": memheft,
+    "memminmin": memminmin,
+    "memsufferage": memsufferage,
+}
+
+#: The two memory-aware heuristics contributed by the paper (memsufferage
+#: is this library's extension, see repro.scheduling.sufferage).
+MEMORY_AWARE = ("memheft", "memminmin")
+#: The memory-oblivious reference heuristics.
+BASELINES = ("heft", "minmin")
+
+
+def get_scheduler(name: str) -> Callable[..., Schedule]:
+    """Look up a scheduler by name (case-insensitive)."""
+    try:
+        return SCHEDULERS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise ValueError(f"unknown scheduler {name!r}; known: {known}") from None

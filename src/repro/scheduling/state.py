@@ -1,0 +1,281 @@
+"""Shared scheduler state: the EST machinery of §5.1 plus commit bookkeeping.
+
+For a ready task ``i`` and a candidate memory ``mu`` the paper defines four
+earliest-start-time components:
+
+* ``resource_EST``   — a processor of ``mu`` must be free;
+* ``precedence_EST`` — every parent finished (+ its transfer time ``C_ji``
+  when the parent sits on the other memory);
+* ``task_mem_EST``   — earliest ``t`` such that, from ``t`` on, ``mu`` has
+  room for the task's cross-memory inputs *and* all its outputs;
+* ``comm_mem_EST``   — earliest ``t`` such that, from ``t`` on, ``mu`` has
+  room for the cross-memory inputs alone (the transfers land before the
+  task starts).
+
+``EST = max(resource, precedence, task_mem, comm_mem + Cmax)`` with
+``Cmax = max_{cross parents j} C_ji`` (all incoming transfers are scheduled
+as late as possible, sharing the window ``[EST - Cmax, EST)``; see
+Algorithms 1–2).  ``EFT = EST + W^(mu)``.
+
+On commit the state performs the §3.2 memory bookkeeping:
+
+* outputs allocated in ``mu`` from the task start, released later when each
+  consumer is committed;
+* same-memory inputs released at the task finish;
+* cross-memory inputs allocated in ``mu`` for the transfer-until-finish
+  window and released from the parent's memory when their transfer ends.
+
+Each individual transfer is clipped to start no earlier than its producer's
+finish (``max(EST - Cmax, AFT(j))``) — see DESIGN.md §4: without the clip the
+paper's common window can violate its own flow constraint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from .._util import EPS
+from ..core.graph import TaskGraph
+from ..core.memory_profile import MemoryProfile
+from ..core.platform import MEMORIES, Memory, Platform
+from ..core.schedule import CommEvent, Placement, Schedule
+
+Task = Hashable
+
+
+class InfeasibleScheduleError(RuntimeError):
+    """The graph cannot be scheduled within the given memory bounds
+    (the ``Error`` branch of Algorithms 1 and 2)."""
+
+
+@dataclass(frozen=True)
+class ESTBreakdown:
+    """All EST components for one (task, memory) candidate."""
+
+    task: Task
+    memory: Memory
+    resource: float
+    precedence: float
+    task_mem: float
+    comm_mem: float  # already includes the +Cmax term; 0.0 when no cross input
+    cmax: float
+    est: float
+    eft: float
+    #: Raw ``earliest_fit(cross inputs)`` value (no +Cmax); the eager
+    #: transfer policy re-uses it at commit time.
+    comm_fit: float = 0.0
+
+    @property
+    def feasible(self) -> bool:
+        return math.isfinite(self.eft)
+
+
+class SchedulerState:
+    """Mutable partial schedule shared by every list-scheduling heuristic."""
+
+    def __init__(self, graph: TaskGraph, platform: Platform,
+                 comm_policy: str = "late") -> None:
+        if comm_policy not in ("late", "eager"):
+            raise ValueError(f"comm_policy must be 'late' or 'eager', got {comm_policy!r}")
+        self.graph = graph
+        self.platform = platform
+        self.comm_policy = comm_policy
+        self.schedule = Schedule(platform)
+        self.avail: list[float] = [0.0] * platform.n_procs
+        self.mem: dict[Memory, MemoryProfile] = {
+            m: MemoryProfile(platform.capacity(m)) for m in MEMORIES
+        }
+        self._pending_parents: dict[Task, int] = {
+            t: graph.in_degree(t) for t in graph.tasks()
+        }
+        self._newly_ready: list[Task] = []
+
+    # ------------------------------------------------------------------
+    # readiness
+    # ------------------------------------------------------------------
+    @property
+    def n_scheduled(self) -> int:
+        return len(self.schedule)
+
+    @property
+    def done(self) -> bool:
+        return self.n_scheduled == self.graph.n_tasks
+
+    def is_scheduled(self, task: Task) -> bool:
+        return task in self.schedule
+
+    def is_ready(self, task: Task) -> bool:
+        """All parents scheduled, task itself not yet scheduled."""
+        return task not in self.schedule and self._pending_parents[task] == 0
+
+    def ready_roots(self) -> list[Task]:
+        """All source tasks (ready at time zero)."""
+        return self.graph.roots()
+
+    def pop_newly_ready(self) -> list[Task]:
+        """Tasks that became ready since the last call (after commits)."""
+        out, self._newly_ready = self._newly_ready, []
+        return out
+
+    # ------------------------------------------------------------------
+    # EST computation (§5.1)
+    # ------------------------------------------------------------------
+    def est(self, task: Task, memory: Memory) -> ESTBreakdown:
+        """EST/EFT breakdown of ``task`` on ``memory`` given the partial
+        schedule.  Infeasible candidates get ``est = eft = inf``."""
+        inf = math.inf
+        if not self.is_ready(task) or self.platform.n_procs_of(memory) == 0:
+            return ESTBreakdown(task, memory, inf, inf, inf, inf, 0.0, inf, inf)
+
+        resource = min(self.avail[p] for p in self.platform.procs(memory))
+
+        precedence = 0.0
+        cmax = 0.0
+        cross_in = 0.0
+        for parent in self.graph.parents(task):
+            pp = self.schedule.placement(parent)
+            if pp.memory is memory:
+                precedence = max(precedence, pp.finish)
+            else:
+                c = self.graph.comm(parent, task)
+                precedence = max(precedence, pp.finish + c)
+                cmax = max(cmax, c)
+                cross_in += self.graph.size(parent, task)
+
+        need_task = cross_in + self.graph.out_size(task)
+        task_mem = self.mem[memory].earliest_fit(need_task)
+
+        comm_fit = 0.0
+        if cross_in > 0.0 or cmax > 0.0:
+            comm_fit = self.mem[memory].earliest_fit(cross_in)
+            comm_mem = comm_fit + cmax
+        else:
+            comm_mem = 0.0
+
+        est = max(resource, precedence, task_mem, comm_mem)
+        eft = est + self.graph.w(task, memory) if math.isfinite(est) else inf
+        return ESTBreakdown(task, memory, resource, precedence, task_mem,
+                            comm_mem, cmax, est, eft, comm_fit)
+
+    def best_est(self, task: Task) -> Optional[ESTBreakdown]:
+        """The memory choice minimising EFT (§5.1 memory-selection phase);
+        ties go to blue.  ``None`` when neither memory is feasible."""
+        best: Optional[ESTBreakdown] = None
+        for memory in MEMORIES:
+            bd = self.est(task, memory)
+            if not bd.feasible:
+                continue
+            if best is None or bd.eft < best.eft - EPS:
+                best = bd
+        return best
+
+    # ------------------------------------------------------------------
+    # processor selection (§5.1)
+    # ------------------------------------------------------------------
+    def choose_proc(self, memory: Memory, est: float) -> int:
+        """Processor of ``memory`` minimising idle time ``est - avail[p]``
+        among those already free at ``est`` (ties: lowest index)."""
+        best_proc = -1
+        best_avail = -math.inf
+        for p in self.platform.procs(memory):
+            a = self.avail[p]
+            if a <= est + EPS and a > best_avail + EPS:
+                best_avail = a
+                best_proc = p
+        if best_proc < 0:  # pragma: no cover - est >= resource_EST prevents this
+            raise RuntimeError("no processor available at the chosen EST")
+        return best_proc
+
+    # ------------------------------------------------------------------
+    # commit (memory bookkeeping of §3.2)
+    # ------------------------------------------------------------------
+    def commit(self, breakdown: ESTBreakdown) -> Placement:
+        """Apply one scheduling decision; returns the new placement."""
+        task, memory, est = breakdown.task, breakdown.memory, breakdown.est
+        if not math.isfinite(est):
+            raise ValueError(f"cannot commit infeasible candidate for {task!r}")
+        finish = est + self.graph.w(task, memory)
+        proc = self.choose_proc(memory, est)
+        placement = Placement(task=task, proc=proc, memory=memory,
+                              start=est, finish=finish)
+        self.schedule.add(placement)
+        self.avail[proc] = finish
+
+        profile = self.mem[memory]
+        # Outputs resident in mu from the task start until each consumer is
+        # committed (release scheduled then).
+        out_total = self.graph.out_size(task)
+        if out_total > 0.0:
+            profile.add(out_total, est, None)
+
+        for parent in self.graph.parents(task):
+            pp = self.schedule.placement(parent)
+            size = self.graph.size(parent, task)
+            if pp.memory is memory:
+                # Same-memory input: freed when this task finishes.
+                if size > 0.0:
+                    profile.add(-size, finish, None)
+            else:
+                # Cross-memory input transfer.  "late" (the paper's policy):
+                # share the window [EST - Cmax, EST), clipped to the
+                # producer's finish.  "eager" (ablation): fire as soon as the
+                # destination has room, again no earlier than the producer.
+                if self.comm_policy == "late":
+                    comm_start = max(est - breakdown.cmax, pp.finish)
+                    comm_end = est
+                else:
+                    comm_start = max(breakdown.comm_fit, pp.finish)
+                    comm_end = comm_start + self.graph.comm(parent, task)
+                self.schedule.add_comm(
+                    CommEvent(src=parent, dst=task, start=comm_start, finish=comm_end)
+                )
+                if size > 0.0:
+                    # Destination copy lives for transfer + execution.
+                    profile.add(size, comm_start, finish)
+                    # Source copy freed when the transfer completes.
+                    self.mem[pp.memory].add(-size, comm_end, None)
+
+        # readiness propagation
+        for child in self.graph.children(task):
+            self._pending_parents[child] -= 1
+            if self._pending_parents[child] == 0:
+                self._newly_ready.append(child)
+
+        return placement
+
+    def copy(self) -> "SchedulerState":
+        """Deep-enough copy for branching searches (profiles duplicated)."""
+        clone = SchedulerState.__new__(SchedulerState)
+        clone.graph = self.graph
+        clone.platform = self.platform
+        clone.comm_policy = self.comm_policy
+        clone.schedule = self.schedule.copy()
+        clone.avail = list(self.avail)
+        clone.mem = {m: p.copy() for m, p in self.mem.items()}
+        clone._pending_parents = dict(self._pending_parents)
+        clone._newly_ready = list(self._newly_ready)
+        return clone
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def peaks(self) -> dict[Memory, float]:
+        """Memory peaks of the partial schedule (scheduler-side accounting)."""
+        return {m: self.mem[m].peak() for m in MEMORIES}
+
+    def check_invariants(self) -> None:
+        for m in MEMORIES:
+            self.mem[m].check_invariants()
+
+    def finalize(self, algorithm: str) -> Schedule:
+        """Stamp diagnostics onto the completed schedule and return it."""
+        self.check_invariants()
+        peaks = self.peaks()
+        self.schedule.meta.update(
+            algorithm=algorithm,
+            peak_blue=peaks[Memory.BLUE],
+            peak_red=peaks[Memory.RED],
+        )
+        return self.schedule

@@ -1,0 +1,81 @@
+"""MemSufferage — a memory-aware Sufferage heuristic (library extension).
+
+Sufferage is the third classic heuristic of the family the paper takes
+MinMin from (Braun et al. 2001, the paper's [4]): instead of committing the
+task with the globally smallest EFT, commit the task that would *suffer*
+most from not getting its preferred resource — the one with the largest
+gap between its best and second-best completion times.
+
+On a dual-memory platform the "resources" are the two memories, so the
+sufferage value of an available task is ``EFT(worse memory) - EFT(better
+memory)``.  A task that fits in only one memory is maximally urgent
+(infinite sufferage): delaying it risks the remaining memory filling up.
+
+This is *not* part of the paper — it is the natural third member of the
+family and shares all of the §5.1 machinery, which makes it a one-page
+extension; the benchmark suite compares it against MemHEFT/MemMinMin.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from .._util import EPS
+from ..core.graph import TaskGraph
+from ..core.platform import MEMORIES, Platform
+from ..core.schedule import Schedule
+from .state import ESTBreakdown, InfeasibleScheduleError, SchedulerState
+
+Task = Hashable
+
+
+def memsufferage(graph: TaskGraph, platform: Platform, *,
+                 comm_policy: str = "late") -> Schedule:
+    """Schedule ``graph`` with the memory-aware Sufferage heuristic.
+
+    Raises :class:`InfeasibleScheduleError` when no available task fits
+    within the memory bounds (same contract as Algorithms 1-2).
+    """
+    state = SchedulerState(graph, platform, comm_policy=comm_policy)
+    index = {t: k for k, t in enumerate(graph.topological_order())}
+    available: set[Task] = set(graph.roots())
+
+    while available:
+        best_choice: ESTBreakdown | None = None
+        best_key: tuple[float, float, int] | None = None
+        for task in sorted(available, key=index.__getitem__):
+            breakdowns = [state.est(task, m) for m in MEMORIES]
+            feasible = [bd for bd in breakdowns if bd.feasible]
+            if not feasible:
+                continue
+            feasible.sort(key=lambda bd: bd.eft)
+            preferred = feasible[0]
+            if len(feasible) == 2:
+                sufferage = feasible[1].eft - feasible[0].eft
+            else:
+                sufferage = math.inf  # only one memory can take it: urgent
+            # Maximise sufferage; break ties towards the smaller EFT, then
+            # the stable task index.
+            key = (-sufferage, preferred.eft, index[task])
+            if best_key is None or key < best_key:
+                best_key = key
+                best_choice = preferred
+        if best_choice is None:
+            raise InfeasibleScheduleError(
+                "MemSufferage: no available task fits within the memory "
+                f"bounds ({len(available)} available, bounds "
+                f"blue={platform.mem_blue}, red={platform.mem_red})"
+            )
+        state.commit(best_choice)
+        available.discard(best_choice.task)
+        available.update(state.pop_newly_ready())
+
+    return state.finalize("memsufferage")
+
+
+def sufferage(graph: TaskGraph, platform: Platform) -> Schedule:
+    """Classical (memory-oblivious) Sufferage: the unbounded special case."""
+    schedule = memsufferage(graph, platform.unbounded())
+    schedule.meta["algorithm"] = "sufferage"
+    return schedule

@@ -1,0 +1,42 @@
+"""Shared fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import hypothesis
+import pytest
+
+from repro import Platform
+from repro.dags import dex, random_dag
+
+# Keep property tests fast and deterministic in CI while staying meaningful.
+hypothesis.settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    derandomize=True,
+)
+hypothesis.settings.load_profile("repro")
+
+
+@pytest.fixture
+def dex_graph():
+    """The paper's 4-task worked example (Figure 2)."""
+    return dex()
+
+
+@pytest.fixture
+def one_one_platform():
+    """One blue + one red processor, unbounded memories (Figures 3-4 setup)."""
+    return Platform(n_blue=1, n_red=1)
+
+
+@pytest.fixture
+def bounded_platform():
+    """The M=5 configuration under which schedule s1 is optimal."""
+    return Platform(n_blue=1, n_red=1, mem_blue=5, mem_red=5)
+
+
+@pytest.fixture(params=[0, 1, 2])
+def small_random_graph(request):
+    """A few seeded 20-task DAGGEN graphs (SmallRandSet family)."""
+    return random_dag(size=20, width=0.3, density=0.5, jumps=5, rng=request.param)

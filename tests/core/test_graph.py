@@ -1,0 +1,197 @@
+"""Unit tests for the task-graph model."""
+
+import networkx as nx
+import pytest
+
+from repro import Memory, TaskGraph
+from repro.dags import dex
+
+
+def two_task_graph():
+    g = TaskGraph("pair")
+    g.add_task("a", 2, 1)
+    g.add_task("b", 4, 3)
+    g.add_dependency("a", "b", size=5, comm=2)
+    return g
+
+
+class TestConstruction:
+    def test_add_task_and_lookup(self):
+        g = two_task_graph()
+        assert g.n_tasks == 2
+        assert g.w("a", Memory.BLUE) == 2
+        assert g.w("a", Memory.RED) == 1
+        assert g.w_blue("b") == 4 and g.w_red("b") == 3
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1, 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add_task("a", 2, 2)
+
+    def test_negative_time_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add_task("a", -1, 1)
+
+    def test_zero_time_allowed(self):
+        g = TaskGraph()
+        g.add_task("fictitious", 0, 0)
+        assert g.w_min("fictitious") == 0
+
+    def test_edge_requires_existing_endpoints(self):
+        g = TaskGraph()
+        g.add_task("a", 1, 1)
+        with pytest.raises(ValueError):
+            g.add_dependency("a", "missing")
+
+    def test_self_loop_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1, 1)
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_dependency("a", "a")
+
+    def test_duplicate_edge_rejected(self):
+        g = two_task_graph()
+        with pytest.raises(ValueError, match="duplicate edge"):
+            g.add_dependency("a", "b")
+
+    def test_negative_file_size_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1, 1)
+        g.add_task("b", 1, 1)
+        with pytest.raises(ValueError):
+            g.add_dependency("a", "b", size=-1)
+
+    def test_cycle_detected_lazily(self):
+        g = TaskGraph()
+        for name in "abc":
+            g.add_task(name, 1, 1)
+        g.add_dependency("a", "b")
+        g.add_dependency("b", "c")
+        g.add_dependency("c", "a")  # allowed at insert time
+        with pytest.raises(ValueError, match="cycle"):
+            g.topological_order()
+        with pytest.raises(ValueError, match="cycle"):
+            g.validate()
+
+
+class TestStructureQueries:
+    def test_parents_children(self):
+        g = dex()
+        assert set(g.parents("T4")) == {"T2", "T3"}
+        assert set(g.children("T1")) == {"T2", "T3"}
+        assert g.parents("T1") == []
+        assert g.children("T4") == []
+
+    def test_roots_and_sinks(self):
+        g = dex()
+        assert g.roots() == ["T1"]
+        assert g.sinks() == ["T4"]
+
+    def test_degrees(self):
+        g = dex()
+        assert g.in_degree("T4") == 2
+        assert g.out_degree("T1") == 2
+
+    def test_topological_order_respects_edges(self):
+        g = dex()
+        order = g.topological_order()
+        pos = {t: k for k, t in enumerate(order)}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_topological_order_cached_and_invalidated(self):
+        g = two_task_graph()
+        first = g.topological_order()
+        assert g.topological_order() is first
+        g.add_task("c", 1, 1)
+        assert g.topological_order() is not first
+
+    def test_ancestors_descendants(self):
+        g = dex()
+        assert g.ancestors("T4") == {"T1", "T2", "T3"}
+        assert g.descendants("T1") == {"T2", "T3", "T4"}
+
+    def test_contains_len(self):
+        g = dex()
+        assert "T1" in g and "T9" not in g
+        assert len(g) == 4
+
+
+class TestWeightsAndMemory:
+    def test_mem_req_matches_paper_example(self):
+        # §3.2: MemReq(T3) = F(1,3) + F(3,4) = 4.
+        g = dex()
+        assert g.mem_req("T3") == 4
+        assert g.mem_req("T1") == 3          # outputs only (root)
+        assert g.mem_req("T4") == 3          # inputs only (sink)
+        assert g.mem_req("T2") == 1 + 1
+
+    def test_in_out_sizes(self):
+        g = dex()
+        assert g.in_size("T1") == 0
+        assert g.out_size("T1") == 3
+        assert g.in_size("T4") == 3
+        assert g.out_size("T4") == 0
+
+    def test_w_min_and_mean(self):
+        g = dex()
+        assert g.w_min("T1") == 1
+        assert g.w_mean("T1") == 2
+        assert g.w_mean("T2") == 2
+
+    def test_edge_attributes(self):
+        g = dex()
+        assert g.size("T1", "T3") == 2
+        assert g.comm("T1", "T3") == 1
+
+    def test_totals(self):
+        g = dex()
+        assert g.total_work(Memory.BLUE) == 3 + 2 + 6 + 1
+        assert g.total_work(Memory.RED) == 1 + 2 + 3 + 1
+        assert g.total_work() == 1 + 2 + 3 + 1  # per-task minimum
+        assert g.total_comm() == 4
+        assert g.total_file_size() == 6
+
+    def test_longest_path_variants(self):
+        g = dex()
+        # min times: T1(1) -> T3(3) -> T4(1) = 5.
+        assert g.longest_path_length("min") == 5
+        # blue times: 3 + 6 + 1 = 10.
+        assert g.longest_path_length("blue") == 10
+
+
+class TestConversion:
+    def test_networkx_round_trip(self):
+        g = dex()
+        back = TaskGraph.from_networkx(g.to_networkx(), name=g.name)
+        assert back.n_tasks == g.n_tasks and back.n_edges == g.n_edges
+        for t in g.tasks():
+            assert back.w_blue(t) == g.w_blue(t)
+            assert back.w_red(t) == g.w_red(t)
+        for u, v in g.edges():
+            assert back.size(u, v) == g.size(u, v)
+            assert back.comm(u, v) == g.comm(u, v)
+
+    def test_copy_is_independent(self):
+        g = dex()
+        clone = g.copy()
+        clone.add_task("extra", 1, 1)
+        assert "extra" not in g
+        assert g.n_tasks == 4
+
+    def test_to_networkx_is_a_copy(self):
+        g = dex()
+        nxg = g.to_networkx()
+        nxg.add_node("intruder", w_blue=1.0, w_red=1.0)
+        assert "intruder" not in g
+
+    def test_from_networkx_defaults_edge_attrs(self):
+        raw = nx.DiGraph()
+        raw.add_node("a", w_blue=1.0, w_red=2.0)
+        raw.add_node("b", w_blue=1.0, w_red=2.0)
+        raw.add_edge("a", "b")  # no size/comm attributes
+        g = TaskGraph.from_networkx(raw)
+        assert g.size("a", "b") == 0.0
+        assert g.comm("a", "b") == 0.0

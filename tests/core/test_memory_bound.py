@@ -1,0 +1,60 @@
+"""Structural memory floor (memory_lower_bound / schedulable_memory)."""
+
+import pytest
+
+from repro import (
+    InfeasibleScheduleError,
+    Platform,
+    TaskGraph,
+    memheft,
+    memminmin,
+)
+from repro.core.bounds import memory_lower_bound, schedulable_memory
+from repro.dags import dex, random_dag
+from repro.ilp import solve_ilp
+
+
+class TestMemoryLowerBound:
+    def test_dex_floor_is_memreq_t3(self):
+        assert memory_lower_bound(dex()) == 4
+
+    def test_empty_graph(self):
+        assert memory_lower_bound(TaskGraph()) == 0
+
+    def test_floor_is_max_memreq(self):
+        g = random_dag(size=20, rng=5)
+        assert memory_lower_bound(g) == max(g.mem_req(t) for t in g.tasks())
+
+    def test_ilp_confirms_infeasibility_below_floor(self):
+        floor = memory_lower_bound(dex())
+        sol = solve_ilp(dex(), Platform(1, 1).with_uniform_bound(floor - 1),
+                        time_limit=60)
+        assert sol.status == "infeasible"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_heuristics_fail_below_floor(self, seed):
+        g = random_dag(size=12, rng=seed)
+        plat = Platform(1, 1).with_uniform_bound(memory_lower_bound(g) - 0.5)
+        for algo in (memheft, memminmin):
+            with pytest.raises(InfeasibleScheduleError):
+                algo(g, plat)
+
+
+class TestSchedulableMemory:
+    def test_true_above_floor(self):
+        assert schedulable_memory(dex(), Platform(1, 1, 4, 4))
+        assert schedulable_memory(dex(), Platform(1, 1))
+
+    def test_false_below_floor(self):
+        assert not schedulable_memory(dex(), Platform(1, 1, 3, 3))
+
+    def test_one_large_memory_suffices(self):
+        # The check is against the larger capacity: a task may always go
+        # to the roomier memory.
+        assert schedulable_memory(dex(), Platform(1, 1, 1, 10))
+
+    def test_is_necessary_not_sufficient(self):
+        # Dex at M=3.5: every task fits somewhere in isolation only if
+        # max capacity >= 4; at (4, 4) it is schedulable and at (3.9, 3.9)
+        # it is not.
+        assert not schedulable_memory(dex(), Platform(1, 1, 3.9, 3.9))

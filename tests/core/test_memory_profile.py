@@ -1,0 +1,210 @@
+"""Unit + property tests for the memory staircase profile."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import MemoryProfile
+
+
+class TestBasics:
+    def test_empty_profile(self):
+        p = MemoryProfile(10)
+        assert p.used_at(0) == 0
+        assert p.used_at(1e9) == 0
+        assert p.free_at(5) == 10
+        assert p.peak() == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryProfile(-1)
+
+    def test_bounded_interval(self):
+        p = MemoryProfile(10)
+        p.add(4, 2, 6)
+        assert p.used_at(1.9) == 0
+        assert p.used_at(2) == 4          # half-open: included at start
+        assert p.used_at(5.999) == 4
+        assert p.used_at(6) == 0          # excluded at end
+        assert p.peak() == 4
+
+    def test_open_ended_interval(self):
+        p = MemoryProfile(10)
+        p.add(3, 1, None)
+        assert p.used_at(1e12) == 3
+
+    def test_release_from(self):
+        p = MemoryProfile(10)
+        p.add(3, 0, None)
+        p.release_from(3, 5)
+        assert p.used_at(4.9) == 3
+        assert p.used_at(5) == 0
+
+    def test_overlapping_adds_accumulate(self):
+        p = MemoryProfile(100)
+        p.add(5, 0, 10)
+        p.add(7, 5, 15)
+        assert p.used_at(2) == 5
+        assert p.used_at(7) == 12
+        assert p.used_at(12) == 7
+        assert p.peak() == 12
+
+    def test_zero_amount_is_noop(self):
+        p = MemoryProfile(10)
+        p.add(0, 1, 5)
+        assert p.n_segments() == 1
+
+    def test_empty_interval_is_noop(self):
+        p = MemoryProfile(10)
+        p.add(5, 3, 3)
+        p.add(5, 4, 2)
+        assert p.peak() == 0
+
+    def test_negative_start_clamped(self):
+        p = MemoryProfile(10)
+        p.add(2, -5, 3)
+        assert p.used_at(0) == 2
+
+    def test_peak_in_window(self):
+        p = MemoryProfile(100)
+        p.add(5, 0, 10)
+        p.add(7, 5, 15)
+        assert p.peak_in(0, 5) == 5
+        assert p.peak_in(5, 10) == 12
+        assert p.peak_in(10, 20) == 7
+        assert p.peak_in(20, 30) == 0
+        assert p.peak_in(3, 3) == 0
+
+
+class TestEarliestFit:
+    def test_zero_need_is_immediate(self):
+        p = MemoryProfile(10)
+        p.add(10, 0, None)
+        assert p.earliest_fit(0) == 0
+        assert p.earliest_fit(0, not_before=3) == 3
+
+    def test_over_capacity_never_fits(self):
+        p = MemoryProfile(10)
+        assert p.earliest_fit(11) == math.inf
+
+    def test_fits_after_release(self):
+        p = MemoryProfile(10)
+        p.add(8, 0, 5)
+        assert p.earliest_fit(4) == 5
+        assert p.earliest_fit(2) == 0
+
+    def test_must_fit_forever(self):
+        # Free dips below the need later: the earliest fit is after the dip.
+        p = MemoryProfile(10)
+        p.add(8, 5, 9)
+        assert p.earliest_fit(4) == 9     # gap at [0,5) is not enough
+        assert p.earliest_fit(2) == 0
+
+    def test_tail_blocks_forever(self):
+        p = MemoryProfile(10)
+        p.add(9, 3, None)                  # never released
+        assert p.earliest_fit(2) == math.inf
+        assert p.earliest_fit(1) == 0
+
+    def test_not_before(self):
+        p = MemoryProfile(10)
+        p.add(8, 0, 5)
+        assert p.earliest_fit(4, not_before=7) == 7
+
+    def test_infinite_capacity(self):
+        p = MemoryProfile()
+        p.add(1e9, 0, None)
+        assert p.earliest_fit(1e12) == 0
+
+
+class TestInvariantsAndCopy:
+    def test_check_invariants_catches_negative(self):
+        p = MemoryProfile(10)
+        p.add(-1, 0, 5)
+        with pytest.raises(AssertionError):
+            p.check_invariants()
+
+    def test_check_invariants_catches_over_capacity(self):
+        p = MemoryProfile(10)
+        p.add(11, 0, 5)
+        with pytest.raises(AssertionError):
+            p.check_invariants()
+
+    def test_copy_is_independent(self):
+        p = MemoryProfile(10)
+        p.add(3, 0, 5)
+        q = p.copy()
+        q.add(4, 1, 2)
+        assert p.used_at(1.5) == 3
+        assert q.used_at(1.5) == 7
+
+    def test_compact_preserves_semantics(self):
+        p = MemoryProfile(10)
+        p.add(3, 0, 5)
+        p.add(2, 5, 8)
+        p.add(1, 5, 8)
+        p.add(-3, 5, 8)  # back to 0 on [5, 8) — mergeable with [8, inf)
+        before = [p.used_at(t) for t in (0, 4.5, 6, 9)]
+        p.compact()
+        after = [p.used_at(t) for t in (0, 4.5, 6, 9)]
+        assert before == after
+        assert p.n_segments() <= 3
+
+
+# ----------------------------------------------------------------------
+# property tests against a brute-force reference
+# ----------------------------------------------------------------------
+interval = st.tuples(
+    st.integers(min_value=1, max_value=9),    # amount
+    st.integers(min_value=0, max_value=20),   # start
+    st.one_of(st.none(), st.integers(min_value=1, max_value=25)),  # length
+)
+
+
+def _reference_used(ops, t):
+    total = 0
+    for amount, start, length in ops:
+        end = math.inf if length is None else start + length
+        if start <= t < end:
+            total += amount
+    return total
+
+
+@given(st.lists(interval, max_size=12))
+def test_used_at_matches_brute_force(ops):
+    p = MemoryProfile(1000)
+    for amount, start, length in ops:
+        p.add(amount, start, None if length is None else start + length)
+    for t in range(0, 50, 3):
+        assert p.used_at(t) == pytest.approx(_reference_used(ops, t))
+
+
+@given(st.lists(interval, max_size=12), st.integers(min_value=1, max_value=60))
+def test_earliest_fit_matches_brute_force(ops, need):
+    capacity = 60
+    p = MemoryProfile(capacity)
+    for amount, start, length in ops:
+        p.add(amount, start, None if length is None else start + length)
+    got = p.earliest_fit(need)
+    # Brute force over the integer event grid (all inputs are integers).
+    horizon = 60
+    expected = math.inf
+    for t in range(horizon + 1):
+        if all(capacity - _reference_used(ops, u) >= need
+               for u in range(t, horizon + 1)):
+            expected = t
+            break
+    assert got == pytest.approx(expected)
+
+
+@given(st.lists(interval, max_size=12))
+def test_peak_is_max_of_used(ops):
+    p = MemoryProfile(10_000)
+    for amount, start, length in ops:
+        p.add(amount, start, None if length is None else start + length)
+    grid_max = max(_reference_used(ops, t) for t in range(0, 50))
+    assert p.peak() >= grid_max
+    assert p.peak() == pytest.approx(
+        max((_reference_used(ops, s) for _, s, _ in ops), default=0.0))

@@ -1,0 +1,98 @@
+"""Unit tests for the dual-memory platform model."""
+
+import math
+
+import pytest
+
+from repro import MEMORIES, Memory, Platform
+
+
+class TestMemory:
+    def test_other_is_involutive(self):
+        assert Memory.BLUE.other() is Memory.RED
+        assert Memory.RED.other() is Memory.BLUE
+        for m in MEMORIES:
+            assert m.other().other() is m
+
+    def test_canonical_order(self):
+        assert MEMORIES == (Memory.BLUE, Memory.RED)
+
+    def test_value_strings(self):
+        assert Memory.BLUE.value == "blue"
+        assert Memory.RED.value == "red"
+
+
+class TestPlatformIndexing:
+    def test_blue_processors_come_first(self):
+        p = Platform(n_blue=3, n_red=2)
+        assert list(p.procs(Memory.BLUE)) == [0, 1, 2]
+        assert list(p.procs(Memory.RED)) == [3, 4]
+
+    def test_memory_of_every_processor(self):
+        p = Platform(n_blue=2, n_red=3)
+        assert [p.memory_of(k) for k in range(p.n_procs)] == [
+            Memory.BLUE, Memory.BLUE, Memory.RED, Memory.RED, Memory.RED,
+        ]
+
+    def test_memory_of_out_of_range(self):
+        p = Platform(1, 1)
+        with pytest.raises(ValueError):
+            p.memory_of(2)
+        with pytest.raises(ValueError):
+            p.memory_of(-1)
+
+    def test_n_procs_of(self):
+        p = Platform(n_blue=4, n_red=1)
+        assert p.n_procs_of(Memory.BLUE) == 4
+        assert p.n_procs_of(Memory.RED) == 1
+        assert p.n_procs == 5
+
+    def test_empty_resource_class_allowed(self):
+        p = Platform(n_blue=0, n_red=2)
+        assert list(p.procs(Memory.BLUE)) == []
+        assert p.memory_of(0) is Memory.RED
+
+
+class TestPlatformCapacities:
+    def test_default_is_unbounded(self):
+        p = Platform(1, 1)
+        assert math.isinf(p.capacity(Memory.BLUE))
+        assert math.isinf(p.capacity(Memory.RED))
+        assert not p.is_memory_bounded
+
+    def test_with_bounds(self):
+        p = Platform(1, 1).with_bounds(10, 20)
+        assert p.capacity(Memory.BLUE) == 10
+        assert p.capacity(Memory.RED) == 20
+        assert p.is_memory_bounded
+
+    def test_with_uniform_bound(self):
+        p = Platform(2, 2).with_uniform_bound(7)
+        assert p.mem_blue == p.mem_red == 7
+
+    def test_unbounded_round_trip(self):
+        p = Platform(2, 1, 5, 5).unbounded()
+        assert not p.is_memory_bounded
+        assert p.n_blue == 2 and p.n_red == 1
+
+    def test_one_sided_bound_counts_as_bounded(self):
+        assert Platform(1, 1, mem_blue=4).is_memory_bounded
+
+
+class TestPlatformValidation:
+    def test_needs_a_processor(self):
+        with pytest.raises(ValueError):
+            Platform(0, 0)
+
+    def test_negative_processors_rejected(self):
+        with pytest.raises(ValueError):
+            Platform(-1, 2)
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ValueError):
+            Platform(1, 1, mem_blue=-1)
+
+    def test_frozen(self):
+        p = Platform(1, 1)
+        with pytest.raises(AttributeError):
+            p.n_blue = 5

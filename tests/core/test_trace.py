@@ -1,0 +1,65 @@
+"""Execution traces and memory timelines."""
+
+import pytest
+
+from repro import Memory, Platform, memheft
+from repro.core.trace import format_trace, memory_timeline, trace_schedule
+from repro.dags import dex
+
+
+@pytest.fixture
+def traced():
+    g = dex()
+    plat = Platform(1, 1, 5, 5)
+    s = memheft(g, plat)
+    return g, plat, s, trace_schedule(g, plat, s)
+
+
+class TestTraceEvents:
+    def test_every_task_starts_and_finishes(self, traced):
+        g, _, _, events = traced
+        starts = {e.what for e in events if e.kind == "task_start"}
+        finishes = {e.what for e in events if e.kind == "task_finish"}
+        assert starts == finishes == {"T1", "T2", "T3", "T4"}
+
+    def test_transfers_appear_in_pairs(self, traced):
+        g, _, s, events = traced
+        comm_starts = [e for e in events if e.kind == "comm_start"]
+        comm_finishes = [e for e in events if e.kind == "comm_finish"]
+        assert len(comm_starts) == len(comm_finishes) == s.n_comms
+
+    def test_events_time_ordered(self, traced):
+        _, _, _, events = traced
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_memory_columns_match_profiles(self, traced):
+        g, plat, s, events = traced
+        from repro.core.validation import memory_usage
+        profiles = memory_usage(g, plat, s)
+        for e in events:
+            assert e.used_blue == profiles[Memory.BLUE].used_at(e.time)
+            assert e.used_red == profiles[Memory.RED].used_at(e.time)
+
+    def test_finishes_sort_before_starts_at_same_instant(self):
+        from repro.core.trace import _KIND_ORDER
+        assert _KIND_ORDER["task_finish"] < _KIND_ORDER["task_start"]
+        assert _KIND_ORDER["comm_finish"] < _KIND_ORDER["comm_start"]
+
+    def test_format_is_one_line_per_event(self, traced):
+        _, _, _, events = traced
+        text = format_trace(events)
+        assert len(text.splitlines()) == len(events) + 1  # header
+
+
+class TestMemoryTimeline:
+    def test_breakpoints_cover_schedule(self, traced):
+        g, plat, s, _ = traced
+        red = memory_timeline(g, plat, s, Memory.RED)
+        assert red[0][0] == 0.0
+        assert max(v for _, v in red) == 5  # the red peak
+
+    def test_blue_peak(self, traced):
+        g, plat, s, _ = traced
+        blue = memory_timeline(g, plat, s, Memory.BLUE)
+        assert max(v for _, v in blue) == s.meta["peak_blue"]

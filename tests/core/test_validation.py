@@ -1,0 +1,157 @@
+"""The independent validator: accepts the paper's schedules, rejects each
+kind of violation."""
+
+import pytest
+
+from repro import (
+    CommEvent,
+    Memory,
+    Placement,
+    Platform,
+    Schedule,
+    ScheduleError,
+    is_valid,
+    memory_peaks,
+    validate_schedule,
+)
+from repro.core.validation import file_residencies
+from repro.dags import dex
+
+
+def schedule_s1(platform=None):
+    """Schedule s1 of Figure 3: T1,T2,T4 on red, T3 on blue; makespan 6."""
+    platform = platform or Platform(1, 1)
+    g = dex()
+    s = Schedule(platform)
+    s.add(Placement("T1", proc=1, memory=Memory.RED, start=0, finish=1))
+    s.add(Placement("T3", proc=1, memory=Memory.RED, start=1, finish=4))
+    s.add(Placement("T2", proc=0, memory=Memory.BLUE, start=2, finish=4))
+    s.add(Placement("T4", proc=1, memory=Memory.RED, start=5, finish=6))
+    s.add_comm(CommEvent("T1", "T2", start=1, finish=2))
+    s.add_comm(CommEvent("T2", "T4", start=4, finish=5))
+    return g, s
+
+
+class TestPaperScheduleS1:
+    def test_s1_is_valid_and_has_makespan_6(self):
+        g, s = schedule_s1()
+        peaks = validate_schedule(g, Platform(1, 1), s)
+        assert s.makespan == 6
+        # §3.3: s1 uses 2 units of blue memory and 5 units of red memory.
+        assert peaks[Memory.BLUE] == 2
+        assert peaks[Memory.RED] == 5
+
+    def test_s1_valid_under_bound_5(self):
+        g, s = schedule_s1(Platform(1, 1, 5, 5))
+        assert is_valid(g, Platform(1, 1, 5, 5), s)
+
+    def test_s1_invalid_under_bound_4(self):
+        g, s = schedule_s1(Platform(1, 1, 4, 4))
+        with pytest.raises(ScheduleError, match="memory peak"):
+            validate_schedule(g, Platform(1, 1, 4, 4), s)
+        # ... but fine if the memory check is disabled.
+        validate_schedule(g, Platform(1, 1, 4, 4), s, check_memory=False)
+
+    def test_memory_peaks_helper_matches(self):
+        g, s = schedule_s1()
+        peaks = memory_peaks(g, Platform(1, 1), s)
+        assert peaks[Memory.BLUE] == 2 and peaks[Memory.RED] == 5
+
+
+class TestResidencies:
+    def test_file_residency_windows(self):
+        g, s = schedule_s1()
+        res = {(r.src, r.dst, r.memory): (r.start, r.end)
+               for r in file_residencies(g, s)}
+        # (T1,T2) crosses red -> blue: red copy [0, 2), blue copy [1, 4).
+        assert res[("T1", "T2", Memory.RED)] == (0, 2)
+        assert res[("T1", "T2", Memory.BLUE)] == (1, 4)
+        # (T1,T3) stays on red: [0, 4).
+        assert res[("T1", "T3", Memory.RED)] == (0, 4)
+        # (T3,T4) stays on red: [1, 6).
+        assert res[("T3", "T4", Memory.RED)] == (1, 6)
+
+    def test_zero_size_files_have_no_residency(self):
+        g = dex()
+        from repro.core.graph import ATTR_SIZE
+        nxg = g.to_networkx()
+        for u, v in nxg.edges:
+            nxg.edges[u, v][ATTR_SIZE] = 0.0
+        from repro import TaskGraph
+        g0 = TaskGraph.from_networkx(nxg)
+        _, s = schedule_s1()
+        assert file_residencies(g0, s) == []
+
+
+class TestViolationDetection:
+    def test_missing_task(self):
+        g, s = schedule_s1()
+        g.add_task("T5", 1, 1)
+        with pytest.raises(ScheduleError, match="not scheduled"):
+            validate_schedule(g, Platform(1, 1), s)
+
+    def test_wrong_duration(self):
+        g, s = schedule_s1()
+        bad = s.copy()
+        bad._placements["T4"] = Placement("T4", 1, Memory.RED, 5, 7)
+        with pytest.raises(ScheduleError, match="runs for"):
+            validate_schedule(g, Platform(1, 1), bad)
+
+    def test_precedence_violation_same_memory(self):
+        g, s = schedule_s1()
+        bad = s.copy()
+        # T3 consumes (T1, T3) on red; move T3 before T1 finishes.
+        bad._placements["T3"] = Placement("T3", 1, Memory.RED, 0.5, 3.5)
+        with pytest.raises(ScheduleError):
+            validate_schedule(g, Platform(1, 1), bad)
+
+    def test_missing_communication(self):
+        g, s = schedule_s1()
+        bad = s.copy()
+        del bad._comms[("T1", "T2")]
+        with pytest.raises(ScheduleError, match="no communication"):
+            validate_schedule(g, Platform(1, 1), bad)
+
+    def test_comm_before_producer(self):
+        g, s = schedule_s1()
+        bad = s.copy()
+        bad._comms[("T1", "T2")] = CommEvent("T1", "T2", start=0.5, finish=2)
+        with pytest.raises(ScheduleError, match="before producer"):
+            validate_schedule(g, Platform(1, 1), bad)
+
+    def test_comm_after_consumer(self):
+        g, s = schedule_s1()
+        bad = s.copy()
+        bad._comms[("T2", "T4")] = CommEvent("T2", "T4", start=4.5, finish=5.5)
+        with pytest.raises(ScheduleError, match="after consumer"):
+            validate_schedule(g, Platform(1, 1), bad)
+
+    def test_comm_too_short(self):
+        g, s = schedule_s1()
+        bad = s.copy()
+        bad._comms[("T2", "T4")] = CommEvent("T2", "T4", start=4.5, finish=5)
+        with pytest.raises(ScheduleError, match="lasts"):
+            validate_schedule(g, Platform(1, 1), bad)
+
+    def test_spurious_comm_on_same_memory_edge(self):
+        g, s = schedule_s1()
+        bad = s.copy()
+        bad._comms[("T1", "T3")] = CommEvent("T1", "T3", start=1, finish=2)
+        with pytest.raises(ScheduleError, match="has a communication"):
+            validate_schedule(g, Platform(1, 1), bad)
+
+    def test_processor_overlap(self):
+        g = dex()
+        s = Schedule(Platform(1, 1))
+        # T2 and T3 overlap on the single red processor.
+        s.add(Placement("T1", 1, Memory.RED, 0, 1))
+        s.add(Placement("T2", 1, Memory.RED, 1, 3))
+        s.add(Placement("T3", 1, Memory.RED, 2, 5))
+        s.add(Placement("T4", 1, Memory.RED, 6, 7))
+        with pytest.raises(ScheduleError, match="overlap"):
+            validate_schedule(g, Platform(1, 1), s)
+
+    def test_is_valid_boolean_wrapper(self):
+        g, s = schedule_s1()
+        assert is_valid(g, Platform(1, 1), s)
+        assert not is_valid(g, Platform(1, 1, 1, 1), s)

@@ -1,0 +1,129 @@
+"""Validator edge cases: zero-duration tasks, zero-size files, boundary
+touching, and deliberately corrupted scheduler state."""
+
+import pytest
+
+from repro import (
+    CommEvent,
+    Memory,
+    Placement,
+    Platform,
+    Schedule,
+    ScheduleError,
+    TaskGraph,
+    validate_schedule,
+)
+from repro.core.validation import file_residencies, memory_peaks
+
+
+def pipeline_graph():
+    """a -> null -> b with 1-unit files (the linalg broadcast pattern)."""
+    g = TaskGraph()
+    g.add_task("a", 2, 2)
+    g.add_task("null", 0, 0)
+    g.add_task("b", 2, 2)
+    g.add_dependency("a", "null", size=1, comm=1)
+    g.add_dependency("null", "b", size=1, comm=1)
+    return g
+
+
+class TestZeroDurationTasks:
+    def test_zero_duration_task_between_neighbours(self):
+        g = pipeline_graph()
+        plat = Platform(1, 0)
+        s = Schedule(plat)
+        s.add(Placement("a", 0, Memory.BLUE, 0, 2))
+        s.add(Placement("null", 0, Memory.BLUE, 2, 2))
+        s.add(Placement("b", 0, Memory.BLUE, 2, 4))
+        peaks = validate_schedule(g, plat, s)
+        # File (a,null) resident [0,2); file (null,b) resident [2,4).
+        assert peaks[Memory.BLUE] == 1
+
+    def test_zero_duration_overlap_allowed_at_instant(self):
+        # Two zero-length tasks at the same instant on one processor are
+        # consistent with the resource constraint (no positive overlap).
+        g = TaskGraph()
+        g.add_task("x", 0, 0)
+        g.add_task("y", 0, 0)
+        plat = Platform(1, 0)
+        s = Schedule(plat)
+        s.add(Placement("x", 0, Memory.BLUE, 1, 1))
+        s.add(Placement("y", 0, Memory.BLUE, 1, 1))
+        validate_schedule(g, plat, s)
+
+
+class TestZeroSizeFiles:
+    def test_zero_size_cross_edge_still_needs_comm_event(self):
+        g = TaskGraph()
+        g.add_task("a", 1, 1)
+        g.add_task("b", 1, 1)
+        g.add_dependency("a", "b", size=0, comm=2)
+        plat = Platform(1, 1)
+        s = Schedule(plat)
+        s.add(Placement("a", 0, Memory.BLUE, 0, 1))
+        s.add(Placement("b", 1, Memory.RED, 3, 4))
+        with pytest.raises(ScheduleError, match="no communication"):
+            validate_schedule(g, plat, s)
+        s.add_comm(CommEvent("a", "b", 1, 3))
+        peaks = validate_schedule(g, plat, s)
+        assert peaks[Memory.RED] == 0  # zero bytes, no residency
+
+    def test_zero_size_files_do_not_appear_in_residencies(self):
+        g = TaskGraph()
+        g.add_task("a", 1, 1)
+        g.add_task("b", 1, 1)
+        g.add_dependency("a", "b", size=0, comm=0)
+        plat = Platform(1, 0)
+        s = Schedule(plat)
+        s.add(Placement("a", 0, Memory.BLUE, 0, 1))
+        s.add(Placement("b", 0, Memory.BLUE, 1, 2))
+        assert file_residencies(g, s) == []
+
+
+class TestBoundaryTouching:
+    def test_back_to_back_execution_is_legal(self):
+        g = TaskGraph()
+        g.add_task("a", 1, 1)
+        g.add_task("b", 1, 1)
+        g.add_dependency("a", "b", size=1, comm=0)
+        plat = Platform(1, 0)
+        s = Schedule(plat)
+        s.add(Placement("a", 0, Memory.BLUE, 0, 1))
+        s.add(Placement("b", 0, Memory.BLUE, 1, 2))
+        validate_schedule(g, plat, s)
+
+    def test_comm_touching_both_endpoints(self):
+        g = TaskGraph()
+        g.add_task("a", 1, 1)
+        g.add_task("b", 1, 1)
+        g.add_dependency("a", "b", size=2, comm=1)
+        plat = Platform(1, 1)
+        s = Schedule(plat)
+        s.add(Placement("a", 0, Memory.BLUE, 0, 1))
+        s.add(Placement("b", 1, Memory.RED, 2, 3))
+        s.add_comm(CommEvent("a", "b", 1, 2))
+        peaks = validate_schedule(g, plat, s)
+        assert peaks[Memory.BLUE] == 2   # [0, 2)
+        assert peaks[Memory.RED] == 2    # [1, 3)
+
+
+class TestCorruptedStateDetection:
+    def test_scheduler_profile_invariants_catch_corruption(self):
+        from repro.scheduling.state import SchedulerState
+        from repro.dags import dex
+        st = SchedulerState(dex(), Platform(1, 1, 5, 5))
+        st.commit(st.est("T1", Memory.RED))
+        # Inject an over-allocation behind the state's back.
+        st.mem[Memory.RED].add(100, 0, 1)
+        with pytest.raises(AssertionError):
+            st.check_invariants()
+
+    def test_memory_peaks_independent_of_meta(self):
+        from repro import memheft
+        from repro.dags import dex
+        g = dex()
+        plat = Platform(1, 1, 5, 5)
+        s = memheft(g, plat)
+        s.meta["peak_red"] = -1  # corrupt the self-reported value
+        peaks = memory_peaks(g, plat, s)
+        assert peaks[Memory.RED] == 5  # replay does not trust meta

@@ -1,0 +1,133 @@
+"""DAGGEN-style generator: structure, determinism, parameter semantics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dags.daggen import (
+    assign_uniform_weights,
+    daggen,
+    daggen_layers,
+    random_dag,
+)
+
+
+class TestLayers:
+    def test_layer_sizes_sum_to_size(self):
+        for seed in range(5):
+            layers = daggen_layers(100, 0.3, rng=seed)
+            assert sum(layers) == 100
+
+    def test_layer_cap_respects_width(self):
+        n, w = 100, 0.3
+        cap = max(1, round(2 * w * math.sqrt(n)))
+        for seed in range(5):
+            assert max(daggen_layers(n, w, rng=seed)) <= cap
+
+    def test_tiny_width_gives_chain(self):
+        layers = daggen_layers(10, 0.01, rng=0)
+        assert layers == [1] * 10
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            daggen_layers(0, 0.5)
+        with pytest.raises(ValueError):
+            daggen_layers(10, 0.0)
+        with pytest.raises(ValueError):
+            daggen_layers(10, 1.5)
+
+
+class TestStructure:
+    def test_size_honoured(self):
+        g = daggen(size=47, rng=0)
+        assert g.n_tasks == 47
+
+    def test_acyclic_and_layered(self):
+        g = daggen(size=60, rng=1)
+        g.validate()
+        for u, v in g.edges():
+            assert u < v  # tasks are numbered in level order
+
+    def test_every_non_root_has_a_parent(self):
+        g = daggen(size=60, width=0.4, density=0.5, jumps=3, rng=2)
+        layers = daggen_layers(60, 0.4, rng=2)
+        first_layer = set(range(layers[0]))
+        for t in g.tasks():
+            if t not in first_layer:
+                assert g.in_degree(t) >= 1
+
+    def test_deterministic_for_seed(self):
+        a = daggen(size=40, rng=123)
+        b = daggen(size=40, rng=123)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = daggen(size=40, rng=1)
+        b = daggen(size=40, rng=2)
+        assert list(a.edges()) != list(b.edges())
+
+    def test_zero_density_gives_tree_like_graph(self):
+        g = daggen(size=30, density=0.0, jumps=1, rng=0)
+        # density 0: every non-root draws exactly one parent, no jumps.
+        layers = daggen_layers(30, 0.3, rng=0)
+        assert g.n_edges == 30 - layers[0]
+
+    def test_invalid_jumps(self):
+        with pytest.raises(ValueError):
+            daggen(size=10, jumps=0)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            daggen(size=10, density=-0.1)
+
+
+class TestWeights:
+    def test_ranges_inclusive(self):
+        g = random_dag(size=60, rng=0, w_range=(1, 20), c_range=(1, 10),
+                       f_range=(1, 10))
+        for t in g.tasks():
+            assert 1 <= g.w_blue(t) <= 20
+            assert 1 <= g.w_red(t) <= 20
+        for u, v in g.edges():
+            assert 1 <= g.comm(u, v) <= 10
+            assert 1 <= g.size(u, v) <= 10
+
+    def test_weights_are_integral(self):
+        g = random_dag(size=30, rng=3)
+        for t in g.tasks():
+            assert g.w_blue(t).is_integer()
+        for u, v in g.edges():
+            assert g.size(u, v).is_integer()
+
+    def test_assign_does_not_mutate_input(self):
+        skeleton = daggen(size=20, rng=0)
+        assign_uniform_weights(skeleton, rng=1)
+        assert all(skeleton.w_blue(t) == 0 for t in skeleton.tasks())
+
+    def test_structure_preserved(self):
+        skeleton = daggen(size=20, rng=0)
+        g = assign_uniform_weights(skeleton, rng=1)
+        assert list(g.edges()) == list(skeleton.edges())
+
+    def test_full_pipeline_deterministic(self):
+        a = random_dag(size=30, rng=7)
+        b = random_dag(size=30, rng=7)
+        assert list(a.edges()) == list(b.edges())
+        assert all(a.w_blue(t) == b.w_blue(t) for t in a.tasks())
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.floats(min_value=0.05, max_value=1.0),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_generator_always_produces_valid_dags(size, width, density, jumps, seed):
+    g = daggen(size=size, width=width, density=density, jumps=jumps, rng=seed)
+    assert g.n_tasks == size
+    g.validate()
+    order = {t: k for k, t in enumerate(g.topological_order())}
+    for u, v in g.edges():
+        assert order[u] < order[v]

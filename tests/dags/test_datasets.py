@@ -1,0 +1,69 @@
+"""Benchmark dataset builders: sizes, ranges, per-graph determinism."""
+
+from repro.dags import (
+    cholesky_set,
+    large_rand_set,
+    lu_set,
+    small_rand_set,
+    tiny_rand_set,
+)
+
+
+class TestRandomSets:
+    def test_small_set_shape(self):
+        graphs = small_rand_set(n_graphs=5, size=30)
+        assert len(graphs) == 5
+        assert all(g.n_tasks == 30 for g in graphs)
+
+    def test_small_set_weight_ranges(self):
+        for g in small_rand_set(n_graphs=3):
+            for t in g.tasks():
+                assert 1 <= g.w_blue(t) <= 20
+            for u, v in g.edges():
+                assert 1 <= g.size(u, v) <= 10
+                assert 1 <= g.comm(u, v) <= 10
+
+    def test_large_set_weight_ranges(self):
+        for g in large_rand_set(n_graphs=2, size=40):
+            for t in g.tasks():
+                assert 1 <= g.w_blue(t) <= 100
+            for u, v in g.edges():
+                assert 1 <= g.size(u, v) <= 100
+
+    def test_tiny_set_is_small(self):
+        graphs = tiny_rand_set(n_graphs=4, size=6)
+        assert all(g.n_tasks == 6 for g in graphs)
+
+    def test_deterministic_by_seed(self):
+        a = small_rand_set(n_graphs=3, seed=11)
+        b = small_rand_set(n_graphs=3, seed=11)
+        for ga, gb in zip(a, b):
+            assert list(ga.edges()) == list(gb.edges())
+            assert all(ga.w_blue(t) == gb.w_blue(t) for t in ga.tasks())
+
+    def test_different_seed_differs(self):
+        a = small_rand_set(n_graphs=1, seed=1)[0]
+        b = small_rand_set(n_graphs=1, seed=2)[0]
+        assert (list(a.edges()) != list(b.edges())
+                or any(a.w_blue(t) != b.w_blue(t) for t in a.tasks()))
+
+    def test_graphs_within_a_set_differ(self):
+        graphs = small_rand_set(n_graphs=3)
+        assert (list(graphs[0].edges()) != list(graphs[1].edges())
+                or any(graphs[0].w_blue(t) != graphs[1].w_blue(t)
+                       for t in graphs[0].tasks()))
+
+    def test_names_are_indexed(self):
+        graphs = small_rand_set(n_graphs=3)
+        assert [g.name for g in graphs] == [f"small_rand[{k}]" for k in range(3)]
+
+
+class TestLinalgSets:
+    def test_lu_set(self):
+        graphs = lu_set((2, 3))
+        assert len(graphs) == 2
+        assert graphs[0].name == "lu2x2"
+
+    def test_cholesky_set(self):
+        graphs = cholesky_set((2, 3))
+        assert graphs[1].name == "cholesky3x3"

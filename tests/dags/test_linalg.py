@@ -1,0 +1,146 @@
+"""Tiled LU / Cholesky task graphs: node counts, structure, schedulability."""
+
+import pytest
+
+from repro import Memory, Platform, memheft, validate_schedule
+from repro.dags.linalg import (
+    DEFAULT_GPU_SPEEDUP,
+    KERNEL_TIMES_MS,
+    TILE_COMM_MS,
+    cholesky_dag,
+    cholesky_task_counts,
+    lu_dag,
+    lu_task_counts,
+)
+
+
+class TestTable1:
+    def test_paper_kernel_times(self):
+        assert KERNEL_TIMES_MS == {
+            "getrf": 450.0, "gemm": 1450.0, "trsm_l": 990.0,
+            "trsm_u": 830.0, "potrf": 450.0, "syrk": 990.0,
+        }
+
+    def test_every_kernel_has_a_speedup(self):
+        assert set(DEFAULT_GPU_SPEEDUP) == set(KERNEL_TIMES_MS)
+        assert all(s >= 1 for s in DEFAULT_GPU_SPEEDUP.values())
+
+    def test_comm_is_50ms(self):
+        assert TILE_COMM_MS == 50.0
+
+
+class TestLU:
+    @pytest.mark.parametrize("tiles", [1, 2, 3, 4, 6])
+    def test_node_count_matches_closed_form(self, tiles):
+        g = lu_dag(tiles)
+        counts = lu_task_counts(tiles)
+        assert g.n_tasks == counts["total"]
+        kernels = [t for t in g.tasks() if t[0] != "bc"]
+        assert len(kernels) == counts["total"] - counts["fictitious"]
+
+    def test_kernel_counts(self):
+        counts = lu_task_counts(4)
+        assert counts["getrf"] == 4
+        assert counts["trsm_l"] == counts["trsm_u"] == 6
+        assert counts["gemm"] == 9 + 4 + 1
+
+    def test_cubic_growth(self):
+        # Total node count is Theta(t^3), as the paper notes.
+        n8 = lu_task_counts(8)["total"]
+        n4 = lu_task_counts(4)["total"]
+        assert 5 < n8 / n4 < 9  # ~2^3 with lower-order terms
+
+    def test_is_dag_with_single_root(self):
+        g = lu_dag(4)
+        g.validate()
+        assert g.roots() == [("getrf", 0)]
+
+    def test_kernel_times_applied(self):
+        g = lu_dag(3)
+        assert g.w_blue(("getrf", 0)) == 450
+        assert g.w_red(("getrf", 0)) == 225
+        assert g.w_blue(("gemm", 0, 1, 2)) == 1450
+        assert g.w_red(("gemm", 0, 1, 2)) == 145
+
+    def test_fictitious_tasks_cost_nothing(self):
+        g = lu_dag(4)
+        for t in g.tasks():
+            if t[0] == "bc":
+                assert g.w_blue(t) == 0 and g.w_red(t) == 0
+
+    def test_all_files_are_one_tile(self):
+        g = lu_dag(3)
+        for u, v in g.edges():
+            assert g.size(u, v) == 1
+            assert g.comm(u, v) == 50
+
+    def test_broadcast_caps_fanout(self):
+        g = lu_dag(6)
+        for t in g.tasks():
+            assert g.out_degree(t) <= 2
+
+    def test_custom_times_and_speedup(self):
+        g = lu_dag(2, times={k: 100.0 for k in KERNEL_TIMES_MS},
+                   speedup={k: 4.0 for k in KERNEL_TIMES_MS})
+        assert g.w_blue(("getrf", 0)) == 100
+        assert g.w_red(("getrf", 0)) == 25
+
+    def test_invalid_tiles(self):
+        with pytest.raises(ValueError):
+            lu_dag(0)
+
+    def test_schedulable_end_to_end(self):
+        g = lu_dag(4)
+        plat = Platform(12, 3)
+        s = memheft(g, plat)
+        validate_schedule(g, plat, s)
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("tiles", [1, 2, 3, 4, 6])
+    def test_node_count_matches_closed_form(self, tiles):
+        g = cholesky_dag(tiles)
+        counts = cholesky_task_counts(tiles)
+        assert g.n_tasks == counts["total"]
+
+    def test_kernel_counts(self):
+        counts = cholesky_task_counts(4)
+        assert counts["potrf"] == 4
+        assert counts["trsm"] == counts["syrk"] == 6
+        assert counts["gemm"] == 3 + 1  # k=0: C(3,2)=3; k=1: C(2,2)=1
+
+    def test_half_the_gemms_of_lu(self):
+        lu = lu_task_counts(8)
+        chol = cholesky_task_counts(8)
+        assert chol["gemm"] < lu["gemm"] / 1.9
+
+    def test_is_dag_with_single_root(self):
+        g = cholesky_dag(4)
+        g.validate()
+        assert g.roots() == [("potrf", 0)]
+
+    def test_kernel_times_applied(self):
+        g = cholesky_dag(3)
+        assert g.w_blue(("potrf", 0)) == 450
+        assert g.w_blue(("syrk", 0, 1)) == 990
+        assert g.w_red(("syrk", 0, 1)) == pytest.approx(990 / 8)
+
+    def test_broadcast_caps_fanout(self):
+        g = cholesky_dag(6)
+        for t in g.tasks():
+            assert g.out_degree(t) <= 2
+
+    def test_sink_is_last_potrf_or_syrk_free(self):
+        g = cholesky_dag(4)
+        sinks = g.sinks()
+        assert sinks == [("potrf", 3)]
+
+    def test_schedulable_end_to_end(self):
+        g = cholesky_dag(4)
+        plat = Platform(12, 3)
+        s = memheft(g, plat)
+        validate_schedule(g, plat, s)
+
+    def test_invalid_tiles(self):
+        with pytest.raises(ValueError):
+            cholesky_dag(0)

@@ -1,0 +1,65 @@
+"""Hand-built toy graphs, checked against the paper's Figure 2 numbers."""
+
+import pytest
+
+from repro import Memory
+from repro.dags import chain, dex, diamond, fork_join, random_weights_graph
+
+
+class TestDex:
+    def test_figure2_times(self):
+        g = dex()
+        assert (g.w_blue("T1"), g.w_red("T1")) == (3, 1)
+        assert (g.w_blue("T2"), g.w_red("T2")) == (2, 2)
+        assert (g.w_blue("T3"), g.w_red("T3")) == (6, 3)
+        assert (g.w_blue("T4"), g.w_red("T4")) == (1, 1)
+
+    def test_figure2_files(self):
+        g = dex()
+        assert g.size("T1", "T2") == 1
+        assert g.size("T1", "T3") == 2
+        assert g.size("T2", "T4") == 1
+        assert g.size("T3", "T4") == 2
+        assert all(g.comm(u, v) == 1 for u, v in g.edges())
+
+    def test_shape(self):
+        g = dex()
+        assert g.n_tasks == 4 and g.n_edges == 4
+        assert g.roots() == ["T1"] and g.sinks() == ["T4"]
+
+
+class TestShapes:
+    def test_chain_structure(self):
+        g = chain(5)
+        assert g.n_tasks == 5 and g.n_edges == 4
+        assert len(g.roots()) == 1 and len(g.sinks()) == 1
+
+    def test_chain_minimum_size(self):
+        assert chain(1).n_tasks == 1
+        with pytest.raises(ValueError):
+            chain(0)
+
+    def test_fork_join_structure(self):
+        g = fork_join(7)
+        assert g.n_tasks == 9
+        assert g.out_degree("src") == 7
+        assert g.in_degree("sink") == 7
+        with pytest.raises(ValueError):
+            fork_join(0)
+
+    def test_diamond_is_width_two(self):
+        g = diamond()
+        assert g.n_tasks == 4
+        assert g.out_degree("src") == 2
+
+    def test_random_weights_graph_is_dag(self):
+        g = random_weights_graph(10, rng=1)
+        g.validate()
+        order = {t: k for k, t in enumerate(g.topological_order())}
+        for u, v in g.edges():
+            assert order[u] < order[v]
+
+    def test_random_weights_graph_seeded(self):
+        a = random_weights_graph(8, rng=5)
+        b = random_weights_graph(8, rng=5)
+        assert list(a.edges()) == list(b.edges())

@@ -1,0 +1,39 @@
+"""Ablation experiments run and report sensible aggregates."""
+
+import pytest
+
+from repro import Platform
+from repro.dags import small_rand_set
+from repro.experiments import comm_policy_ablation, tiebreak_ablation
+
+
+class TestCommPolicyAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        graphs = small_rand_set(n_graphs=3, size=15)
+        return comm_policy_ablation(graphs, Platform(1, 1), alphas=(0.5, 0.8, 1.0))
+
+    def test_row_per_alpha(self, rows):
+        assert [r.alpha for r in rows] == [0.5, 0.8, 1.0]
+        assert all(r.n_graphs == 3 for r in rows)
+
+    def test_alpha_one_both_policies_succeed(self, rows):
+        top = rows[-1]
+        assert top.late_success == 3
+        assert top.eager_success == 3
+
+    def test_late_policy_never_less_feasible(self, rows):
+        """The design rationale for late transfers: they hold destination
+        memory for shorter windows, so feasibility can only improve."""
+        for r in rows:
+            assert r.late_success >= r.eager_success
+
+
+class TestTiebreakAblation:
+    def test_spread_brackets_deterministic_run(self):
+        graphs = small_rand_set(n_graphs=2, size=15)
+        rows = tiebreak_ablation(graphs, Platform(1, 1), n_seeds=4)
+        assert len(rows) == 2
+        for r in rows:
+            assert r.seeded_min <= r.seeded_mean <= r.seeded_max
+            assert r.deterministic > 0

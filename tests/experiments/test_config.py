@@ -1,0 +1,40 @@
+"""Scale presets."""
+
+import pytest
+
+from repro.experiments import SCALES, get_scale
+
+
+def test_three_presets():
+    assert set(SCALES) == {"ci", "default", "paper"}
+
+
+def test_paper_scale_matches_section_6(monkeypatch):
+    paper = get_scale("paper")
+    assert paper.small_n_graphs == 50 and paper.small_size == 30
+    assert paper.large_n_graphs == 100 and paper.large_size == 1000
+    assert paper.lu_tiles == 13 and paper.cholesky_tiles == 13
+
+
+def test_env_variable_selects_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "ci")
+    assert get_scale().name == "ci"
+    monkeypatch.delenv("REPRO_SCALE")
+    assert get_scale().name == "default"
+
+
+def test_explicit_name_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "ci")
+    assert get_scale("paper").name == "paper"
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError, match="unknown scale"):
+        get_scale("gigantic")
+
+
+def test_scales_ordered_by_effort():
+    ci, default, paper = get_scale("ci"), get_scale("default"), get_scale("paper")
+    assert ci.small_n_graphs <= default.small_n_graphs <= paper.small_n_graphs
+    assert ci.large_size <= default.large_size <= paper.large_size
+    assert ci.lu_tiles <= default.lu_tiles <= paper.lu_tiles

@@ -1,0 +1,40 @@
+"""CSV exports of sweep results."""
+
+import csv
+import io
+
+from repro import Platform
+from repro.dags import dex, small_rand_set
+from repro.experiments import (
+    absolute_sweep,
+    absolute_to_csv,
+    normalized_sweep,
+    sweep_to_csv,
+)
+
+
+class TestSweepCsv:
+    def test_parses_and_covers_grid(self):
+        graphs = small_rand_set(n_graphs=2, size=10)
+        res = normalized_sweep(graphs, Platform(1, 1), alphas=(0.5, 1.0))
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(res))))
+        assert len(rows) == 2 * 2
+        assert {r["algorithm"] for r in rows} == {"memheft", "memminmin"}
+        for r in rows:
+            assert 0 <= float(r["success_rate"]) <= 1
+
+    def test_failed_cells_have_empty_makespan(self):
+        graphs = small_rand_set(n_graphs=1, size=10)
+        res = normalized_sweep(graphs, Platform(1, 1), alphas=(0.01,))
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(res))))
+        assert all(r["mean_norm_makespan"] == "" for r in rows)
+
+
+class TestAbsoluteCsv:
+    def test_includes_baselines_and_bound(self):
+        res = absolute_sweep(dex(), Platform(1, 1), (4, 5))
+        rows = list(csv.DictReader(io.StringIO(absolute_to_csv(res))))
+        algos = {r["algorithm"] for r in rows}
+        assert {"memheft", "memminmin", "heft", "minmin", "lower_bound"} <= algos
+        lb = [r for r in rows if r["algorithm"] == "lower_bound"][0]
+        assert float(lb["makespan"]) == 5.0

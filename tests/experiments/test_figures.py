@@ -1,0 +1,96 @@
+"""Figure drivers: each regenerates its table at CI scale and the paper's
+qualitative shapes hold."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_scale
+from repro.experiments.figures import (
+    fig11,
+    fig12,
+    fig14,
+    fig15,
+    table1,
+)
+
+CI = get_scale("ci")
+
+
+class TestTable1:
+    def test_contains_paper_numbers(self):
+        res = table1()
+        assert "1450" in res.text       # gemm
+        assert "450" in res.text        # getrf/potrf
+        assert res.figure_id == "table1"
+
+
+class TestFigureDrivers:
+    def test_registry_covers_every_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        }
+
+    @pytest.mark.parametrize("fid", ["fig11", "fig12", "fig13"])
+    def test_random_figures_run_at_ci_scale(self, fid):
+        res = EXPERIMENTS[fid](CI)
+        assert res.figure_id == fid
+        assert res.text.strip()
+
+    def test_fig11_baselines_anchor_the_series(self):
+        res = fig11(CI)
+        data = res.data
+        # At the largest swept bound, MemHEFT reproduces HEFT (alpha = 1).
+        last = data.series("memheft")[-1]
+        assert last.makespan == pytest.approx(data.heft_makespan)
+        assert data.lower_bound <= data.heft_makespan + 1e-9
+
+    def test_fig12_success_rates_monotone(self):
+        res = fig12(CI)
+        for algo in res.data.algorithms:
+            rates = [c.success_rate for c in res.data.series(algo)]
+            assert rates == sorted(rates)
+            assert rates[-1] == 1.0      # alpha = 1 always schedulable
+
+    def test_fig14_memheft_survives_tighter_memory_than_memminmin(self):
+        """The paper's headline LU observation (§6.2.3)."""
+        res = fig14(CI)
+        data = res.data
+        mh = data.min_feasible_memory("memheft")
+        mm = data.min_feasible_memory("memminmin")
+        assert mh is not None
+        assert mm is None or mh <= mm
+
+    def test_fig15_cholesky_same_shape(self):
+        res = fig15(CI)
+        data = res.data
+        mh = data.min_feasible_memory("memheft")
+        mm = data.min_feasible_memory("memminmin")
+        assert mh is not None
+        assert mm is None or mh <= mm
+
+    def test_notes_mention_paper_scale(self):
+        res = fig12(CI)
+        assert any("paper" in n for n in res.notes)
+
+    def test_str_renders(self):
+        res = fig11(CI)
+        assert "fig11" in str(res)
+
+
+@pytest.mark.slow
+class TestFig10:
+    """fig10 includes the ILP series; a few seconds even at CI scale."""
+
+    def test_fig10_optimal_never_loses_to_heuristics(self):
+        res = EXPERIMENTS["fig10"](CI)
+        opt = res.data["optimal"]
+        for alpha in opt.alphas:
+            o = opt.cell(alpha, "optimal")
+            for algo in ("memheft", "memminmin"):
+                h = opt.cell(alpha, algo)
+                # Optimal succeeds at least as often...
+                assert o.n_success >= h.n_success
+                # ... and is at least as fast when both report a mean.
+                if (o.mean_norm_makespan is not None
+                        and h.mean_norm_makespan is not None
+                        and o.n_success == h.n_success):
+                    assert o.mean_norm_makespan <= h.mean_norm_makespan + 1e-6

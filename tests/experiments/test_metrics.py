@@ -1,0 +1,51 @@
+"""Schedule statistics."""
+
+import pytest
+
+from repro import Platform, heft, memheft
+from repro.dags import chain, dex, fork_join
+from repro.experiments.metrics import STATS_HEADERS, schedule_stats
+
+
+class TestScheduleStats:
+    def test_dex_stats(self):
+        g = dex()
+        plat = Platform(1, 1, 5, 5)
+        s = memheft(g, plat)
+        stats = schedule_stats(g, plat, s)
+        assert stats.makespan == 6
+        assert stats.peak_red == 5
+        assert stats.optimality_ratio == pytest.approx(6 / 5)
+        assert stats.n_transfers == s.n_comms
+        assert 0 < stats.utilization <= 1
+        assert stats.max_utilization >= stats.utilization
+
+    def test_chain_on_single_proc_fully_utilised(self):
+        g = chain(4, w_blue=9, w_red=2, size=0, comm=0)
+        plat = Platform(0, 1)
+        s = heft(g, plat)
+        stats = schedule_stats(g, plat, s)
+        assert stats.utilization == pytest.approx(1.0)
+        assert stats.n_transfers == 0
+        assert stats.transfer_volume == 0
+
+    def test_transfer_volume_counts_sizes(self):
+        g = dex()
+        plat = Platform(1, 1)
+        s = heft(g, plat)
+        stats = schedule_stats(g, plat, s)
+        expect = sum(g.size(ev.src, ev.dst) for ev in s.comms())
+        assert stats.transfer_volume == expect
+
+    def test_fork_join_utilisation_below_one(self):
+        g = fork_join(6, w_blue=3, w_red=3, size=0, comm=0)
+        plat = Platform(2, 2)
+        s = heft(g, plat)
+        stats = schedule_stats(g, plat, s)
+        assert stats.utilization < 1.0
+
+    def test_as_row_matches_headers(self):
+        g = dex()
+        plat = Platform(1, 1)
+        stats = schedule_stats(g, plat, heft(g, plat))
+        assert len(stats.as_row()) == len(STATS_HEADERS)

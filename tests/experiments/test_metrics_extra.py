@@ -1,0 +1,37 @@
+"""Cross-algorithm metric relations on common instances."""
+
+import pytest
+
+from repro import Platform, get_scheduler
+from repro.dags import random_dag
+from repro.experiments.metrics import schedule_stats
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_metrics_consistent_across_family(seed):
+    g = random_dag(size=18, rng=seed)
+    plat = Platform(2, 2)
+    stats = {}
+    for name in ("heft", "minmin", "sufferage", "memheft", "memminmin",
+                 "memsufferage"):
+        s = get_scheduler(name)(g, plat)
+        stats[name] = schedule_stats(g, plat, s)
+    for name, st in stats.items():
+        assert st.optimality_ratio >= 1.0 - 1e-9, name
+        assert 0.0 <= st.utilization <= 1.0, name
+        assert st.transfer_volume >= 0.0, name
+        # With unbounded memory the mem-aware variant reproduces the
+        # baseline makespan exactly.
+    assert stats["memheft"].makespan == pytest.approx(stats["heft"].makespan)
+    assert stats["memminmin"].makespan == pytest.approx(stats["minmin"].makespan)
+    assert stats["memsufferage"].makespan == pytest.approx(
+        stats["sufferage"].makespan)
+
+
+def test_transfer_volume_zero_on_single_class_platform():
+    g = random_dag(size=12, rng=3)
+    plat = Platform(2, 0)
+    s = get_scheduler("memheft")(g, plat)
+    st = schedule_stats(g, plat, s)
+    assert st.n_transfers == 0
+    assert st.transfer_volume == 0.0

@@ -1,0 +1,51 @@
+"""ASCII report rendering."""
+
+from repro import Platform
+from repro.dags import dex, small_rand_set
+from repro.experiments import (
+    absolute_sweep,
+    normalized_sweep,
+    render_absolute_sweep,
+    render_normalized_sweep,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", "+"}
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_none_rendered_as_dash(self):
+        text = render_table(["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.0], [1.25]])
+        assert "1.25" in text
+        assert "1.0\n" not in text  # integral floats render bare
+
+
+class TestSweepRendering:
+    def test_normalized_sweep_table(self):
+        graphs = small_rand_set(n_graphs=2, size=10)
+        res = normalized_sweep(graphs, Platform(1, 1), alphas=(0.5, 1.0))
+        text = render_normalized_sweep(res, title="T")
+        assert "memheft:norm_mk" in text
+        assert "memminmin:success" in text
+        assert text.startswith("T")
+
+    def test_absolute_sweep_table(self):
+        res = absolute_sweep(dex(), Platform(1, 1), (4, 5))
+        text = render_absolute_sweep(res, title="dex")
+        assert "lower_bound" in text
+        assert "HEFT needs memory >= 5" in text
+        assert "MinMin needs" in text

@@ -1,0 +1,103 @@
+"""ILP model construction: sizes, fixings, consistency with known schedules."""
+
+import math
+
+import pytest
+
+from repro import Platform
+from repro.dags import chain, dex
+from repro.ilp.model import build_model
+
+
+class TestModelShape:
+    def test_dex_dimensions(self):
+        model = build_model(dex(), Platform(1, 1))
+        # n=4 tasks, m=4 edges; counts from Fig 5 (self pairs excluded).
+        assert len(model.tasks) == 4 and len(model.edges) == 4
+        assert model.n_vars > 100
+        assert model.n_constraints > 300
+        assert model.mmax == (3 + 2 + 6 + 1) + (1 + 2 + 3 + 1) + 4
+
+    def test_memory_constraints_only_when_bounded(self):
+        free = build_model(dex(), Platform(1, 1))
+        bounded = build_model(dex(), Platform(1, 1, 5, 5))
+        assert bounded.n_constraints > free.n_constraints
+        assert any(l.startswith("c26") for l in bounded.labels)
+        assert any(l.startswith("c27") for l in bounded.labels)
+        assert not any(l.startswith("c26") for l in free.labels)
+
+    def test_makespan_ub_tightens_bound(self):
+        m1 = build_model(dex(), Platform(1, 1))
+        m2 = build_model(dex(), Platform(1, 1), makespan_ub=8.0)
+        col = m2.vars[("M",)]
+        assert m2.vars.ub[col] <= 8.0 + 1e-5
+        assert m1.vars.ub[m1.vars[("M",)]] > 8.0
+
+
+class TestPresolveFixings:
+    def test_chain_orderings_fully_fixed(self):
+        g = chain(4)
+        model = build_model(g, Platform(1, 1))
+        v = model.vars
+        # All task pairs are comparable in a chain: every m/sigma fixed.
+        for a in range(4):
+            for b in range(4):
+                if a == b:
+                    continue
+                assert v.is_fixed(("m", a, b))
+                assert v.is_fixed(("sigma", a, b))
+        assert v.fixed_value(("m", 0, 3)) == 1.0
+        assert v.fixed_value(("sigma", 3, 0)) == 0.0
+
+    def test_presolve_can_be_disabled(self):
+        g = chain(4)
+        model = build_model(g, Platform(1, 1), presolve=False)
+        assert not model.vars.is_fixed(("m", 0, 3))
+
+    def test_free_binary_count_shrinks_with_presolve(self):
+        g = dex()
+        with_p = build_model(g, Platform(1, 1))
+        without = build_model(g, Platform(1, 1), presolve=False)
+        assert with_p.n_binaries < without.n_binaries
+
+    def test_single_class_platform_fixes_b(self):
+        model = build_model(dex(), Platform(n_blue=2, n_red=0))
+        for t in model.tasks:
+            assert model.vars.fixed_value(("b", t)) == 1.0
+        model = build_model(dex(), Platform(n_blue=0, n_red=2))
+        for t in model.tasks:
+            assert model.vars.fixed_value(("b", t)) == 0.0
+
+    def test_comm_task_orderings_fixed(self):
+        model = build_model(dex(), Platform(1, 1))
+        v = model.vars
+        e = ("T1", "T2")
+        # T1 weakly precedes the producer of (T1, T2).
+        assert v.fixed_value(("sp", "T1", e)) == 1.0
+        # T4 is a descendant of the consumer T2.
+        assert v.fixed_value(("c", e, "T4")) == 1.0
+        assert v.fixed_value(("d", e, "T4")) == 1.0
+
+    def test_comm_pair_orderings_fixed(self):
+        model = build_model(dex(), Platform(1, 1))
+        v = model.vars
+        e, f = ("T1", "T2"), ("T2", "T4")
+        # e's consumer is f's producer: e strictly precedes f.
+        assert v.fixed_value(("cp", e, f)) == 1.0
+        assert v.fixed_value(("dp", e, f)) == 1.0
+        assert v.fixed_value(("cp", f, e)) == 0.0
+
+
+class TestStrengthening:
+    def test_t_lower_bounds_follow_paths(self):
+        g = chain(3, w_blue=4, w_red=2)  # min time 2 per stage
+        model = build_model(g, Platform(1, 1))
+        v = model.vars
+        assert v.lb[v[("t", 0)]] == 0
+        assert v.lb[v[("t", 1)]] == 2
+        assert v.lb[v[("t", 2)]] == 4
+
+    def test_makespan_lower_bound_set(self):
+        model = build_model(dex(), Platform(1, 1))
+        col = model.vars[("M",)]
+        assert model.vars.lb[col] >= 5.0  # critical path of Dex

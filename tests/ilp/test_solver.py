@@ -1,0 +1,78 @@
+"""Branch-and-bound solver: paper-example optima, statuses, limits."""
+
+import math
+
+import pytest
+
+from repro import Platform, validate_schedule
+from repro.dags import chain, dex
+from repro.ilp import build_model, solve_branch_and_bound, solve_ilp
+
+
+class TestDexOptima:
+    """The worked example of §3.3: optimum 6 at M=5, 7 at M=4, none at M=3."""
+
+    def test_unbounded_optimum_is_6(self):
+        sol = solve_ilp(dex(), Platform(1, 1), time_limit=120)
+        assert sol.status == "optimal"
+        assert sol.makespan == pytest.approx(6.0, abs=1e-4)
+
+    def test_m5_optimum_is_6(self):
+        sol = solve_ilp(dex(), Platform(1, 1, 5, 5), time_limit=120)
+        assert sol.status == "optimal"
+        assert sol.makespan == pytest.approx(6.0, abs=1e-4)
+        peaks = validate_schedule(dex(), Platform(1, 1, 5, 5), sol.schedule,
+                                  eps=1e-4)
+        assert max(peaks.values()) <= 5 + 1e-4
+
+    def test_m4_optimum_is_7(self):
+        sol = solve_ilp(dex(), Platform(1, 1, 4, 4), time_limit=120)
+        assert sol.status == "optimal"
+        assert sol.makespan == pytest.approx(7.0, abs=1e-4)
+        peaks = validate_schedule(dex(), Platform(1, 1, 4, 4), sol.schedule,
+                                  eps=1e-4)
+        assert max(peaks.values()) <= 4 + 1e-4
+
+    def test_m3_is_infeasible(self):
+        sol = solve_ilp(dex(), Platform(1, 1, 3, 3), time_limit=120)
+        assert sol.status == "infeasible"
+        assert sol.makespan is None and sol.schedule is None
+
+
+class TestSolverMechanics:
+    def test_chain_trivial_optimum(self):
+        # A chain on one-red platform: makespan = sum of red times.
+        g = chain(3, w_blue=9, w_red=2, size=0, comm=0)
+        sol = solve_ilp(g, Platform(0, 1), time_limit=60)
+        assert sol.status == "optimal"
+        assert sol.makespan == pytest.approx(6.0, abs=1e-4)
+
+    def test_node_limit_reports_limit_or_solution(self):
+        model = build_model(dex(), Platform(1, 1, 4, 4))
+        res = solve_branch_and_bound(model, node_limit=1, time_limit=60)
+        assert res.status in ("limit", "feasible", "optimal")
+        assert res.nodes <= 1
+
+    def test_incumbent_seeding_prunes(self):
+        model = build_model(dex(), Platform(1, 1), makespan_ub=6.0)
+        res = solve_branch_and_bound(model, incumbent=6.0, time_limit=60)
+        # The optimum equals the seed: proven optimal without a better x.
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(6.0, abs=1e-4)
+
+    def test_lower_bound_never_exceeds_objective(self):
+        model = build_model(dex(), Platform(1, 1, 5, 5))
+        res = solve_branch_and_bound(model, time_limit=60)
+        assert res.lower_bound <= res.objective + 1e-6
+        assert res.gap <= 1e-6
+
+    def test_seeding_can_be_disabled(self):
+        sol = solve_ilp(dex(), Platform(1, 1), seed_with_heuristics=False,
+                        time_limit=120)
+        assert sol.status == "optimal"
+        assert sol.makespan == pytest.approx(6.0, abs=1e-4)
+        assert sol.schedule is not None
+
+    def test_extracted_schedule_matches_objective(self):
+        sol = solve_ilp(dex(), Platform(1, 1, 5, 5), time_limit=120)
+        assert sol.schedule.makespan == pytest.approx(sol.makespan, abs=1e-4)

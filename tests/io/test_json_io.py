@@ -1,0 +1,87 @@
+"""JSON round-trips for graphs, platforms and schedules."""
+
+import math
+
+import pytest
+
+from repro import Memory, Platform, memheft
+from repro.dags import dex, lu_dag, random_dag
+from repro.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_schedule,
+    platform_from_dict,
+    platform_to_dict,
+    save_graph,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+class TestGraphRoundTrip:
+    def test_dex(self):
+        g = dex()
+        back = graph_from_dict(graph_to_dict(g))
+        assert back.n_tasks == 4 and back.n_edges == 4
+        assert back.w_blue("T3") == 6
+        assert back.size("T1", "T3") == 2
+        assert back.name == "dex"
+
+    def test_random_graph(self):
+        g = random_dag(size=25, rng=3)
+        back = graph_from_dict(graph_to_dict(g))
+        assert back.n_tasks == g.n_tasks and back.n_edges == g.n_edges
+
+    def test_tuple_ids_stringified(self):
+        g = lu_dag(2)
+        d = graph_to_dict(g)
+        assert all(isinstance(row["id"], (str, int)) for row in d["tasks"])
+        back = graph_from_dict(d)
+        assert back.n_tasks == g.n_tasks
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "g.json"
+        save_graph(dex(), path)
+        assert load_graph(path).n_tasks == 4
+
+
+class TestPlatformRoundTrip:
+    def test_bounded(self):
+        p = Platform(2, 3, 10, 20)
+        assert platform_from_dict(platform_to_dict(p)) == p
+
+    def test_unbounded_memory_becomes_null(self):
+        p = Platform(1, 1)
+        d = platform_to_dict(p)
+        assert d["mem_blue"] is None
+        back = platform_from_dict(d)
+        assert math.isinf(back.mem_blue)
+
+
+class TestScheduleRoundTrip:
+    def test_memheft_schedule(self, tmp_path):
+        g = dex()
+        plat = Platform(1, 1, 5, 5)
+        s = memheft(g, plat)
+        back = schedule_from_dict(schedule_to_dict(s))
+        assert back.makespan == s.makespan
+        assert back.platform == plat
+        assert back.n_comms == s.n_comms
+        for t in g.tasks():
+            assert back.placement(t).memory is s.placement(t).memory
+            assert back.placement(t).start == s.placement(t).start
+
+    def test_meta_preserved(self):
+        g = dex()
+        s = memheft(g, Platform(1, 1, 5, 5))
+        back = schedule_from_dict(schedule_to_dict(s))
+        assert back.meta["algorithm"] == "memheft"
+        assert back.meta["peak_red"] == s.meta["peak_red"]
+
+    def test_file_round_trip(self, tmp_path):
+        s = memheft(dex(), Platform(1, 1, 5, 5))
+        path = tmp_path / "s.json"
+        save_schedule(s, path)
+        assert load_schedule(path).makespan == s.makespan

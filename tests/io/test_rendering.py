@@ -1,0 +1,54 @@
+"""DOT export and ASCII Gantt rendering."""
+
+from repro import Platform, Schedule, memheft
+from repro.dags import dex
+from repro.io import ascii_gantt, schedule_summary, to_dot
+
+
+class TestDot:
+    def test_structure(self):
+        text = to_dot(dex())
+        assert text.startswith('digraph "dex"')
+        assert text.rstrip().endswith("}")
+        assert '"T1" -> "T2"' in text
+
+    def test_weights_in_labels(self):
+        text = to_dot(dex())
+        assert "3/1" in text      # W(T1)
+        assert "2 (1)" in text    # F(1,3) with C
+
+    def test_weights_can_be_hidden(self):
+        text = to_dot(dex(), show_weights=False)
+        assert "label" not in text
+
+    def test_quoting(self):
+        from repro import TaskGraph
+        g = TaskGraph('with"quote')
+        g.add_task('t"x', 1, 1)
+        text = to_dot(g)
+        assert r"\"" in text
+
+
+class TestGantt:
+    def test_empty_schedule(self):
+        assert "empty" in ascii_gantt(Schedule(Platform(1, 1)))
+
+    def test_rows_per_processor(self):
+        s = memheft(dex(), Platform(1, 1, 5, 5))
+        text = ascii_gantt(s)
+        lines = text.splitlines()
+        assert any(line.startswith("P0") for line in lines)
+        assert any(line.startswith("P1") for line in lines)
+        assert "makespan = 6" in lines[0]
+        assert "#" in text
+
+    def test_transfer_row_when_cross_memory(self):
+        s = memheft(dex(), Platform(1, 1, 5, 5))
+        if s.n_comms:
+            assert "~" in ascii_gantt(s)
+
+    def test_summary_lists_all_tasks(self):
+        s = memheft(dex(), Platform(1, 1, 5, 5))
+        text = schedule_summary(s)
+        for t in ("T1", "T2", "T3", "T4"):
+            assert t in text

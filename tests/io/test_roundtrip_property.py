@@ -1,0 +1,46 @@
+"""Property-based JSON round-trips over generated graphs and schedules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Platform, memheft
+from repro.dags.daggen import random_dag
+from repro.io import (
+    graph_from_dict,
+    graph_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+params = st.fixed_dictionaries({
+    "size": st.integers(min_value=1, max_value=25),
+    "seed": st.integers(min_value=0, max_value=2**31 - 1),
+})
+
+
+@given(params)
+def test_graph_round_trip_preserves_everything(p):
+    g = random_dag(size=p["size"], rng=p["seed"])
+    back = graph_from_dict(graph_to_dict(g))
+    assert back.n_tasks == g.n_tasks and back.n_edges == g.n_edges
+    for t in g.tasks():
+        assert back.w_blue(t) == g.w_blue(t)
+        assert back.w_red(t) == g.w_red(t)
+    for u, v in g.edges():
+        assert back.size(u, v) == g.size(u, v)
+        assert back.comm(u, v) == g.comm(u, v)
+
+
+@given(params)
+def test_schedule_round_trip_preserves_timing(p):
+    g = random_dag(size=p["size"], rng=p["seed"])
+    plat = Platform(2, 1)
+    s = memheft(g, plat)
+    back = schedule_from_dict(schedule_to_dict(s))
+    assert back.makespan == s.makespan
+    assert back.n_comms == s.n_comms
+    for t in g.tasks():
+        a, b = s.placement(t), back.placement(t)
+        assert (a.proc, a.memory, a.start, a.finish) == \
+               (b.proc, b.memory, b.start, b.finish)

@@ -1,0 +1,36 @@
+"""Memory occupancy sparklines."""
+
+import math
+
+from repro.io.gantt import memory_sparkline
+
+
+class TestSparkline:
+    def test_empty_profile(self):
+        line = memory_sparkline([], capacity=10, width=10)
+        assert line == "|" + " " * 10 + "|"
+
+    def test_full_occupancy_renders_solid(self):
+        line = memory_sparkline([(0.0, 10.0), (4.0, 10.0)], capacity=10,
+                                width=8, span=4.0)
+        assert line == "|" + "█" * 8 + "|"
+
+    def test_zero_occupancy_renders_blank(self):
+        line = memory_sparkline([(0.0, 0.0)], capacity=10, width=8, span=4.0)
+        assert set(line[1:-1]) == {" "}
+
+    def test_step_visible(self):
+        line = memory_sparkline([(0.0, 0.0), (5.0, 10.0)], capacity=10,
+                                width=10, span=10.0)
+        body = line[1:-1]
+        assert body[:5] == "     "
+        assert body[5:] == "█████"
+
+    def test_infinite_capacity_scales_to_peak(self):
+        line = memory_sparkline([(0.0, 7.0)], capacity=math.inf, width=4,
+                                span=2.0)
+        assert line == "|████|"
+
+    def test_width_respected(self):
+        line = memory_sparkline([(0.0, 3.0)], capacity=10, width=33, span=1.0)
+        assert len(line) == 35

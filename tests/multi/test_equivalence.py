@@ -1,0 +1,93 @@
+"""The k = 2 special case must reproduce the dual-memory implementation
+decision-for-decision (same memories, same start times, same makespan)."""
+
+import pytest
+
+from repro import Memory, Platform, memheft, memminmin
+from repro.dags import dex, random_dag
+from repro.multi import (
+    MultiPlatform,
+    MultiTaskGraph,
+    multi_memheft,
+    multi_memminmin,
+    multi_upward_ranks,
+    validate_multi_schedule,
+)
+from repro.scheduling import upward_ranks
+from repro.scheduling.state import InfeasibleScheduleError
+from repro.multi import MultiInfeasibleError
+
+CLS_OF = {Memory.BLUE: 0, Memory.RED: 1}
+
+
+def lift(platform: Platform) -> MultiPlatform:
+    return MultiPlatform([platform.n_blue, platform.n_red],
+                         [platform.mem_blue, platform.mem_red])
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("pair", [
+    (memheft, multi_memheft),
+    (memminmin, multi_memminmin),
+])
+def test_unbounded_decisions_identical(seed, pair):
+    dual_fn, multi_fn = pair
+    g = random_dag(size=20, rng=seed)
+    plat = Platform(2, 1)
+    dual = dual_fn(g, plat)
+    multi = multi_fn(MultiTaskGraph.from_dual(g), lift(plat))
+    assert multi.makespan == pytest.approx(dual.makespan)
+    for t in g.tasks():
+        dp, mp = dual.placement(t), multi.placement(t)
+        assert CLS_OF[dp.memory] == mp.cls
+        assert mp.start == pytest.approx(dp.start)
+        assert mp.proc == dp.proc
+
+
+@pytest.mark.parametrize("bound", [5, 4])
+def test_bounded_dex_identical(bound):
+    g = dex()
+    plat = Platform(1, 1, bound, bound)
+    dual = memheft(g, plat)
+    multi = multi_memheft(MultiTaskGraph.from_dual(g), lift(plat))
+    assert multi.makespan == pytest.approx(dual.makespan)
+    peaks = validate_multi_schedule(MultiTaskGraph.from_dual(g), lift(plat),
+                                    multi)
+    assert peaks[0] == pytest.approx(dual.meta["peak_blue"])
+    assert peaks[1] == pytest.approx(dual.meta["peak_red"])
+
+
+def test_infeasibility_agrees():
+    g = dex()
+    plat = Platform(1, 1, 3, 3)
+    with pytest.raises(InfeasibleScheduleError):
+        memheft(g, plat)
+    with pytest.raises(MultiInfeasibleError):
+        multi_memheft(MultiTaskGraph.from_dual(g), lift(plat))
+
+
+def test_ranks_reduce_to_paper_formula_at_k2():
+    g = dex()
+    dual_ranks = upward_ranks(g)
+    multi_ranks = multi_upward_ranks(MultiTaskGraph.from_dual(g))
+    for t in g.tasks():
+        assert multi_ranks[t] == pytest.approx(dual_ranks[t])
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_bounded_sweep_identical(seed):
+    g = random_dag(size=15, rng=seed)
+    mg = MultiTaskGraph.from_dual(g)
+    from repro.scheduling.heft import heft
+    base = heft(g, Platform(1, 1))
+    ref = max(base.meta["peak_blue"], base.meta["peak_red"])
+    for alpha in (0.5, 0.75, 1.0):
+        plat = Platform(1, 1).with_uniform_bound(alpha * ref)
+        try:
+            dual = memminmin(g, plat)
+        except InfeasibleScheduleError:
+            with pytest.raises(MultiInfeasibleError):
+                multi_memminmin(mg, lift(plat))
+            continue
+        multi = multi_memminmin(mg, lift(plat))
+        assert multi.makespan == pytest.approx(dual.makespan)

@@ -1,0 +1,63 @@
+"""MemMinMin-specific behaviour (Algorithm 2)."""
+
+import pytest
+
+from repro import (
+    InfeasibleScheduleError,
+    Memory,
+    Platform,
+    TaskGraph,
+    memminmin,
+    validate_schedule,
+)
+from repro.dags import dex
+
+
+def test_picks_global_min_eft_first():
+    """Among available tasks, the (task, memory) pair with the smallest EFT
+    is committed first — not the highest-rank one."""
+    g = TaskGraph()
+    g.add_task("quick", 9, 1)    # EFT 1 on red
+    g.add_task("slow", 5, 4)     # EFT 4 on red / 5 on blue
+    plat = Platform(1, 1)
+    s = memminmin(g, plat)
+    assert s.placement("quick").start == 0
+    assert s.placement("quick").memory is Memory.RED
+    # "slow" then takes the idle blue processor (EFT 5) over waiting for red.
+    assert s.placement("slow").memory is Memory.BLUE
+
+
+def test_dynamic_order_reacts_to_memory_pressure():
+    g = dex()
+    plat = Platform(1, 1, 5, 5)
+    s = memminmin(g, plat)
+    validate_schedule(g, plat, s)
+    assert s.makespan >= 6
+
+
+def test_infeasible_raises_with_available_count():
+    with pytest.raises(InfeasibleScheduleError, match="available"):
+        memminmin(dex(), Platform(1, 1, 3, 3))
+
+
+def test_all_tasks_scheduled_once(small_random_graph):
+    g = small_random_graph
+    s = memminmin(g, Platform(2, 2))
+    assert len(s) == g.n_tasks
+
+
+def test_deterministic_across_runs(small_random_graph):
+    g = small_random_graph
+    plat = Platform(2, 2)
+    a = memminmin(g, plat)
+    b = memminmin(g, plat)
+    assert a.makespan == b.makespan
+    for t in g.tasks():
+        assert a.placement(t) == b.placement(t)
+
+
+def test_eager_comm_policy_valid(small_random_graph):
+    g = small_random_graph
+    plat = Platform(1, 1)
+    s = memminmin(g, plat, comm_policy="eager")
+    validate_schedule(g, plat, s)

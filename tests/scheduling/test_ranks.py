@@ -1,0 +1,62 @@
+"""Upward ranks (§5.1): hand-computed values and ordering properties."""
+
+import pytest
+
+from repro import rank_order, upward_ranks
+from repro.dags import chain, dex, fork_join
+
+
+class TestRankValues:
+    def test_dex_hand_computed(self):
+        # rank(T4) = (1+1)/2 = 1
+        # rank(T2) = 2 + (1 + 1/2) = 3.5
+        # rank(T3) = 4.5 + (1 + 1/2) = 6
+        # rank(T1) = 2 + max(3.5, 6) + 1/2 = 8.5
+        ranks = upward_ranks(dex())
+        assert ranks["T4"] == 1
+        assert ranks["T2"] == 3.5
+        assert ranks["T3"] == 6
+        assert ranks["T1"] == 8.5
+
+    def test_chain_ranks_decrease_along_the_chain(self):
+        g = chain(6)
+        ranks = upward_ranks(g)
+        vals = [ranks[k] for k in range(6)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_sink_rank_is_mean_time(self):
+        g = dex()
+        assert upward_ranks(g)["T4"] == g.w_mean("T4")
+
+    def test_parent_outranks_child_with_positive_times(self):
+        g = fork_join(4)
+        ranks = upward_ranks(g)
+        for u, v in g.edges():
+            assert ranks[u] > ranks[v]
+
+
+class TestRankOrder:
+    def test_dex_order(self):
+        assert rank_order(dex()) == ["T1", "T3", "T2", "T4"]
+
+    def test_deterministic_without_rng(self):
+        g = fork_join(6)  # all 6 middle tasks tie
+        assert rank_order(g) == rank_order(g)
+
+    def test_order_is_a_permutation(self):
+        g = fork_join(6)
+        order = rank_order(g, rng=3)
+        assert sorted(map(str, order)) == sorted(map(str, g.tasks()))
+
+    def test_random_tiebreak_changes_only_ties(self):
+        g = fork_join(6)
+        ranks = upward_ranks(g)
+        orders = {tuple(rank_order(g, rng=seed)) for seed in range(10)}
+        assert len(orders) > 1  # ties actually shuffled
+        for order in orders:
+            vals = [ranks[t] for t in order]
+            assert vals == sorted(vals, reverse=True)  # rank order respected
+
+    def test_seeded_tiebreak_reproducible(self):
+        g = fork_join(8)
+        assert rank_order(g, rng=42) == rank_order(g, rng=42)

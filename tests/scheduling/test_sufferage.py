@@ -1,0 +1,85 @@
+"""MemSufferage (library extension): semantics and the shared invariants."""
+
+import pytest
+
+from repro import (
+    InfeasibleScheduleError,
+    Memory,
+    Platform,
+    TaskGraph,
+    memsufferage,
+    sufferage,
+    validate_schedule,
+)
+from repro.core.bounds import lower_bound
+from repro.dags import dex, random_dag
+
+
+def test_picks_the_task_that_suffers_most():
+    # "critical" loses 100 if pushed off red; "flexible" loses nothing.
+    g = TaskGraph()
+    g.add_task("critical", 101, 1)
+    g.add_task("flexible", 2, 2)
+    plat = Platform(1, 1)
+    s = memsufferage(g, plat)
+    assert s.placement("critical").memory is Memory.RED
+    assert s.placement("critical").start == 0
+    # flexible then takes blue rather than queueing behind critical.
+    assert s.placement("flexible").memory is Memory.BLUE
+
+
+def test_single_feasible_memory_is_urgent():
+    # "bulky" only fits in red memory (file of 8 > blue capacity) and must
+    # be committed before "quick" fills red.
+    g = TaskGraph()
+    g.add_task("bulky", 5, 5)
+    g.add_task("bsink", 1, 1)
+    g.add_task("quick", 1, 1)
+    g.add_dependency("bulky", "bsink", size=8)
+    plat = Platform(1, 1, mem_blue=4, mem_red=9)
+    s = memsufferage(g, plat)
+    validate_schedule(g, plat, s)
+    assert s.placement("bulky").memory is Memory.RED
+    assert s.placement("bulky").start == 0
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_schedules_are_valid_and_bounded(seed):
+    g = random_dag(size=20, rng=seed)
+    plat = Platform(2, 2)
+    s = memsufferage(g, plat)
+    peaks = validate_schedule(g, plat, s)
+    assert s.makespan >= lower_bound(g, plat) - 1e-9
+    assert peaks[Memory.BLUE] == pytest.approx(s.meta["peak_blue"])
+
+
+def test_respects_memory_bounds(small_random_graph):
+    from repro.scheduling.heft import heft
+    g = small_random_graph
+    base = heft(g, Platform(1, 1))
+    ref = max(base.meta["peak_blue"], base.meta["peak_red"])
+    for alpha in (0.5, 0.75, 1.0):
+        plat = Platform(1, 1).with_uniform_bound(alpha * ref)
+        try:
+            s = memsufferage(g, plat)
+        except InfeasibleScheduleError:
+            continue
+        validate_schedule(g, plat, s)
+
+
+def test_infeasible_raises():
+    with pytest.raises(InfeasibleScheduleError, match="MemSufferage"):
+        memsufferage(dex(), Platform(1, 1, 3, 3))
+
+
+def test_baseline_is_unbounded_variant():
+    g = dex()
+    s = sufferage(g, Platform(1, 1, 4, 4))  # bounds ignored by the baseline
+    assert s.meta["algorithm"] == "sufferage"
+    validate_schedule(g, Platform(1, 1), s)
+
+
+def test_registered():
+    from repro import SCHEDULERS, get_scheduler
+    assert "memsufferage" in SCHEDULERS
+    assert get_scheduler("Sufferage") is sufferage

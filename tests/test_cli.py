@@ -1,0 +1,130 @@
+"""End-to-end CLI tests (generate -> schedule -> validate -> bounds -> ilp)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def dex_file(tmp_path):
+    path = tmp_path / "dex.json"
+    assert main(["generate", "--kind", "dex", "-o", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_daggen_to_file(self, tmp_path, capsys):
+        path = tmp_path / "g.json"
+        rc = main(["generate", "--kind", "daggen", "--size", "12",
+                   "--seed", "3", "-o", str(path)])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert len(data["tasks"]) == 12
+        assert "12 tasks" in capsys.readouterr().out
+
+    def test_lu_generation(self, tmp_path):
+        path = tmp_path / "lu.json"
+        assert main(["generate", "--kind", "lu", "--tiles", "3",
+                     "-o", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert any("getrf" in str(row["id"]) for row in data["tasks"])
+
+    def test_dot_output(self, capsys):
+        assert main(["generate", "--kind", "dex", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_summary_without_output(self, capsys):
+        assert main(["generate", "--kind", "cholesky", "--tiles", "2"]) == 0
+        assert "tasks" in capsys.readouterr().out
+
+
+class TestSchedule:
+    def test_schedule_reports_makespan(self, dex_file, capsys):
+        rc = main(["schedule", str(dex_file), "--algo", "memheft",
+                   "--mem-blue", "5", "--mem-red", "5", "--gantt", "--summary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan  : 6" in out
+        assert "#" in out          # gantt bars
+        assert "blue mem" in out   # sparklines
+
+    def test_schedule_trace_flag(self, dex_file, capsys):
+        rc = main(["schedule", str(dex_file), "--algo", "memheft",
+                   "--mem-blue", "5", "--mem-red", "5", "--trace"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "task_start" in out
+        assert "comm_finish" in out
+
+    def test_infeasible_exit_code(self, dex_file, capsys):
+        rc = main(["schedule", str(dex_file), "--algo", "memminmin",
+                   "--mem-blue", "3", "--mem-red", "3"])
+        assert rc == 2
+        assert "INFEASIBLE" in capsys.readouterr().err
+
+    def test_schedule_round_trip_validates(self, dex_file, tmp_path, capsys):
+        sched = tmp_path / "s.json"
+        assert main(["schedule", str(dex_file), "--algo", "heft",
+                     "-o", str(sched)]) == 0
+        assert main(["validate", str(dex_file), str(sched)]) == 0
+        assert "valid schedule" in capsys.readouterr().out
+
+    def test_validate_rejects_corrupted(self, dex_file, tmp_path, capsys):
+        sched = tmp_path / "s.json"
+        main(["schedule", str(dex_file), "--algo", "heft", "-o", str(sched)])
+        data = json.loads(sched.read_text())
+        data["placements"][0]["finish"] += 100.0
+        sched.write_text(json.dumps(data))
+        assert main(["validate", str(dex_file), str(sched)]) == 2
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestBoundsAndILP:
+    def test_bounds(self, dex_file, capsys):
+        assert main(["bounds", str(dex_file)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path : 5" in out
+        assert "lower bound" in out
+
+    def test_ilp_optimal(self, dex_file, capsys):
+        rc = main(["ilp", str(dex_file), "--mem-blue", "5", "--mem-red", "5",
+                   "--time-limit", "120"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out
+        assert "makespan    : 6" in out
+
+    def test_ilp_infeasible_exit_code(self, dex_file):
+        rc = main(["ilp", str(dex_file), "--mem-blue", "3", "--mem-red", "3"])
+        assert rc == 2
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "ci"]) == 0
+        assert "gemm" in capsys.readouterr().out
+
+    def test_fig11_ci(self, capsys):
+        assert main(["experiment", "fig11", "--scale", "ci"]) == 0
+        assert "memheft" in capsys.readouterr().out
+
+    def test_fig12_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig12.csv"
+        assert main(["experiment", "fig12", "--scale", "ci",
+                     "--csv", str(csv_path)]) == 0
+        text = csv_path.read_text()
+        assert text.startswith("alpha,algorithm")
+        assert "memminmin" in text
+
+    def test_fig11_csv_export(self, tmp_path):
+        csv_path = tmp_path / "fig11.csv"
+        assert main(["experiment", "fig11", "--scale", "ci",
+                     "--csv", str(csv_path)]) == 0
+        assert "lower_bound" in csv_path.read_text()
+
+    def test_table1_csv_unsupported(self, tmp_path):
+        rc = main(["experiment", "table1", "--scale", "ci",
+                   "--csv", str(tmp_path / "t.csv")])
+        assert rc == 2

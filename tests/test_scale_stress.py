@@ -1,0 +1,34 @@
+"""Scale stress (marked slow): the heuristics must handle paper-scale
+inputs in pure Python within sane wall-clock budgets."""
+
+import time
+
+import pytest
+
+from repro import Platform, memheft, validate_schedule
+from repro.dags import lu_dag, random_dag
+
+
+@pytest.mark.slow
+def test_memheft_handles_500_task_graph():
+    g = random_dag(size=500, rng=2014,
+                   w_range=(1, 100), c_range=(1, 100), f_range=(1, 100))
+    plat = Platform(1, 1)
+    t0 = time.perf_counter()
+    s = memheft(g, plat)
+    elapsed = time.perf_counter() - t0
+    assert len(s) == 500
+    assert elapsed < 60, f"memheft took {elapsed:.1f}s on 500 tasks"
+    validate_schedule(g, plat, s)
+
+
+@pytest.mark.slow
+def test_memheft_handles_13x13_lu():
+    g = lu_dag(13)  # 2107 tasks, the paper's Figure 14 instance
+    plat = Platform(12, 3)
+    t0 = time.perf_counter()
+    s = memheft(g, plat)
+    elapsed = time.perf_counter() - t0
+    assert len(s) == g.n_tasks
+    assert elapsed < 120, f"memheft took {elapsed:.1f}s on LU 13x13"
+    validate_schedule(g, plat, s)

@@ -1,0 +1,27 @@
+"""The experiment-runner script end to end (ci scale, fast figures only)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "run_all_experiments.py"
+
+
+def test_runner_writes_results(tmp_path, monkeypatch):
+    # Run from a temp cwd; the script writes relative to its own location,
+    # so point it at a copy.
+    target = tmp_path / "scripts"
+    target.mkdir()
+    copy = target / "run_all_experiments.py"
+    copy.write_text(SCRIPT.read_text())
+    out = subprocess.run(
+        [sys.executable, str(copy), "ci", "table1", "fig11"],
+        capture_output=True, text=True, cwd=tmp_path, timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    results = tmp_path / "results" / "ci"
+    assert (results / "table1.txt").exists()
+    fig11 = (results / "fig11.txt").read_text()
+    assert "memheft" in fig11
+    assert "scale=ci" in fig11

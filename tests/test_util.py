@@ -1,0 +1,45 @@
+"""The shared helper module."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._util import EPS, as_rng, feq, fle, fmt_num
+
+
+class TestRngCoercion:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_seed_reproducible(self):
+        assert as_rng(42).integers(0, 1000) == as_rng(42).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+
+class TestFloatHelpers:
+    def test_feq_within_eps(self):
+        assert feq(1.0, 1.0 + EPS / 2)
+        assert not feq(1.0, 1.0 + 1e-6)
+
+    def test_fle(self):
+        assert fle(1.0, 1.0)
+        assert fle(1.0 + EPS / 2, 1.0)
+        assert not fle(1.1, 1.0)
+
+
+class TestFmtNum:
+    def test_integral_floats_render_bare(self):
+        assert fmt_num(6.0) == "6"
+
+    def test_fractional_rendering(self):
+        assert fmt_num(1.25) == "1.25"
+
+    def test_inf(self):
+        assert fmt_num(math.inf) == "inf"
+
+    def test_long_fraction_truncated(self):
+        assert len(fmt_num(1 / 3)) <= 8
