@@ -1,17 +1,47 @@
-"""Heuristic runtime scaling with graph size.
+"""Heuristic runtime scaling with graph size, and the incremental-EST
+kernel comparison.
 
 The paper quotes a worst-case complexity of ``O(n^2 (n + m))`` for both
-heuristics (§5.2).  This bench times MemHEFT and MemMinMin on a size
-ladder of the LargeRandSet family — the measured growth should stay
-polynomial and comfortably handle the 1000-task paper scale.
+heuristics (§5.2).  The pytest-benchmark half of this file times MemHEFT
+and MemMinMin on a size ladder of the LargeRandSet family — the measured
+growth should stay polynomial and comfortably handle the 1000-task paper
+scale.
+
+Run as a script to compare the unified incremental EST kernel against the
+seed implementation on large daggen graphs::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py [sizes...]
+
+Three engine configurations are timed:
+
+* ``seed``        — the pre-refactor cost model: every candidate's EST is
+  recomputed from scratch each scan *and* ``earliest_fit`` rebuilds an
+  O(l) suffix-max array after every profile mutation (reproduced here by
+  ``LegacySuffixMaxProfile`` so the comparison stays honest after the
+  shared ``MemoryProfile`` was rebuilt around block maxima);
+* ``fresh``       — from-scratch candidate evaluation over the new
+  block-max profile (``SchedulerState(..., incremental=False)``);
+* ``incremental`` — the default unified kernel: cached precedence parts,
+  version-keyed ``earliest_fit`` memoisation, block-max profiles.
+
+All three produce decision-for-decision identical schedules (asserted on
+every run).
 """
+
+import math
+import time
 
 import pytest
 
+from repro._util import EPS
+from repro.core.memory_profile import MemoryProfile
+from repro.core.platform import Platform
 from repro.dags.daggen import random_dag
 from repro.experiments.figures import RAND_PLATFORM
+from repro.scheduling.heft import heft
 from repro.scheduling.memheft import memheft
 from repro.scheduling.memminmin import memminmin
+from repro.scheduling.state import SchedulerState
 
 SIZES = (25, 50, 100, 200)
 
@@ -30,3 +60,137 @@ def test_bench_memminmin_scaling(benchmark, size):
                        w_range=(1, 100), c_range=(1, 100), f_range=(1, 100))
     schedule = benchmark(memminmin, graph, RAND_PLATFORM)
     assert len(schedule) == size
+
+
+# ----------------------------------------------------------------------
+# incremental-kernel comparison (script mode)
+# ----------------------------------------------------------------------
+class LegacySuffixMaxProfile(MemoryProfile):
+    """The seed's ``earliest_fit``: full suffix-max rebuild per mutation."""
+
+    __slots__ = ("_suffix_max", "_sm_version")
+
+    def __init__(self, capacity: float = math.inf) -> None:
+        super().__init__(capacity)
+        self._suffix_max = None
+        self._sm_version = -1
+
+    def _ensure_suffix_max(self) -> list:
+        if self._sm_version != self.version or self._suffix_max is None:
+            sm = [0.0] * len(self._vals)
+            running = -math.inf
+            for k in range(len(self._vals) - 1, -1, -1):
+                running = max(running, self._vals[k])
+                sm[k] = running
+            self._suffix_max = sm
+            self._sm_version = self.version
+        return self._suffix_max
+
+    def earliest_fit(self, need: float, not_before: float = 0.0) -> float:
+        if need <= EPS:
+            return max(0.0, not_before)
+        if need > self.capacity + EPS:
+            return math.inf
+        threshold = self.capacity - need
+        sm = self._ensure_suffix_max()
+        lo, hi = 0, len(sm)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if sm[mid] <= threshold + EPS:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo == len(sm):
+            return math.inf
+        t = self._xs[lo] if lo > 0 else 0.0
+        return max(t, not_before)
+
+
+def _make_state(graph, platform, mode: str) -> SchedulerState:
+    state = SchedulerState(graph, platform, incremental=(mode == "incremental"))
+    if mode == "seed":
+        state.mem = {m: LegacySuffixMaxProfile(platform.capacity(m))
+                     for m in state.memories}
+    return state
+
+
+def _run_memheft(graph, platform, mode: str):
+    from repro.scheduling.ranks import rank_order
+    state = _make_state(graph, platform, mode)
+    remaining = rank_order(graph)
+    while remaining:
+        for index, task in enumerate(remaining):
+            if not state.is_ready(task):
+                continue
+            best = state.best_est(task)
+            if best is None:
+                continue
+            state.commit(best)
+            remaining.pop(index)
+            break
+        else:
+            raise RuntimeError("infeasible")
+    return state.finalize("memheft")
+
+
+def _run_memminmin(graph, platform, mode: str):
+    state = _make_state(graph, platform, mode)
+    index = {t: k for k, t in enumerate(graph.topological_order())}
+    available = set(graph.roots())
+    while available:
+        best = None
+        for task in sorted(available, key=index.__getitem__):
+            cand = state.best_est(task)
+            if cand is None:
+                continue
+            if best is None or cand.eft < best.eft - EPS:
+                best = cand
+        if best is None:
+            raise RuntimeError("infeasible")
+        state.commit(best)
+        available.discard(best.task)
+        available.update(state.pop_newly_ready())
+    return state.finalize("memminmin")
+
+
+def _compare(size: int) -> None:
+    graph = random_dag(size=size, rng=size,
+                       w_range=(1, 100), c_range=(1, 100), f_range=(1, 100))
+    base = heft(graph, Platform(1, 1))
+    ref = max(base.meta["peak_blue"], base.meta["peak_red"])
+    platforms = [
+        ("unbounded", Platform(1, 1)),
+        ("bounded@0.8", Platform(1, 1).with_uniform_bound(0.8 * ref)),
+    ]
+    runners = [("memheft", _run_memheft, memheft),
+               ("memminmin", _run_memminmin, memminmin)]
+    for plat_name, platform in platforms:
+        for algo_name, runner, shipped_fn in runners:
+            times = {}
+            schedules = {}
+            for mode in ("seed", "fresh", "incremental"):
+                t0 = time.perf_counter()
+                schedules[mode] = runner(graph, platform, mode)
+                times[mode] = time.perf_counter() - t0
+            # Anchor the comparison to the *shipped* entry point so the
+            # bench loops cannot silently drift from the real heuristics.
+            schedules["shipped"] = shipped_fn(graph, platform)
+            for mode in ("seed", "fresh", "shipped"):
+                for t in graph.tasks():
+                    assert (schedules[mode].placement(t)
+                            == schedules["incremental"].placement(t)), \
+                        f"{algo_name}/{mode} diverged on {t!r}"
+            speedup = times["seed"] / times["incremental"]
+            print(f"n={size:5d} {algo_name:10s} {plat_name:12s} "
+                  f"seed={times['seed']:7.3f}s fresh={times['fresh']:7.3f}s "
+                  f"incremental={times['incremental']:7.3f}s "
+                  f"speedup={speedup:5.2f}x")
+
+
+if __name__ == "__main__":
+    import sys
+    sizes = [int(a) for a in sys.argv[1:]] or [500, 1000, 2000]
+    print("incremental EST kernel vs seed implementation "
+          "(identical schedules asserted)")
+    for n in sizes:
+        _compare(n)

@@ -48,4 +48,5 @@ while bound >= 1:
         except InfeasibleScheduleError:
             row.append(f"{'--':>10}")
     print(" | ".join(row))
-    bound = round(bound * 0.8)
+    # min() guards against round() stalling (round(2 * 0.8) == 2).
+    bound = min(bound - 1, round(bound * 0.8))

@@ -13,6 +13,11 @@ import sys
 import time
 from pathlib import Path
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a checkout without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.dags.datasets import small_rand_set
 from repro.experiments.ablation import comm_policy_ablation, tiebreak_ablation
 from repro.experiments.config import get_scale
@@ -42,6 +47,12 @@ def run_ablations(scale) -> str:
 
 
 def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] in ("-h", "--help"):
+        print(__doc__.strip())
+        print(f"\nusage: {Path(sys.argv[0]).name} [scale] [experiment ...]")
+        print(f"scales      : ci, default, paper")
+        print(f"experiments : {', '.join(sorted(EXPERIMENTS))}, ablations")
+        return 0
     scale_name = sys.argv[1] if len(sys.argv) > 1 else "default"
     wanted = sys.argv[2:] or list(EXPERIMENTS) + ["ablations"]
     scale = get_scale(scale_name)

@@ -1,9 +1,23 @@
-"""repro — Memory-aware list scheduling for hybrid (dual-memory) platforms.
+"""repro — Memory-aware list scheduling for hybrid platforms.
 
 Reproduction of Herrmann, Marchal & Robert, INRIA RR-8461 (2014):
-scheduling task graphs on a platform with two processor/memory classes
-(e.g. CPUs + GPUs) so as to minimise the makespan without exceeding either
+scheduling task graphs on a platform with several processor/memory classes
+(e.g. CPUs + GPUs) so as to minimise the makespan without exceeding any
 memory capacity.
+
+The engine is a **single k-memory core**: :class:`~repro.core.platform.
+Platform`, :class:`~repro.core.graph.TaskGraph`, :class:`~repro.core.
+schedule.Schedule` and :class:`~repro.scheduling.state.SchedulerState` are
+parametric over the number of memory classes.  The paper's dual-memory
+platform is the ``k = 2`` special case, with ``Memory.BLUE``/``Memory.RED``
+and the ``n_blue``/``mem_blue``-style accessors preserved as a thin
+compatibility facade (``repro.multi`` keeps the historical §7 k-ary entry
+points as re-exports/adapters).  The EST kernel of §5.1 is *incremental*:
+per-(task, memory) breakdown components are cached across the list-scan
+iterations and only candidates affected by the last commit are re-evaluated
+(see :mod:`repro.scheduling.state`), with block-decomposed
+``earliest_fit`` queries and amortized staircase compaction in
+:mod:`repro.core.memory_profile`.
 
 Quickstart::
 
@@ -15,6 +29,11 @@ Quickstart::
     schedule = memheft(graph, platform)
     peaks = validate_schedule(graph, platform, schedule)
     print(schedule.makespan, peaks)
+
+k-memory platforms use the same entry points::
+
+    platform = Platform([12, 3, 1], [64, 16, 8])    # CPU + 2 accelerator pools
+    graph = TaskGraph("tri", n_classes=3)           # times= per class
 """
 
 from .core import (

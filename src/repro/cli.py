@@ -25,7 +25,7 @@ from .core.bounds import (
     split_work_lower_bound,
     work_lower_bound,
 )
-from .core.platform import MEMORIES, Platform
+from .core.platform import Platform
 from .core.trace import format_trace, memory_timeline, trace_schedule
 from .core.validation import ScheduleError, validate_schedule
 from .dags.daggen import random_dag
@@ -42,6 +42,20 @@ from .scheduling.state import InfeasibleScheduleError
 
 
 def _platform_from_args(args: argparse.Namespace) -> Platform:
+    if getattr(args, "mems", None) and not getattr(args, "procs", None):
+        raise SystemExit("error: --mems requires --procs "
+                         "(use --mem-blue/--mem-red on dual platforms)")
+    if getattr(args, "procs", None):
+        try:
+            counts = [int(n) for n in args.procs.split(",")]
+            if args.mems:
+                caps = [math.inf if m in ("inf", "") else float(m)
+                        for m in args.mems.split(",")]
+            else:
+                caps = [math.inf] * len(counts)
+            return Platform(counts, caps)
+        except ValueError as exc:
+            raise SystemExit(f"error: invalid --procs/--mems: {exc}") from None
     return Platform(
         n_blue=args.blue,
         n_red=args.red,
@@ -57,6 +71,12 @@ def _add_platform_args(parser: argparse.ArgumentParser) -> None:
                         help="blue memory capacity (default: unbounded)")
     parser.add_argument("--mem-red", type=float, default=None,
                         help="red memory capacity (default: unbounded)")
+    parser.add_argument("--procs", default=None, metavar="N0,N1,...",
+                        help="k-memory platform: processors per memory class "
+                             "(overrides --blue/--red)")
+    parser.add_argument("--mems", default=None, metavar="M0,M1,...",
+                        help="k-memory capacities per class ('inf' allowed; "
+                             "requires --procs)")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -82,10 +102,25 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_classes(graph, platform, *, dual_only: bool = False) -> bool:
+    """Validate graph/platform arity; prints the error and returns False."""
+    if graph.n_classes != platform.n_classes:
+        print(f"error: graph has {graph.n_classes} memory classes but the "
+              f"platform has {platform.n_classes}", file=sys.stderr)
+        return False
+    if dual_only and platform.n_classes != 2:
+        print("error: this subcommand only supports dual-memory (k=2) "
+              "platforms", file=sys.stderr)
+        return False
+    return True
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     platform = _platform_from_args(args)
     scheduler = get_scheduler(args.algo)
+    if not _check_classes(graph, platform):
+        return 2
     try:
         schedule = scheduler(graph, platform)
     except InfeasibleScheduleError as exc:
@@ -94,11 +129,10 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     peaks = validate_schedule(graph, platform, schedule)
     print(f"algorithm : {args.algo}")
     print(f"makespan  : {schedule.makespan:g}")
-    print(f"peaks     : blue={peaks[list(peaks)[0]]:g} "
-          f"red={peaks[list(peaks)[1]]:g}")
+    print("peaks     : " + " ".join(f"{m.value}={v:g}" for m, v in peaks.items()))
     if args.gantt:
         print(ascii_gantt(schedule))
-        for memory in MEMORIES:
+        for memory in platform.memories():
             timeline = memory_timeline(graph, platform, schedule, memory)
             spark = memory_sparkline(timeline, platform.capacity(memory),
                                      span=schedule.makespan)
@@ -129,6 +163,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
 def cmd_bounds(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     platform = _platform_from_args(args)
+    if not _check_classes(graph, platform):
+        return 2
     print(f"critical path : {critical_path_lower_bound(graph):g}")
     print(f"work          : {work_lower_bound(graph, platform):g}")
     print(f"split work    : {split_work_lower_bound(graph, platform):g}")
@@ -139,6 +175,8 @@ def cmd_bounds(args: argparse.Namespace) -> int:
 def cmd_ilp(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     platform = _platform_from_args(args)
+    if not _check_classes(graph, platform, dual_only=True):
+        return 2
     sol = solve_ilp(graph, platform, node_limit=args.node_limit,
                     time_limit=args.time_limit)
     print(f"status      : {sol.status}")

@@ -40,14 +40,17 @@ def work_lower_bound(graph: TaskGraph, platform: Platform) -> float:
 def split_work_lower_bound(graph: TaskGraph, platform: Platform) -> float:
     """Fractional-assignment load-balance bound.
 
-    LP: minimise ``T`` s.t. ``sum_i x_i W1_i <= P1 T``,
+    Dual platform LP: minimise ``T`` s.t. ``sum_i x_i W1_i <= P1 T``,
     ``sum_i (1 - x_i) W2_i <= P2 T``, ``0 <= x_i <= 1``.
-    Degenerates gracefully when one resource class is empty.
+    Degenerates gracefully when one resource class is empty, and
+    generalises to k classes with per-class fractions ``x_{i,c}``.
     """
     tasks = list(graph.tasks())
     n = len(tasks)
     if n == 0:
         return 0.0
+    if platform.n_classes != 2:
+        return _split_work_k_classes(graph, platform, tasks)
     w1 = np.array([graph.w_blue(t) for t in tasks])
     w2 = np.array([graph.w_red(t) for t in tasks])
     if platform.n_blue == 0:
@@ -66,6 +69,40 @@ def split_work_lower_bound(graph: TaskGraph, platform: Platform) -> float:
     b_ub = np.array([0.0, -w2.sum()])
     bounds = [(0.0, 1.0)] * n + [(0.0, None)]
     res = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not res.success:  # pragma: no cover - LP above is always feasible
+        return 0.0
+    return float(res.fun)
+
+
+def _split_work_k_classes(graph: TaskGraph, platform: Platform,
+                          tasks: list) -> float:
+    """k-class fractional assignment: minimise ``T`` s.t. for every class
+    ``c`` with processors, ``sum_i x_{i,c} W^(c)_i <= P_c T``; fractions of
+    each task over the *usable* classes sum to 1."""
+    usable = [c for c in platform.classes() if platform.proc_counts[c] > 0]
+    n = len(tasks)
+    k = len(usable)
+    if k == 1:
+        c0 = usable[0]
+        return sum(graph.w(t, c0) for t in tasks) / platform.proc_counts[c0]
+
+    # Variables: x_{i,c} for usable classes (n*k), then T.  Minimise T.
+    nvar = n * k + 1
+    c_obj = np.zeros(nvar)
+    c_obj[-1] = 1.0
+    a_ub = np.zeros((k, nvar))
+    for col, cls in enumerate(usable):
+        for i, t in enumerate(tasks):
+            a_ub[col, i * k + col] = graph.w(t, cls)
+        a_ub[col, -1] = -platform.proc_counts[cls]
+    b_ub = np.zeros(k)
+    a_eq = np.zeros((n, nvar))
+    for i in range(n):
+        a_eq[i, i * k:(i + 1) * k] = 1.0
+    b_eq = np.ones(n)
+    bounds = [(0.0, 1.0)] * (n * k) + [(0.0, None)]
+    res = linprog(c_obj, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                  bounds=bounds, method="highs")
     if not res.success:  # pragma: no cover - LP above is always feasible
         return 0.0
     return float(res.fun)
@@ -94,5 +131,5 @@ def memory_lower_bound(graph: TaskGraph) -> float:
 
 def schedulable_memory(graph: TaskGraph, platform: Platform) -> bool:
     """Necessary (not sufficient) memory check: every task fits somewhere."""
-    caps = (platform.mem_blue, platform.mem_red)
-    return all(graph.mem_req(t) <= max(caps) for t in graph.tasks())
+    cap = max(platform.capacities)
+    return all(graph.mem_req(t) <= cap for t in graph.tasks())

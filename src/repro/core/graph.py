@@ -1,20 +1,23 @@
-"""Task-graph model (paper §3.1–3.2).
+"""Task-graph model (paper §3.1–3.2, generalised to k memory classes).
 
 A :class:`TaskGraph` is a DAG whose nodes are tasks with one processing time
-per memory (``W^(1)`` on blue, ``W^(2)`` on red) and whose edges are data
-files: edge ``(i, j)`` carries a file of size ``F_ij`` that must reside in
-memory while either endpoint executes, and whose transfer between memories
-takes ``C_ij`` time units.
+per memory class (``W^(c)`` for class ``c``; the paper's dual platform has
+``W^(1)`` on blue and ``W^(2)`` on red) and whose edges are data files: edge
+``(i, j)`` carries a file of size ``F_ij`` that must reside in memory while
+either endpoint executes, and whose transfer between two *different*
+memories takes ``C_ij`` time units (regardless of which pair of classes).
 
 The class wraps a :class:`networkx.DiGraph` and exposes the accessors the
 schedulers need (parents/children, per-memory time, memory requirement of a
-task, cached topological order).
+task, cached topological order).  The historical dual-memory accessors
+(``add_task(t, w_blue, w_red)``, ``w_blue``/``w_red``) remain available on
+``k = 2`` graphs.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Hashable, Iterable, Iterator, Optional
+from typing import Hashable, Iterator, Optional, Sequence, Union
 
 import networkx as nx
 
@@ -23,7 +26,9 @@ from .platform import Memory
 Task = Hashable
 Edge = tuple[Task, Task]
 
-#: Node attribute names on the underlying networkx graph.
+#: Node attribute holding the per-class processing-time tuple.
+ATTR_TIMES = "times"
+#: Legacy node attribute names (kept on k = 2 graphs for interop).
 ATTR_W_BLUE = "w_blue"
 ATTR_W_RED = "w_red"
 #: Edge attribute names.
@@ -32,27 +37,49 @@ ATTR_COMM = "comm"
 
 
 class TaskGraph:
-    """Directed acyclic task graph with dual processing times and file edges."""
+    """Directed acyclic task graph with per-class processing times and
+    file edges."""
 
-    def __init__(self, name: str = "taskgraph") -> None:
+    def __init__(self, name: str = "taskgraph", n_classes: int = 2) -> None:
+        if n_classes < 1:
+            raise ValueError("need at least one memory class")
         self.name = name
+        self.n_classes = n_classes
         self._g = nx.DiGraph()
         self._topo_cache: Optional[tuple[Task, ...]] = None
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def add_task(self, task: Task, w_blue: float, w_red: float) -> Task:
-        """Add a task with its blue/red processing times; returns ``task``.
+    def add_task(self, task: Task, w_blue: Optional[float] = None,
+                 w_red: Optional[float] = None, *,
+                 times: Optional[Sequence[float]] = None) -> Task:
+        """Add a task with its per-class processing times; returns ``task``.
 
-        Zero times are allowed (the paper's fictitious broadcast-pipeline
-        tasks have null processing time on both resources).
+        Either pass ``times`` (one entry per memory class) or, on dual
+        graphs, the historical ``w_blue``/``w_red`` pair.  Zero times are
+        allowed (the paper's fictitious broadcast-pipeline tasks have null
+        processing time on both resources).
         """
+        if times is None:
+            if w_blue is None or w_red is None:
+                raise ValueError(f"{task!r}: pass times= or both w_blue/w_red")
+            if self.n_classes != 2:
+                raise ValueError(
+                    f"{task!r}: w_blue/w_red only apply to 2-class graphs; "
+                    f"this one has {self.n_classes} — pass times=")
+            times = (w_blue, w_red)
+        elif w_blue is not None or w_red is not None:
+            raise ValueError(f"{task!r}: pass either times= or w_blue/w_red, not both")
         if task in self._g:
             raise ValueError(f"duplicate task {task!r}")
-        if w_blue < 0 or w_red < 0 or not (math.isfinite(w_blue) and math.isfinite(w_red)):
+        times = tuple(float(w) for w in times)
+        if len(times) != self.n_classes:
+            raise ValueError(
+                f"{task!r}: expected {self.n_classes} times, got {len(times)}")
+        if any(w < 0 or not math.isfinite(w) for w in times):
             raise ValueError(f"processing times of {task!r} must be finite and >= 0")
-        self._g.add_node(task, **{ATTR_W_BLUE: float(w_blue), ATTR_W_RED: float(w_red)})
+        self._g.add_node(task, **{ATTR_TIMES: times})
         self._topo_cache = None
         return task
 
@@ -119,26 +146,29 @@ class TaskGraph:
     # ------------------------------------------------------------------
     # weights
     # ------------------------------------------------------------------
-    def w(self, task: Task, memory: Memory) -> float:
+    def times(self, task: Task) -> tuple[float, ...]:
+        """Per-class processing times of ``task``."""
+        return self._g.nodes[task][ATTR_TIMES]
+
+    def w(self, task: Task, memory: Union[Memory, int]) -> float:
         """Processing time of ``task`` on a processor of ``memory``."""
-        attr = ATTR_W_BLUE if memory is Memory.BLUE else ATTR_W_RED
-        return self._g.nodes[task][attr]
+        idx = memory.index if isinstance(memory, Memory) else int(memory)
+        return self._g.nodes[task][ATTR_TIMES][idx]
 
     def w_blue(self, task: Task) -> float:
-        return self._g.nodes[task][ATTR_W_BLUE]
+        return self._g.nodes[task][ATTR_TIMES][0]
 
     def w_red(self, task: Task) -> float:
-        return self._g.nodes[task][ATTR_W_RED]
+        return self._g.nodes[task][ATTR_TIMES][1]
 
     def w_min(self, task: Task) -> float:
-        """Fastest processing time of ``task`` over both resources."""
-        d = self._g.nodes[task]
-        return min(d[ATTR_W_BLUE], d[ATTR_W_RED])
+        """Fastest processing time of ``task`` over all resources."""
+        return min(self._g.nodes[task][ATTR_TIMES])
 
     def w_mean(self, task: Task) -> float:
         """Mean processing time (used by the HEFT upward rank)."""
-        d = self._g.nodes[task]
-        return 0.5 * (d[ATTR_W_BLUE] + d[ATTR_W_RED])
+        times = self._g.nodes[task][ATTR_TIMES]
+        return sum(times) / len(times)
 
     def size(self, u: Task, v: Task) -> float:
         """File size ``F_uv`` of edge ``(u, v)``."""
@@ -186,14 +216,22 @@ class TaskGraph:
         return nx.descendants(self._g, task)
 
     def longest_path_length(self, weight: str = "min") -> float:
-        """Length of the longest path using per-task weights
-        (``min``, ``mean``, ``blue`` or ``red``), ignoring communications."""
-        pick = {
-            "min": self.w_min,
-            "mean": self.w_mean,
-            "blue": self.w_blue,
-            "red": self.w_red,
-        }[weight]
+        """Length of the longest path using per-task weights (``min``,
+        ``mean``, ``blue``/``red``, or a class index as a string),
+        ignoring communications."""
+        if weight == "min":
+            pick = self.w_min
+        elif weight == "mean":
+            pick = self.w_mean
+        elif weight == "blue":
+            pick = self.w_blue
+        elif weight == "red":
+            pick = self.w_red
+        elif weight.isdigit():
+            idx = int(weight)
+            pick = lambda t: self.w(t, idx)  # noqa: E731
+        else:
+            raise KeyError(weight)
         best: dict[Task, float] = {}
         for t in self.topological_order():
             incoming = max((best[p] for p in self._g.predecessors(t)), default=0.0)
@@ -209,27 +247,55 @@ class TaskGraph:
     # conversion
     # ------------------------------------------------------------------
     def to_networkx(self) -> nx.DiGraph:
-        """A copy of the underlying :class:`networkx.DiGraph`."""
-        return self._g.copy()
+        """A copy of the underlying :class:`networkx.DiGraph`.
+
+        On dual graphs every node also carries the legacy ``w_blue`` /
+        ``w_red`` attributes next to ``times``, for interop with external
+        tooling written against the dual-memory layout.
+        """
+        g = self._g.copy()
+        if self.n_classes == 2:
+            for _node, data in g.nodes(data=True):
+                data[ATTR_W_BLUE], data[ATTR_W_RED] = data[ATTR_TIMES]
+        return g
 
     @classmethod
     def from_networkx(cls, g: nx.DiGraph, name: str = "taskgraph") -> "TaskGraph":
-        """Build from a DiGraph carrying ``w_blue``/``w_red`` node attributes
-        and ``size``/``comm`` edge attributes (missing edge attrs default 0)."""
-        tg = cls(name=name)
+        """Build from a DiGraph carrying either ``times`` tuples or legacy
+        ``w_blue``/``w_red`` node attributes, and ``size``/``comm`` edge
+        attributes (missing edge attrs default 0)."""
+        n_classes = 2
+        for _node, data in g.nodes(data=True):
+            if ATTR_TIMES in data:
+                n_classes = len(data[ATTR_TIMES])
+            break
+        tg = cls(name=name, n_classes=n_classes)
         for node, data in g.nodes(data=True):
-            tg.add_task(node, data[ATTR_W_BLUE], data[ATTR_W_RED])
+            if ATTR_TIMES in data:
+                tg.add_task(node, times=data[ATTR_TIMES])
+            else:
+                tg.add_task(node, times=(data[ATTR_W_BLUE], data[ATTR_W_RED]))
         for u, v, data in g.edges(data=True):
             tg.add_dependency(u, v, data.get(ATTR_SIZE, 0.0), data.get(ATTR_COMM, 0.0))
         return tg
 
+    def _empty_like(self) -> "TaskGraph":
+        """A new empty graph of the same concrete type/arity (overridden by
+        subclasses with different constructor signatures)."""
+        return TaskGraph(name=self.name, n_classes=self.n_classes)
+
     def copy(self) -> "TaskGraph":
-        return TaskGraph.from_networkx(self._g, name=self.name)
+        clone = self._empty_like()
+        for node, data in self._g.nodes(data=True):
+            TaskGraph.add_task(clone, node, times=data[ATTR_TIMES])
+        for u, v, data in self._g.edges(data=True):
+            clone.add_dependency(u, v, data[ATTR_SIZE], data[ATTR_COMM])
+        return clone
 
     # ------------------------------------------------------------------
     # aggregate metrics
     # ------------------------------------------------------------------
-    def total_work(self, memory: Optional[Memory] = None) -> float:
+    def total_work(self, memory: Optional[Union[Memory, int]] = None) -> float:
         """Sum of processing times (on ``memory``, or the per-task minimum)."""
         if memory is None:
             return sum(self.w_min(t) for t in self._g.nodes)

@@ -1,63 +1,222 @@
-"""Dual-memory platform model (paper §3.1).
+"""k-memory platform model (paper §3.1, generalised per §7).
 
-A platform holds ``n_blue`` identical processors attached to the *blue*
-memory and ``n_red`` identical processors attached to the *red* memory
-(e.g. multicore CPUs + GPU/FPGA accelerators).  Processors are indexed
-globally: ``0 .. n_blue-1`` are blue, ``n_blue .. n_blue+n_red-1`` are red.
+A platform holds ``k`` memory classes; class ``c`` owns ``proc_counts[c]``
+identical processors sharing a memory of capacity ``capacities[c]``.
+Processors are indexed globally, class after class: class 0 first, then
+class 1, and so on.
+
+The paper's dual-memory platform is the ``k = 2`` special case: class 0 is
+the *blue* memory (multicore CPUs), class 1 the *red* one (GPU/FPGA
+accelerators).  The historical dual-memory API (``Memory.BLUE``/``RED``,
+``n_blue``/``n_red``, ``mem_blue``/``mem_red``) is preserved as a thin
+facade over the generic representation, so existing call sites and
+serialized schedules keep working unchanged.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
-from enum import Enum
+from typing import Iterator, Sequence, Union
 
 
-class Memory(Enum):
-    """One of the two memories of a dual-memory platform."""
+class Memory:
+    """One memory class of a platform, identified by its index.
 
-    BLUE = "blue"
-    RED = "red"
+    Instances are interned (one object per index), so identity comparisons
+    (``placement.memory is Memory.BLUE``) behave exactly like the historical
+    enum.  ``Memory(0)`` / ``Memory("blue")`` both yield the blue memory;
+    indices beyond the dual pair render as ``"mem2"``, ``"mem3"``, ...
+    """
 
+    __slots__ = ("index", "value")
+
+    _interned: dict[int, "Memory"] = {}
+    _CANONICAL_NAMES = {0: "blue", 1: "red"}
+
+    # Populated after the class body (interning needs the class object).
+    BLUE: "Memory"
+    RED: "Memory"
+
+    def __new__(cls, key: Union[int, str, "Memory"]) -> "Memory":
+        if isinstance(key, Memory):
+            return key
+        if isinstance(key, str):
+            key = cls._index_of_name(key)
+        index = int(key)
+        if index < 0:
+            raise ValueError(f"memory index must be >= 0, got {index}")
+        try:
+            return cls._interned[index]
+        except KeyError:
+            self = super().__new__(cls)
+            object.__setattr__(self, "index", index)
+            object.__setattr__(self, "value",
+                               cls._CANONICAL_NAMES.get(index, f"mem{index}"))
+            cls._interned[index] = self
+            return self
+
+    @classmethod
+    def _index_of_name(cls, name: str) -> int:
+        for idx, canonical in cls._CANONICAL_NAMES.items():
+            if name == canonical:
+                return idx
+        if name.startswith("mem") and name[3:].isdigit():
+            return int(name[3:])
+        raise ValueError(f"unknown memory name {name!r}")
+
+    # -- interning keeps identity semantics; forbid mutation ------------
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Memory instances are immutable")
+
+    def __reduce__(self):  # pickling / deepcopy preserve interning
+        return (Memory, (self.index,))
+
+    def __copy__(self) -> "Memory":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Memory":
+        return self
+
+    # -- dual-memory conveniences ----------------------------------------
     def other(self) -> "Memory":
-        """The opposite memory."""
-        return Memory.RED if self is Memory.BLUE else Memory.BLUE
+        """The opposite memory of the dual pair (only defined for k = 2)."""
+        if self.index not in (0, 1):
+            raise ValueError(f"other() is only defined for the dual pair, "
+                             f"not {self}")
+        return Memory(1 - self.index)
+
+    # -- ordering / rendering --------------------------------------------
+    def __lt__(self, other: "Memory") -> bool:
+        return self.index < other.index
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Memory.{self.value}>"
 
-#: Both memories, in canonical (blue, red) order.
+
+Memory.BLUE = Memory(0)
+Memory.RED = Memory(1)
+
+#: The dual pair, in canonical (blue, red) order — the ``k = 2`` facade.
 MEMORIES: tuple[Memory, Memory] = (Memory.BLUE, Memory.RED)
 
 
-@dataclass(frozen=True)
-class Platform:
-    """A dual-memory platform: processor counts and memory capacities.
+def _as_index(memory: Union[Memory, int]) -> int:
+    return memory.index if isinstance(memory, Memory) else int(memory)
 
-    Parameters
-    ----------
-    n_blue, n_red:
-        Number of identical processors attached to each memory (``P1`` and
-        ``P2`` in the paper).  At least one processor overall is required.
-    mem_blue, mem_red:
-        Memory capacities (``M^(blue)`` and ``M^(red)``); ``math.inf`` means
-        unbounded, which turns the memory-aware heuristics into their
-        classical memory-oblivious counterparts.
+
+class Platform:
+    """Processor counts and memory capacities, one entry per memory class.
+
+    Construction accepts either the historical dual-memory signature::
+
+        Platform(n_blue=2, n_red=1, mem_blue=40, mem_red=40)
+
+    or a generic sequence per class (any ``k >= 1``)::
+
+        Platform([2, 1, 1], [40, 40, 10])
+
+    ``math.inf`` capacities mean unbounded, which turns the memory-aware
+    heuristics into their classical memory-oblivious counterparts.
     """
 
-    n_blue: int = 1
-    n_red: int = 1
-    mem_blue: float = math.inf
-    mem_red: float = math.inf
+    __slots__ = ("proc_counts", "capacities", "_proc_ranges")
 
-    def __post_init__(self) -> None:
-        if self.n_blue < 0 or self.n_red < 0:
+    def __init__(self,
+                 n_blue: Union[int, Sequence[int]] = 1,
+                 n_red: Union[int, Sequence[float], None] = None,
+                 mem_blue: float = math.inf,
+                 mem_red: float = math.inf) -> None:
+        if isinstance(n_blue, (list, tuple)):
+            counts = tuple(int(n) for n in n_blue)
+            if n_red is None:
+                caps = tuple(math.inf for _ in counts)
+            else:
+                if isinstance(n_red, (int, float)):
+                    raise TypeError("generic Platform(counts, capacities) "
+                                    "needs a capacity sequence")
+                caps = tuple(float(c) for c in n_red)
+        else:
+            counts = (int(n_blue), 1 if n_red is None else int(n_red))
+            caps = (float(mem_blue), float(mem_red))
+        if not counts:
+            raise ValueError("platform needs at least one memory class")
+        if len(counts) != len(caps):
+            raise ValueError("proc_counts and capacities must have equal length")
+        if any(n < 0 for n in counts):
             raise ValueError("processor counts must be non-negative")
-        if self.n_blue + self.n_red == 0:
+        if sum(counts) == 0:
             raise ValueError("platform needs at least one processor")
-        if self.mem_blue < 0 or self.mem_red < 0:
+        if any(c < 0 for c in caps):
             raise ValueError("memory capacities must be non-negative")
+        object.__setattr__(self, "proc_counts", counts)
+        object.__setattr__(self, "capacities", caps)
+        ranges, start = [], 0
+        for n in counts:
+            ranges.append(range(start, start + n))
+            start += n
+        object.__setattr__(self, "_proc_ranges", tuple(ranges))
+
+    # -- frozen semantics -------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Platform is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Platform):
+            return NotImplemented
+        return (self.proc_counts == other.proc_counts
+                and self.capacities == other.capacities)
+
+    def __hash__(self) -> int:
+        return hash((self.proc_counts, self.capacities))
+
+    def __reduce__(self):
+        return (Platform, (list(self.proc_counts), list(self.capacities)))
+
+    # ------------------------------------------------------------------
+    # memory classes
+    # ------------------------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        """Number of memory classes (2 for the paper's dual platform)."""
+        return len(self.proc_counts)
+
+    def memories(self) -> tuple[Memory, ...]:
+        """All memory classes, in index order."""
+        return tuple(Memory(c) for c in range(self.n_classes))
+
+    def classes(self) -> range:
+        """Memory-class indices (``range(k)``)."""
+        return range(self.n_classes)
+
+    def _require_dual(self, attr: str) -> None:
+        if self.n_classes != 2:
+            raise AttributeError(
+                f"{attr} is only defined on dual-memory (k=2) platforms; "
+                f"this one has {self.n_classes} classes")
+
+    # -- dual facade ------------------------------------------------------
+    @property
+    def n_blue(self) -> int:
+        self._require_dual("n_blue")
+        return self.proc_counts[0]
+
+    @property
+    def n_red(self) -> int:
+        self._require_dual("n_red")
+        return self.proc_counts[1]
+
+    @property
+    def mem_blue(self) -> float:
+        self._require_dual("mem_blue")
+        return self.capacities[0]
+
+    @property
+    def mem_red(self) -> float:
+        self._require_dual("mem_red")
+        return self.capacities[1]
 
     # ------------------------------------------------------------------
     # processor indexing
@@ -65,45 +224,62 @@ class Platform:
     @property
     def n_procs(self) -> int:
         """Total number of processors."""
-        return self.n_blue + self.n_red
+        return sum(self.proc_counts)
 
-    def procs(self, memory: Memory) -> range:
+    def procs(self, memory: Union[Memory, int]) -> range:
         """Global indices of the processors attached to ``memory``."""
-        if memory is Memory.BLUE:
-            return range(0, self.n_blue)
-        return range(self.n_blue, self.n_blue + self.n_red)
+        return self._proc_ranges[_as_index(memory)]
 
-    def n_procs_of(self, memory: Memory) -> int:
+    def n_procs_of(self, memory: Union[Memory, int]) -> int:
         """Number of processors attached to ``memory``."""
-        return self.n_blue if memory is Memory.BLUE else self.n_red
+        return self.proc_counts[_as_index(memory)]
 
     def memory_of(self, proc: int) -> Memory:
         """Memory a global processor index operates on."""
         if not 0 <= proc < self.n_procs:
             raise ValueError(f"processor index {proc} out of range [0, {self.n_procs})")
-        return Memory.BLUE if proc < self.n_blue else Memory.RED
+        acc = 0
+        for c, n in enumerate(self.proc_counts):
+            acc += n
+            if proc < acc:
+                return Memory(c)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def class_of(self, proc: int) -> int:
+        """Memory-class index of a global processor index."""
+        return self.memory_of(proc).index
 
     # ------------------------------------------------------------------
     # memory capacities
     # ------------------------------------------------------------------
-    def capacity(self, memory: Memory) -> float:
+    def capacity(self, memory: Union[Memory, int]) -> float:
         """Capacity of ``memory``."""
-        return self.mem_blue if memory is Memory.BLUE else self.mem_red
+        return self.capacities[_as_index(memory)]
 
     @property
     def is_memory_bounded(self) -> bool:
         """Whether at least one memory has a finite capacity."""
-        return math.isfinite(self.mem_blue) or math.isfinite(self.mem_red)
+        return any(math.isfinite(c) for c in self.capacities)
+
+    def with_capacities(self, capacities: Sequence[float]) -> "Platform":
+        """Copy of this platform with different memory capacities."""
+        return Platform(list(self.proc_counts), list(capacities))
 
     def with_bounds(self, mem_blue: float, mem_red: float) -> "Platform":
-        """Copy of this platform with different memory capacities."""
-        return replace(self, mem_blue=mem_blue, mem_red=mem_red)
+        """Copy with different capacities (dual-memory convenience)."""
+        self._require_dual("with_bounds")
+        return self.with_capacities((mem_blue, mem_red))
 
     def with_uniform_bound(self, bound: float) -> "Platform":
-        """Copy with the same capacity ``bound`` on both memories
+        """Copy with the same capacity ``bound`` on every memory
         (the ``M^(bound)`` setting used throughout the paper's §6)."""
-        return replace(self, mem_blue=bound, mem_red=bound)
+        return self.with_capacities([bound] * self.n_classes)
 
     def unbounded(self) -> "Platform":
         """Copy of this platform with infinite memories."""
-        return replace(self, mem_blue=math.inf, mem_red=math.inf)
+        return self.with_capacities([math.inf] * self.n_classes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        caps = ", ".join("inf" if math.isinf(c) else f"{c:g}"
+                         for c in self.capacities)
+        return f"Platform(procs={list(self.proc_counts)}, capacities=[{caps}])"

@@ -27,6 +27,11 @@ class Placement:
     finish: float
 
     @property
+    def cls(self) -> int:
+        """Memory-class index (generic alias for ``memory.index``)."""
+        return self.memory.index
+
+    @property
     def duration(self) -> float:
         return self.finish - self.start
 
@@ -37,7 +42,7 @@ class Placement:
 
 @dataclass(frozen=True)
 class CommEvent:
-    """Transfer of the file on edge ``(src, dst)`` between the two memories."""
+    """Transfer of the file on edge ``(src, dst)`` between two memories."""
 
     src: Task
     dst: Task

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Hashable, Literal
 
 from .graph import TaskGraph
-from .platform import MEMORIES, Memory, Platform
+from .platform import Memory, Platform
 from .schedule import Schedule
 from .validation import memory_usage
 
@@ -35,8 +35,9 @@ class TraceEvent:
     what: str           # task name or "src->dst"
     proc: int           # -1 for transfers
     memory: str         # memory/direction label
-    used_blue: float
-    used_red: float
+    used_blue: float    # class-0 occupancy (the dual platform's blue)
+    used_red: float     # class-1 occupancy (0 on single-memory platforms)
+    used: tuple[float, ...] = ()  # per-class occupancy, all k classes
 
 
 def trace_schedule(graph: TaskGraph, platform: Platform,
@@ -56,12 +57,15 @@ def trace_schedule(graph: TaskGraph, platform: Platform,
         raw.append((ev.finish, "comm_finish", label, -1, f"{src}->{dst}"))
 
     raw.sort(key=lambda r: (r[0], _KIND_ORDER[r[1]], r[2]))
+    memories = platform.memories()
     out = []
     for time, kind, what, proc, memory in raw:
+        used = tuple(profiles[m].used_at(time) for m in memories)
         out.append(TraceEvent(
             time=time, kind=kind, what=what, proc=proc, memory=memory,
-            used_blue=profiles[Memory.BLUE].used_at(time),
-            used_red=profiles[Memory.RED].used_at(time),
+            used_blue=used[0],
+            used_red=used[1] if len(used) > 1 else 0.0,
+            used=used,
         ))
     return out
 

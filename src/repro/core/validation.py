@@ -29,7 +29,7 @@ from typing import Hashable
 from .._util import EPS
 from .graph import TaskGraph
 from .memory_profile import MemoryProfile
-from .platform import MEMORIES, Memory, Platform
+from .platform import Memory, Platform
 from .schedule import Schedule
 
 Task = Hashable
@@ -73,8 +73,9 @@ def file_residencies(graph: TaskGraph, schedule: Schedule) -> list[FileResidency
 
 def memory_usage(graph: TaskGraph, platform: Platform, schedule: Schedule
                  ) -> dict[Memory, MemoryProfile]:
-    """Used-memory staircases of both memories, rebuilt from the schedule."""
-    profiles = {m: MemoryProfile(platform.capacity(m)) for m in MEMORIES}
+    """Used-memory staircases of every memory, rebuilt from the schedule."""
+    profiles = {m: MemoryProfile(platform.capacity(m))
+                for m in platform.memories()}
     for res in file_residencies(graph, schedule):
         profiles[res.memory].add(res.size, res.start, res.end)
     return profiles
@@ -159,7 +160,7 @@ def validate_schedule(
     # -- memory constraints ----------------------------------------------
     peaks = memory_peaks(graph, platform, schedule)
     if check_memory:
-        for memory in MEMORIES:
+        for memory in platform.memories():
             if peaks[memory] > platform.capacity(memory) + eps:
                 raise ScheduleError(
                     f"{memory} memory peak {peaks[memory]} exceeds capacity "

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from ..core.bounds import lower_bound
 from ..core.graph import TaskGraph
-from ..core.platform import Memory, Platform
+from ..core.platform import Platform
 from ..core.schedule import Schedule
 from ..core.validation import memory_peaks
 
@@ -22,8 +22,8 @@ class ScheduleStats:
     """Aggregate quality metrics of one schedule."""
 
     makespan: float
-    peak_blue: float
-    peak_red: float
+    peak_blue: float    # class-0 peak on k-memory platforms
+    peak_red: float     # class-1 peak (0 on single-memory platforms)
     #: Mean busy fraction over all processors, within the makespan.
     utilization: float
     #: Busy fraction of the busiest processor.
@@ -34,6 +34,9 @@ class ScheduleStats:
     transfer_volume: float
     #: makespan / combinatorial lower bound (>= 1; 1 means provably optimal).
     optimality_ratio: float
+    #: Per-class memory peaks, one entry per memory class (k-ary form of
+    #: ``peak_blue``/``peak_red``).
+    peaks: tuple[float, ...] = ()
 
     def as_row(self) -> list:
         """Flat row for the report tables."""
@@ -61,13 +64,15 @@ def schedule_stats(graph: TaskGraph, platform: Platform,
     for ev in schedule.comms():
         volume += graph.size(ev.src, ev.dst)
     lb = lower_bound(graph, platform)
+    peak_list = tuple(peaks[m] for m in platform.memories())
     return ScheduleStats(
         makespan=span,
-        peak_blue=peaks[Memory.BLUE],
-        peak_red=peaks[Memory.RED],
+        peak_blue=peak_list[0],
+        peak_red=peak_list[1] if len(peak_list) > 1 else 0.0,
         utilization=sum(busy) / len(busy) if busy else 0.0,
         max_utilization=max(busy, default=0.0),
         n_transfers=schedule.n_comms,
         transfer_volume=volume,
         optimality_ratio=span / lb if lb > 0 else float("inf"),
+        peaks=peak_list,
     )

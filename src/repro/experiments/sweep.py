@@ -53,8 +53,9 @@ def reference_run(graph: TaskGraph, platform: Platform) -> ReferenceRun:
     return ReferenceRun(
         graph=graph,
         makespan=schedule.makespan,
-        peak_blue=schedule.meta["peak_blue"],
-        peak_red=schedule.meta["peak_red"],
+        peak_blue=schedule.meta["peaks"][0],
+        peak_red=(schedule.meta["peaks"][1]
+                  if len(schedule.meta["peaks"]) > 1 else 0.0),
     )
 
 
@@ -214,8 +215,8 @@ def absolute_sweep(
         memories=tuple(memories),
         points=points,
         heft_makespan=ref_heft.makespan,
-        heft_memory=max(ref_heft.meta["peak_blue"], ref_heft.meta["peak_red"]),
+        heft_memory=max(ref_heft.meta["peaks"]),
         minmin_makespan=ref_minmin.makespan,
-        minmin_memory=max(ref_minmin.meta["peak_blue"], ref_minmin.meta["peak_red"]),
+        minmin_memory=max(ref_minmin.meta["peaks"]),
         lower_bound=lower_bound(graph, platform),
     )

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Hashable, Optional
 
 from ..core.graph import TaskGraph
-from ..core.platform import MEMORIES, Platform
+from ..core.platform import Platform
 from ..core.schedule import Schedule
 from ..scheduling.state import SchedulerState
 
@@ -91,7 +91,7 @@ def optimal_eager(
 
         candidates = []
         for task in sorted(ready, key=order.__getitem__):
-            for memory in MEMORIES:
+            for memory in state.memories:
                 bd = state.est(task, memory)
                 if not bd.feasible:
                     continue

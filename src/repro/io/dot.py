@@ -12,12 +12,13 @@ def _quote(s: object) -> str:
 
 
 def to_dot(graph: TaskGraph, *, show_weights: bool = True) -> str:
-    """Render the DAG as a DOT digraph; node labels show ``W_blue/W_red``,
-    edge labels ``F (C)``."""
+    """Render the DAG as a DOT digraph; node labels show the per-class
+    times (``W_blue/W_red`` on dual graphs), edge labels ``F (C)``."""
     lines = [f"digraph {_quote(graph.name)} {{", "  rankdir=TB;"]
     for t in graph.topological_order():
         if show_weights:
-            label = f"{t}\\n{fmt_num(graph.w_blue(t))}/{fmt_num(graph.w_red(t))}"
+            times = "/".join(fmt_num(w) for w in graph.times(t))
+            label = f"{t}\\n{times}"
             lines.append(f"  {_quote(t)} [label={_quote(label)}];")
         else:
             lines.append(f"  {_quote(t)};")

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from .._util import fmt_num
-from ..core.platform import Memory
 from ..core.schedule import Schedule
 
 
@@ -34,7 +33,7 @@ def ascii_gantt(schedule: Schedule, *, width: int = 72) -> str:
             if b - a > len(label) + 1:
                 for k, ch in enumerate(label):
                     row[a + 1 + k] = ch
-        colour = "blue" if mem is Memory.BLUE else "red "
+        colour = f"{mem.value:<4.4s}"
         lines.append(f"P{proc:<2} ({colour}) |{''.join(row)}|")
 
     comm_rows = sorted(schedule.comms(), key=lambda ev: ev.start)

@@ -3,6 +3,13 @@
 Task identifiers are arbitrary hashables in memory; JSON round-tripping
 stringifies non-(str/int) tasks, so linear-algebra tuple ids survive as
 their ``repr`` strings (documented, stable).
+
+Dual-memory (k = 2) objects keep the historical layout (``w_blue``/
+``w_red``, ``n_blue``/``n_red``/``mem_blue``/``mem_red``) so serialized
+graphs, platforms and schedules from earlier versions load unchanged;
+k-memory objects use the generic ``times`` / ``proc_counts`` /
+``capacities`` fields.  Memories serialize as their canonical names
+(``"blue"``, ``"red"``, ``"mem2"``, ...).
 """
 
 from __future__ import annotations
@@ -25,16 +32,32 @@ def _task_key(task: Any) -> Union[str, int]:
     return repr(task)
 
 
+def _cap_out(x: float) -> Union[float, None]:
+    return None if math.isinf(x) else x
+
+
+def _cap_in(x: Union[float, None]) -> float:
+    return math.inf if x is None else float(x)
+
+
 # ----------------------------------------------------------------------
 # graphs
 # ----------------------------------------------------------------------
 def graph_to_dict(graph: TaskGraph) -> dict:
-    return {
-        "name": graph.name,
-        "tasks": [
+    if graph.n_classes == 2:
+        tasks = [
             {"id": _task_key(t), "w_blue": graph.w_blue(t), "w_red": graph.w_red(t)}
             for t in graph.topological_order()
-        ],
+        ]
+    else:
+        tasks = [
+            {"id": _task_key(t), "times": list(graph.times(t))}
+            for t in graph.topological_order()
+        ]
+    return {
+        "name": graph.name,
+        "n_classes": graph.n_classes,
+        "tasks": tasks,
         "edges": [
             {"src": _task_key(u), "dst": _task_key(v),
              "size": graph.size(u, v), "comm": graph.comm(u, v)}
@@ -44,9 +67,13 @@ def graph_to_dict(graph: TaskGraph) -> dict:
 
 
 def graph_from_dict(data: dict) -> TaskGraph:
-    g = TaskGraph(name=data.get("name", "taskgraph"))
+    n_classes = data.get("n_classes", 2)
+    g = TaskGraph(name=data.get("name", "taskgraph"), n_classes=n_classes)
     for row in data["tasks"]:
-        g.add_task(row["id"], row["w_blue"], row["w_red"])
+        if "times" in row:
+            g.add_task(row["id"], times=row["times"])
+        else:
+            g.add_task(row["id"], times=(row["w_blue"], row["w_red"]))
     for row in data["edges"]:
         g.add_dependency(row["src"], row["dst"],
                          size=row.get("size", 0.0), comm=row.get("comm", 0.0))
@@ -65,32 +92,45 @@ def load_graph(path: PathLike) -> TaskGraph:
 # platforms
 # ----------------------------------------------------------------------
 def platform_to_dict(platform: Platform) -> dict:
-    def cap(x: float) -> Union[float, None]:
-        return None if math.isinf(x) else x
-
+    if platform.n_classes == 2:
+        return {
+            "n_blue": platform.n_blue,
+            "n_red": platform.n_red,
+            "mem_blue": _cap_out(platform.mem_blue),
+            "mem_red": _cap_out(platform.mem_red),
+        }
     return {
-        "n_blue": platform.n_blue,
-        "n_red": platform.n_red,
-        "mem_blue": cap(platform.mem_blue),
-        "mem_red": cap(platform.mem_red),
+        "proc_counts": list(platform.proc_counts),
+        "capacities": [_cap_out(c) for c in platform.capacities],
     }
 
 
 def platform_from_dict(data: dict) -> Platform:
-    def cap(x: Union[float, None]) -> float:
-        return math.inf if x is None else float(x)
-
+    if "proc_counts" in data:
+        return Platform(
+            [int(n) for n in data["proc_counts"]],
+            [_cap_in(c) for c in data.get("capacities",
+                                          [None] * len(data["proc_counts"]))],
+        )
     return Platform(
         n_blue=data["n_blue"],
         n_red=data["n_red"],
-        mem_blue=cap(data.get("mem_blue")),
-        mem_red=cap(data.get("mem_red")),
+        mem_blue=_cap_in(data.get("mem_blue")),
+        mem_red=_cap_in(data.get("mem_red")),
     )
 
 
 # ----------------------------------------------------------------------
 # schedules
 # ----------------------------------------------------------------------
+def _jsonable_meta(v: Any) -> bool:
+    """Scalar meta entries plus flat scalar lists (e.g. per-class ``peaks``)."""
+    if isinstance(v, (str, int, float, bool)):
+        return True
+    return (isinstance(v, (list, tuple))
+            and all(isinstance(x, (str, int, float, bool)) for x in v))
+
+
 def schedule_to_dict(schedule: Schedule) -> dict:
     return {
         "platform": platform_to_dict(schedule.platform),
@@ -105,7 +145,7 @@ def schedule_to_dict(schedule: Schedule) -> dict:
             for ev in schedule.comms()
         ],
         "meta": {k: v for k, v in schedule.meta.items()
-                 if isinstance(v, (str, int, float, bool))},
+                 if _jsonable_meta(v)},
     }
 
 

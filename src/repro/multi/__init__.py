@@ -1,13 +1,21 @@
-"""k-memory generalisation of the dual-memory model (paper §7 future work).
+"""k-memory facade over the unified scheduling engine (paper §7).
 
 The paper's conclusion proposes adapting the heuristics to "more complex
 platforms, such as hybrid platforms with several types of accelerators,
-and/or including more than two memories".  This subpackage does exactly
-that: :class:`MultiPlatform` holds any number of memory classes, each with
-its own processor pool and capacity; :func:`multi_memheft` and
-:func:`multi_memminmin` generalise Algorithms 1-2; and the ``k = 2`` case
-reproduces the dual-memory implementation decision-for-decision
-(``tests/multi/test_equivalence.py``).
+and/or including more than two memories".  The core engine now does exactly
+that natively: :class:`repro.core.platform.Platform`,
+:class:`repro.core.graph.TaskGraph` and
+:class:`repro.scheduling.state.SchedulerState` are parametric over the
+number of memory classes, and the dual-memory platform is the ``k = 2``
+special case.
+
+This subpackage therefore contains **no independent scheduler or state
+implementation** — only re-exports and thin adapters preserving the
+historical §7 API (`MultiPlatform` with its per-class ``n_procs`` tuple,
+``MultiTaskGraph(n_classes)``, ``multi_memheft`` / ``multi_memminmin``,
+list-shaped validator results).  The ``k = 2`` case reproduces the
+dual-memory entry points decision-for-decision by construction
+(``tests/multi/test_equivalence.py`` keeps checking it end to end).
 """
 
 from .graph import MultiTaskGraph
@@ -17,7 +25,7 @@ from .heuristics import (
     multi_rank_order,
     multi_upward_ranks,
 )
-from .platform import MultiPlatform
+from .platform import MultiPlatform, as_core_platform
 from .schedule import MultiCommEvent, MultiPlacement, MultiSchedule
 from .state import MultiESTBreakdown, MultiInfeasibleError, MultiSchedulerState
 from .validation import multi_memory_usage, validate_multi_schedule
@@ -31,6 +39,7 @@ __all__ = [
     "MultiSchedulerState",
     "MultiESTBreakdown",
     "MultiInfeasibleError",
+    "as_core_platform",
     "multi_upward_ranks",
     "multi_rank_order",
     "multi_memheft",

@@ -1,131 +1,38 @@
-"""Task graphs with one processing time per memory class.
+"""k-memory task-graph adapter (historical ``MultiTaskGraph`` API).
 
-Same file/transfer model as the dual-memory :class:`~repro.core.graph.
-TaskGraph` — each edge carries a file of size ``F`` and a transfer time
-``C`` paid whenever producer and consumer sit in *different* classes
-(regardless of which pair of classes).
+The unified :class:`repro.core.graph.TaskGraph` already stores one
+processing time per memory class; this subclass only keeps the historical
+constructor signature (``MultiTaskGraph(n_classes)`` and
+``add_task(task, times)``) and the :meth:`from_dual` lift.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Hashable, Iterator, Optional, Sequence
-
-import networkx as nx
+from typing import Hashable, Sequence
 
 from ..core.graph import TaskGraph
 
 Task = Hashable
 
 
-class MultiTaskGraph:
+class MultiTaskGraph(TaskGraph):
     """DAG whose tasks run in ``w[c]`` time on memory class ``c``."""
 
     def __init__(self, n_classes: int, name: str = "multigraph") -> None:
-        if n_classes < 1:
-            raise ValueError("need at least one memory class")
-        self.n_classes = n_classes
-        self.name = name
-        self._g = nx.DiGraph()
-        self._topo: Optional[tuple[Task, ...]] = None
+        super().__init__(name=name, n_classes=n_classes)
 
-    # ------------------------------------------------------------------
-    def add_task(self, task: Task, times: Sequence[float]) -> Task:
-        if task in self._g:
-            raise ValueError(f"duplicate task {task!r}")
-        times = tuple(float(w) for w in times)
-        if len(times) != self.n_classes:
-            raise ValueError(
-                f"{task!r}: expected {self.n_classes} times, got {len(times)}")
-        if any(w < 0 or not math.isfinite(w) for w in times):
-            raise ValueError(f"{task!r}: times must be finite and >= 0")
-        self._g.add_node(task, times=times)
-        self._topo = None
-        return task
+    def add_task(self, task: Task, times: Sequence[float]) -> Task:  # type: ignore[override]
+        return super().add_task(task, times=times)
 
-    def add_dependency(self, u: Task, v: Task, size: float = 0.0,
-                       comm: float = 0.0) -> None:
-        if u not in self._g or v not in self._g:
-            raise ValueError("both endpoints must exist")
-        if u == v or self._g.has_edge(u, v):
-            raise ValueError(f"invalid or duplicate edge ({u!r}, {v!r})")
-        if size < 0 or comm < 0:
-            raise ValueError("size/comm must be >= 0")
-        self._g.add_edge(u, v, size=float(size), comm=float(comm))
-        self._topo = None
+    def _empty_like(self) -> "MultiTaskGraph":
+        return MultiTaskGraph(self.n_classes, name=self.name)
 
-    # ------------------------------------------------------------------
-    @property
-    def n_tasks(self) -> int:
-        return self._g.number_of_nodes()
-
-    @property
-    def n_edges(self) -> int:
-        return self._g.number_of_edges()
-
-    def tasks(self) -> Iterator[Task]:
-        return iter(self._g.nodes)
-
-    def edges(self) -> Iterator[tuple[Task, Task]]:
-        return iter(self._g.edges)
-
-    def parents(self, task: Task) -> list[Task]:
-        return list(self._g.predecessors(task))
-
-    def children(self, task: Task) -> list[Task]:
-        return list(self._g.successors(task))
-
-    def in_degree(self, task: Task) -> int:
-        return self._g.in_degree(task)
-
-    def roots(self) -> list[Task]:
-        return [t for t in self._g.nodes if self._g.in_degree(t) == 0]
-
-    def w(self, task: Task, cls: int) -> float:
-        return self._g.nodes[task]["times"][cls]
-
-    def w_min(self, task: Task) -> float:
-        return min(self._g.nodes[task]["times"])
-
-    def w_mean(self, task: Task) -> float:
-        times = self._g.nodes[task]["times"]
-        return sum(times) / len(times)
-
-    def size(self, u: Task, v: Task) -> float:
-        return self._g.edges[u, v]["size"]
-
-    def comm(self, u: Task, v: Task) -> float:
-        return self._g.edges[u, v]["comm"]
-
-    def in_size(self, task: Task) -> float:
-        return sum(self._g.edges[p, task]["size"]
-                   for p in self._g.predecessors(task))
-
-    def out_size(self, task: Task) -> float:
-        return sum(self._g.edges[task, c]["size"]
-                   for c in self._g.successors(task))
-
-    def mem_req(self, task: Task) -> float:
-        return self.in_size(task) + self.out_size(task)
-
-    def topological_order(self) -> tuple[Task, ...]:
-        if self._topo is None:
-            try:
-                self._topo = tuple(nx.topological_sort(self._g))
-            except nx.NetworkXUnfeasible as exc:
-                raise ValueError("task graph contains a cycle") from exc
-        return self._topo
-
-    def validate(self) -> None:
-        self.topological_order()
-
-    # ------------------------------------------------------------------
     @classmethod
     def from_dual(cls, graph: TaskGraph) -> "MultiTaskGraph":
         """Lift a dual-memory graph: class 0 = blue, class 1 = red."""
         g = cls(2, name=graph.name)
         for t in graph.topological_order():
-            g.add_task(t, (graph.w_blue(t), graph.w_red(t)))
+            g.add_task(t, graph.times(t))
         for u, v in graph.edges():
             g.add_dependency(u, v, size=graph.size(u, v),
                              comm=graph.comm(u, v))

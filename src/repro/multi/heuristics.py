@@ -1,97 +1,42 @@
-"""MultiMemHEFT and MultiMemMinMin — Algorithms 1-2 over k memories.
+"""MultiMemHEFT and MultiMemMinMin — thin adapters over the unified engine.
 
-The upward rank generalises the mean cost to ``k`` classes: the expected
-communication weight of an edge becomes ``C * (k - 1) / k`` (the chance
-that two uniformly chosen classes differ), which reduces to the paper's
-``C / 2`` at ``k = 2``.
+Algorithms 1–2 are implemented once, over k memory classes, in
+:mod:`repro.scheduling`; these wrappers only coerce the :class:`MultiPlatform`
+facade to the core platform type and restamp the algorithm name.  The upward
+rank's mean communication weight (``C * (k - 1) / k``, reducing to the
+paper's ``C / 2`` at ``k = 2``) likewise lives in
+:func:`repro.scheduling.ranks.upward_ranks` now.
 """
 
 from __future__ import annotations
 
 from typing import Hashable
 
-from .._util import EPS, RngLike, as_rng
+from .._util import RngLike
+from ..scheduling.memheft import memheft
+from ..scheduling.memminmin import memminmin
+from ..scheduling.ranks import rank_order, upward_ranks
 from .graph import MultiTaskGraph
-from .platform import MultiPlatform
+from .platform import as_core_platform
 from .schedule import MultiSchedule
-from .state import MultiESTBreakdown, MultiInfeasibleError, MultiSchedulerState
 
 Task = Hashable
 
-
-def multi_upward_ranks(graph: MultiTaskGraph) -> dict[Task, float]:
-    """Mean-cost upward rank over ``k`` memory classes."""
-    k = graph.n_classes
-    comm_weight = (k - 1) / k
-    ranks: dict[Task, float] = {}
-    for task in reversed(graph.topological_order()):
-        best = 0.0
-        for child in graph.children(task):
-            cand = ranks[child] + graph.comm(task, child) * comm_weight
-            if cand > best:
-                best = cand
-        ranks[task] = graph.w_mean(task) + best
-    return ranks
+#: The k-ary rank formulas are the unified ones.
+multi_upward_ranks = upward_ranks
+multi_rank_order = rank_order
 
 
-def multi_rank_order(graph: MultiTaskGraph, rng: RngLike = None) -> list[Task]:
-    """Non-increasing rank order (deterministic or random tie-break)."""
-    ranks = multi_upward_ranks(graph)
-    order = list(graph.tasks())
-    if rng is None:
-        index = {t: i for i, t in enumerate(order)}
-        order.sort(key=lambda t: (-ranks[t], index[t]))
-        return order
-    gen = as_rng(rng)
-    gen.shuffle(order)
-    order.sort(key=lambda t: -ranks[t])
-    return order
-
-
-def multi_memheft(graph: MultiTaskGraph, platform: MultiPlatform, *,
+def multi_memheft(graph: MultiTaskGraph, platform, *,
                   rng: RngLike = None) -> MultiSchedule:
-    """Algorithm 1 generalised to ``k`` memory classes."""
-    state = MultiSchedulerState(graph, platform)
-    remaining = multi_rank_order(graph, rng=rng)
-    while remaining:
-        committed = False
-        for index, task in enumerate(remaining):
-            if not state.is_ready(task):
-                continue
-            best = state.best_est(task)
-            if best is None:
-                continue
-            state.commit(best)
-            remaining.pop(index)
-            committed = True
-            break
-        if not committed:
-            raise MultiInfeasibleError(
-                f"MultiMemHEFT: no remaining task fits "
-                f"({len(remaining)} left, capacities={platform.capacities})")
-    return state.finalize("multi_memheft")
+    """Algorithm 1 over ``k`` memory classes (unified engine)."""
+    schedule = memheft(graph, as_core_platform(platform), rng=rng)
+    schedule.meta["algorithm"] = "multi_memheft"
+    return schedule
 
 
-def multi_memminmin(graph: MultiTaskGraph,
-                    platform: MultiPlatform) -> MultiSchedule:
-    """Algorithm 2 generalised to ``k`` memory classes."""
-    state = MultiSchedulerState(graph, platform)
-    index = {t: i for i, t in enumerate(graph.topological_order())}
-    available: set[Task] = set(graph.roots())
-    while available:
-        best: MultiESTBreakdown | None = None
-        for task in sorted(available, key=index.__getitem__):
-            cand = state.best_est(task)
-            if cand is None:
-                continue
-            if best is None or cand.eft < best.eft - EPS:
-                best = cand
-        if best is None:
-            raise MultiInfeasibleError(
-                f"MultiMemMinMin: no available task fits "
-                f"({len(available)} available, "
-                f"capacities={platform.capacities})")
-        state.commit(best)
-        available.discard(best.task)
-        available.update(state.pop_newly_ready())
-    return state.finalize("multi_memminmin")
+def multi_memminmin(graph: MultiTaskGraph, platform) -> MultiSchedule:
+    """Algorithm 2 over ``k`` memory classes (unified engine)."""
+    schedule = memminmin(graph, as_core_platform(platform))
+    schedule.meta["algorithm"] = "multi_memminmin"
+    return schedule

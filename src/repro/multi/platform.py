@@ -1,85 +1,107 @@
-"""k-memory platform model (the paper's §7 future-work generalisation).
+"""k-memory platform adapter (historical ``MultiPlatform`` API).
 
-A :class:`MultiPlatform` has ``k`` memory classes; class ``c`` owns
-``n_procs[c]`` identical processors sharing a memory of capacity
-``capacities[c]``.  The dual-memory platform of the paper is the ``k = 2``
-special case (class 0 = blue, class 1 = red), and the generalised
-heuristics reproduce the two-memory ones decision-for-decision there
-(tested in ``tests/multi/test_equivalence.py``).
+The generic engine lives in :class:`repro.core.platform.Platform`, which
+accepts any number of memory classes directly.  :class:`MultiPlatform` is a
+thin facade kept for the historical §7 API, whose ``n_procs`` attribute is a
+*tuple* (per class) where the core ``Platform.n_procs`` is the total count.
+Use :meth:`to_core` (or the ``core`` attribute) to reach the engine type.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
+
+from ..core.platform import Platform
 
 
-@dataclass(frozen=True)
 class MultiPlatform:
-    """Processor counts and memory capacities per memory class."""
+    """Processor counts and memory capacities per memory class (facade)."""
 
-    n_procs: tuple[int, ...]
-    capacities: tuple[float, ...]
+    __slots__ = ("core",)
 
     def __init__(self, n_procs: Sequence[int],
                  capacities: Sequence[float] | None = None) -> None:
-        n_procs = tuple(int(n) for n in n_procs)
+        counts = tuple(int(n) for n in n_procs)
         if capacities is None:
-            capacities = tuple(math.inf for _ in n_procs)
+            caps = tuple(math.inf for _ in counts)
         else:
-            capacities = tuple(float(c) for c in capacities)
-        if len(n_procs) != len(capacities):
+            caps = tuple(float(c) for c in capacities)
+        if counts and len(counts) != len(caps):
             raise ValueError("n_procs and capacities must have equal length")
-        if not n_procs:
-            raise ValueError("at least one memory class is required")
-        if any(n < 0 for n in n_procs) or sum(n_procs) == 0:
-            raise ValueError("need non-negative counts and >= 1 processor")
-        if any(c < 0 for c in capacities):
-            raise ValueError("capacities must be >= 0")
-        object.__setattr__(self, "n_procs", n_procs)
-        object.__setattr__(self, "capacities", capacities)
+        object.__setattr__(self, "core", Platform(list(counts), list(caps)))
+
+    @classmethod
+    def _wrap(cls, core: Platform) -> "MultiPlatform":
+        self = object.__new__(cls)
+        object.__setattr__(self, "core", core)
+        return self
+
+    def to_core(self) -> Platform:
+        """The generic :class:`~repro.core.platform.Platform` underneath."""
+        return self.core
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("MultiPlatform is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MultiPlatform):
+            return self.core == other.core
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.core)
 
     # ------------------------------------------------------------------
     @property
+    def n_procs(self) -> tuple[int, ...]:
+        return self.core.proc_counts
+
+    @property
+    def capacities(self) -> tuple[float, ...]:
+        return self.core.capacities
+
+    @property
     def n_classes(self) -> int:
-        return len(self.n_procs)
+        return self.core.n_classes
 
     @property
     def total_procs(self) -> int:
-        return sum(self.n_procs)
+        return self.core.n_procs
 
     def classes(self) -> range:
-        return range(self.n_classes)
+        return self.core.classes()
 
     def procs(self, cls: int) -> range:
         """Global processor indices of memory class ``cls``."""
-        start = sum(self.n_procs[:cls])
-        return range(start, start + self.n_procs[cls])
+        return self.core.procs(cls)
 
     def class_of(self, proc: int) -> int:
         """Memory class of a global processor index."""
-        if not 0 <= proc < self.total_procs:
-            raise ValueError(f"processor {proc} out of range")
-        acc = 0
-        for cls, n in enumerate(self.n_procs):
-            acc += n
-            if proc < acc:
-                return cls
-        raise AssertionError("unreachable")
+        return self.core.class_of(proc)
 
     def capacity(self, cls: int) -> float:
-        return self.capacities[cls]
+        return self.core.capacity(cls)
 
     @property
     def is_memory_bounded(self) -> bool:
-        return any(math.isfinite(c) for c in self.capacities)
+        return self.core.is_memory_bounded
 
     def with_capacities(self, capacities: Sequence[float]) -> "MultiPlatform":
-        return MultiPlatform(self.n_procs, capacities)
+        return MultiPlatform._wrap(self.core.with_capacities(capacities))
 
     def with_uniform_capacity(self, bound: float) -> "MultiPlatform":
-        return MultiPlatform(self.n_procs, [bound] * self.n_classes)
+        return MultiPlatform._wrap(self.core.with_uniform_bound(bound))
 
     def unbounded(self) -> "MultiPlatform":
-        return MultiPlatform(self.n_procs, None)
+        return MultiPlatform._wrap(self.core.unbounded())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultiPlatform(n_procs={list(self.n_procs)})"
+
+
+def as_core_platform(platform) -> Platform:
+    """Coerce a :class:`MultiPlatform` or core platform to the engine type."""
+    if isinstance(platform, MultiPlatform):
+        return platform.core
+    return platform

@@ -1,98 +1,17 @@
-"""Schedule containers for k-memory platforms."""
+"""Schedule containers for k-memory platforms (re-exports).
+
+The unified engine schedules any number of memory classes with the core
+containers; ``MultiSchedule``/``MultiPlacement``/``MultiCommEvent`` are now
+plain aliases.  ``Placement.cls`` exposes the memory-class index the
+historical ``MultiPlacement.cls`` field carried.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Hashable, Iterator, Optional
+from ..core.schedule import CommEvent, Placement, Schedule
 
-from .platform import MultiPlatform
+MultiPlacement = Placement
+MultiCommEvent = CommEvent
+MultiSchedule = Schedule
 
-Task = Hashable
-
-
-@dataclass(frozen=True)
-class MultiPlacement:
-    task: Task
-    proc: int
-    cls: int
-    start: float
-    finish: float
-
-    @property
-    def duration(self) -> float:
-        return self.finish - self.start
-
-
-@dataclass(frozen=True)
-class MultiCommEvent:
-    src: Task
-    dst: Task
-    start: float
-    finish: float
-    src_cls: int
-    dst_cls: int
-
-    @property
-    def duration(self) -> float:
-        return self.finish - self.start
-
-
-class MultiSchedule:
-    """Placements + inter-class transfers on a :class:`MultiPlatform`."""
-
-    def __init__(self, platform: MultiPlatform) -> None:
-        self.platform = platform
-        self._placements: dict[Task, MultiPlacement] = {}
-        self._comms: dict[tuple[Task, Task], MultiCommEvent] = {}
-        self.meta: dict[str, Any] = {}
-
-    def add(self, placement: MultiPlacement) -> None:
-        if placement.task in self._placements:
-            raise ValueError(f"task {placement.task!r} already placed")
-        if self.platform.class_of(placement.proc) != placement.cls:
-            raise ValueError(
-                f"processor {placement.proc} is not in class {placement.cls}")
-        if placement.start < 0 or placement.finish < placement.start:
-            raise ValueError(f"invalid window for {placement.task!r}")
-        self._placements[placement.task] = placement
-
-    def add_comm(self, event: MultiCommEvent) -> None:
-        key = (event.src, event.dst)
-        if key in self._comms:
-            raise ValueError(f"communication {key!r} already scheduled")
-        self._comms[key] = event
-
-    def __contains__(self, task: Task) -> bool:
-        return task in self._placements
-
-    def __len__(self) -> int:
-        return len(self._placements)
-
-    def placement(self, task: Task) -> MultiPlacement:
-        return self._placements[task]
-
-    def placements(self) -> Iterator[MultiPlacement]:
-        return iter(self._placements.values())
-
-    def comm(self, src: Task, dst: Task) -> Optional[MultiCommEvent]:
-        return self._comms.get((src, dst))
-
-    def comms(self) -> Iterator[MultiCommEvent]:
-        return iter(self._comms.values())
-
-    @property
-    def n_comms(self) -> int:
-        return len(self._comms)
-
-    @property
-    def makespan(self) -> float:
-        return max((p.finish for p in self._placements.values()), default=0.0)
-
-    def tasks_on_proc(self, proc: int) -> list[MultiPlacement]:
-        rows = [p for p in self._placements.values() if p.proc == proc]
-        rows.sort(key=lambda p: (p.start, p.finish))
-        return rows
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"MultiSchedule(n_tasks={len(self._placements)}, "
-                f"makespan={self.makespan:g})")
+__all__ = ["MultiPlacement", "MultiCommEvent", "MultiSchedule"]

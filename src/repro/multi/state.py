@@ -1,196 +1,82 @@
-"""Generalised scheduler state: §5.1's EST machinery over k memories.
+"""k-memory scheduler state (facade over the unified engine).
 
-The dual-memory rules generalise directly:
-
-* ``resource_EST``   — earliest free processor of the candidate class;
-* ``precedence_EST`` — parents' finish (+ ``C`` for parents in any *other*
-  class);
-* ``task_mem_EST``   — room for other-class inputs + all outputs;
-* ``comm_mem_EST``   — room for the other-class inputs, ``Cmax`` earlier;
-
-and the commit bookkeeping is identical: transfers as late as possible
-(clipped to producers), destination copies live transfer-through-finish,
-source copies are released when their transfer ends, same-class inputs at
-the consumer's finish, outputs from the task start until each consumer
-takes them over.
+The §5.1 EST machinery over k memories *is* the core
+:class:`repro.scheduling.state.SchedulerState` — the dual-memory rules were
+generalised in place (see that module's docstring for the incremental EST
+kernel).  This module keeps the historical names and call shapes:
+``MultiSchedulerState`` accepts a :class:`MultiPlatform`, its ``est``/
+``choose_proc`` take either a class index or a :class:`Memory`, ``mem``
+supports class-index lookup next to ``Memory`` keys, and ``peaks()``
+returns the historical list shape.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, Union
 
-from .._util import EPS
 from ..core.memory_profile import MemoryProfile
+from ..core.platform import Memory
+from ..scheduling.state import (
+    ESTBreakdown,
+    InfeasibleScheduleError,
+    SchedulerState,
+)
 from .graph import MultiTaskGraph
-from .platform import MultiPlatform
-from .schedule import MultiCommEvent, MultiPlacement, MultiSchedule
+from .platform import MultiPlatform, as_core_platform
 
 Task = Hashable
 
+#: k-memory infeasibility is the same error the dual engine raises.
+MultiInfeasibleError = InfeasibleScheduleError
 
-class MultiInfeasibleError(RuntimeError):
-    """No remaining task fits within the memory capacities."""
-
-
-@dataclass(frozen=True)
-class MultiESTBreakdown:
-    """EST components for one (task, memory class) candidate."""
-
-    task: Task
-    cls: int
-    resource: float
-    precedence: float
-    task_mem: float
-    comm_mem: float
-    cmax: float
-    est: float
-    eft: float
-    comm_fit: float = 0.0
-
-    @property
-    def feasible(self) -> bool:
-        return math.isfinite(self.eft)
+#: Breakdowns carry a ``cls`` property (= ``memory.index``) for k-ary use.
+MultiESTBreakdown = ESTBreakdown
 
 
-class MultiSchedulerState:
-    """Mutable partial schedule over a k-memory platform."""
+class _ClassIndexedMem(dict):
+    """Memory-keyed profile dict that also resolves bare class indices."""
 
-    def __init__(self, graph: MultiTaskGraph, platform: MultiPlatform) -> None:
-        if graph.n_classes != platform.n_classes:
-            raise ValueError(
-                f"graph has {graph.n_classes} classes, platform "
-                f"{platform.n_classes}")
-        self.graph = graph
-        self.platform = platform
-        self.schedule = MultiSchedule(platform)
-        self.avail = [0.0] * platform.total_procs
-        self.mem = [MemoryProfile(platform.capacity(c))
-                    for c in platform.classes()]
-        self._pending = {t: graph.in_degree(t) for t in graph.tasks()}
-        self._newly_ready: list[Task] = []
+    def __missing__(self, key):
+        if isinstance(key, int):
+            return self[Memory(key)]
+        raise KeyError(key)
 
-    # ------------------------------------------------------------------
-    @property
-    def n_scheduled(self) -> int:
-        return len(self.schedule)
 
-    @property
-    def done(self) -> bool:
-        return self.n_scheduled == self.graph.n_tasks
+class MultiSchedulerState(SchedulerState):
+    """Mutable partial schedule over a k-memory platform (facade)."""
 
-    def is_ready(self, task: Task) -> bool:
-        return task not in self.schedule and self._pending[task] == 0
+    def __init__(self, graph: MultiTaskGraph, platform) -> None:
+        super().__init__(graph, as_core_platform(platform))
+        self.mem: dict = _ClassIndexedMem(self.mem)
 
-    def pop_newly_ready(self) -> list[Task]:
-        out, self._newly_ready = self._newly_ready, []
-        return out
+    def _as_memory(self, memory: Union[Memory, int]) -> Memory:
+        return self.memories[memory] if isinstance(memory, int) else memory
 
-    # ------------------------------------------------------------------
-    def est(self, task: Task, cls: int) -> MultiESTBreakdown:
-        inf = math.inf
-        if not self.is_ready(task) or self.platform.n_procs[cls] == 0:
-            return MultiESTBreakdown(task, cls, inf, inf, inf, inf, 0.0,
-                                     inf, inf)
-        resource = min(self.avail[p] for p in self.platform.procs(cls))
+    def est(self, task: Task, memory: Union[Memory, int]) -> ESTBreakdown:
+        return super().est(task, self._as_memory(memory))
 
-        precedence = 0.0
-        cmax = 0.0
-        cross_in = 0.0
-        for parent in self.graph.parents(task):
-            pp = self.schedule.placement(parent)
-            if pp.cls == cls:
-                precedence = max(precedence, pp.finish)
-            else:
-                c = self.graph.comm(parent, task)
-                precedence = max(precedence, pp.finish + c)
-                cmax = max(cmax, c)
-                cross_in += self.graph.size(parent, task)
+    def choose_proc(self, memory: Union[Memory, int], est: float) -> int:
+        return super().choose_proc(self._as_memory(memory), est)
 
-        need_task = cross_in + self.graph.out_size(task)
-        task_mem = self.mem[cls].earliest_fit(need_task)
+    def mem_of(self, cls: int) -> MemoryProfile:
+        """Memory profile of class ``cls``."""
+        return self.mem[self.memories[cls]]
 
-        comm_fit = 0.0
-        comm_mem = 0.0
-        if cross_in > 0.0 or cmax > 0.0:
-            comm_fit = self.mem[cls].earliest_fit(cross_in)
-            comm_mem = comm_fit + cmax
+    def peaks(self) -> list[float]:  # type: ignore[override]
+        """Per-class peaks in the historical list shape."""
+        return [self.mem[m].peak() for m in self.memories]
 
-        est = max(resource, precedence, task_mem, comm_mem)
-        eft = est + self.graph.w(task, cls) if math.isfinite(est) else inf
-        return MultiESTBreakdown(task, cls, resource, precedence, task_mem,
-                                 comm_mem, cmax, est, eft, comm_fit)
-
-    def best_est(self, task: Task) -> Optional[MultiESTBreakdown]:
-        """Memory class minimising EFT; ties go to the lowest class index
-        (class 0 = blue in the dual special case)."""
-        best: Optional[MultiESTBreakdown] = None
-        for cls in self.platform.classes():
-            bd = self.est(task, cls)
-            if not bd.feasible:
-                continue
-            if best is None or bd.eft < best.eft - EPS:
-                best = bd
-        return best
-
-    def choose_proc(self, cls: int, est: float) -> int:
-        best_proc, best_avail = -1, -math.inf
-        for p in self.platform.procs(cls):
-            a = self.avail[p]
-            if a <= est + EPS and a > best_avail + EPS:
-                best_avail, best_proc = a, p
-        if best_proc < 0:  # pragma: no cover - est >= resource_EST
-            raise RuntimeError("no processor available at the chosen EST")
-        return best_proc
-
-    # ------------------------------------------------------------------
-    def commit(self, bd: MultiESTBreakdown) -> MultiPlacement:
-        task, cls, est = bd.task, bd.cls, bd.est
-        if not math.isfinite(est):
-            raise ValueError(f"cannot commit infeasible candidate {task!r}")
-        finish = est + self.graph.w(task, cls)
-        proc = self.choose_proc(cls, est)
-        placement = MultiPlacement(task=task, proc=proc, cls=cls,
-                                   start=est, finish=finish)
-        self.schedule.add(placement)
-        self.avail[proc] = finish
-
-        profile = self.mem[cls]
-        out_total = self.graph.out_size(task)
-        if out_total > 0.0:
-            profile.add(out_total, est, None)
-
-        for parent in self.graph.parents(task):
-            pp = self.schedule.placement(parent)
-            size = self.graph.size(parent, task)
-            if pp.cls == cls:
-                if size > 0.0:
-                    profile.add(-size, finish, None)
-            else:
-                comm_start = max(est - bd.cmax, pp.finish)
-                self.schedule.add_comm(MultiCommEvent(
-                    src=parent, dst=task, start=comm_start, finish=est,
-                    src_cls=pp.cls, dst_cls=cls))
-                if size > 0.0:
-                    profile.add(size, comm_start, finish)
-                    self.mem[pp.cls].add(-size, est, None)
-
-        for child in self.graph.children(task):
-            self._pending[child] -= 1
-            if self._pending[child] == 0:
-                self._newly_ready.append(child)
-        return placement
-
-    # ------------------------------------------------------------------
-    def peaks(self) -> list[float]:
-        return [p.peak() for p in self.mem]
-
-    def check_invariants(self) -> None:
-        for p in self.mem:
-            p.check_invariants()
-
-    def finalize(self, algorithm: str) -> MultiSchedule:
+    def finalize(self, algorithm: str):
         self.check_invariants()
-        self.schedule.meta.update(algorithm=algorithm, peaks=self.peaks())
+        peaks = self.peaks()
+        self.schedule.meta.update(algorithm=algorithm, peaks=peaks)
+        if len(self.memories) == 2:
+            self.schedule.meta.update(peak_blue=peaks[0], peak_red=peaks[1])
         return self.schedule
+
+
+__all__ = [
+    "MultiESTBreakdown",
+    "MultiInfeasibleError",
+    "MultiSchedulerState",
+]

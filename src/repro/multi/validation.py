@@ -1,84 +1,36 @@
-"""Independent validator for k-memory schedules (mirrors
-:mod:`repro.core.validation`)."""
+"""Independent validator for k-memory schedules (adapter).
+
+The unified :mod:`repro.core.validation` replays schedules over any number
+of memory classes; these wrappers keep the historical list-based return
+shape (one entry per class index) and accept the :class:`MultiPlatform`
+facade.
+"""
 
 from __future__ import annotations
 
 from typing import Hashable
 
+from ..core.graph import TaskGraph
 from ..core.memory_profile import MemoryProfile
-from ..core.validation import ScheduleError
-from .graph import MultiTaskGraph
-from .platform import MultiPlatform
-from .schedule import MultiSchedule
+from ..core.validation import ScheduleError, memory_usage, validate_schedule
+from ..core.schedule import Schedule
+from .platform import as_core_platform
 
 Task = Hashable
 
 
-def multi_memory_usage(graph: MultiTaskGraph, platform: MultiPlatform,
-                       schedule: MultiSchedule) -> list[MemoryProfile]:
+def multi_memory_usage(graph: TaskGraph, platform,
+                       schedule: Schedule) -> list[MemoryProfile]:
     """Rebuild per-class used-memory staircases from file residencies."""
-    profiles = [MemoryProfile(platform.capacity(c))
-                for c in platform.classes()]
-    for u, v in graph.edges():
-        size = graph.size(u, v)
-        if size == 0.0:
-            continue
-        pu, pv = schedule.placement(u), schedule.placement(v)
-        if pu.cls == pv.cls:
-            profiles[pu.cls].add(size, pu.start, pv.finish)
-        else:
-            ev = schedule.comm(u, v)
-            if ev is None:
-                raise ScheduleError(
-                    f"cross-class edge ({u!r}, {v!r}) has no communication")
-            profiles[pu.cls].add(size, pu.start, ev.finish)
-            profiles[pv.cls].add(size, ev.start, pv.finish)
-    return profiles
+    core = as_core_platform(platform)
+    usage = memory_usage(graph, core, schedule)
+    return [usage[m] for m in core.memories()]
 
 
-def validate_multi_schedule(graph: MultiTaskGraph, platform: MultiPlatform,
-                            schedule: MultiSchedule, *,
+def validate_multi_schedule(graph: TaskGraph, platform,
+                            schedule: Schedule, *,
                             eps: float = 1e-6) -> list[float]:
     """All model constraints over k memories; returns per-class peaks."""
-    for task in graph.tasks():
-        if task not in schedule:
-            raise ScheduleError(f"task {task!r} is not scheduled")
-        p = schedule.placement(task)
-        expect = graph.w(task, p.cls)
-        if abs(p.duration - expect) > eps:
-            raise ScheduleError(
-                f"task {task!r} runs for {p.duration}, expected {expect}")
-
-    for u, v in graph.edges():
-        pu, pv = schedule.placement(u), schedule.placement(v)
-        if pu.cls == pv.cls:
-            if schedule.comm(u, v) is not None:
-                raise ScheduleError(
-                    f"same-class edge ({u!r}, {v!r}) has a communication")
-            if pu.finish > pv.start + eps:
-                raise ScheduleError(f"precedence violated on ({u!r}, {v!r})")
-        else:
-            ev = schedule.comm(u, v)
-            if ev is None:
-                raise ScheduleError(
-                    f"cross-class edge ({u!r}, {v!r}) has no communication")
-            if (ev.start < pu.finish - eps or ev.finish > pv.start + eps
-                    or ev.duration < graph.comm(u, v) - eps):
-                raise ScheduleError(
-                    f"communication window invalid on ({u!r}, {v!r})")
-
-    for proc in range(platform.total_procs):
-        rows = schedule.tasks_on_proc(proc)
-        for a, b in zip(rows, rows[1:]):
-            if b.start < a.finish - eps:
-                raise ScheduleError(
-                    f"tasks {a.task!r} and {b.task!r} overlap on {proc}")
-
-    profiles = multi_memory_usage(graph, platform, schedule)
-    peaks = [p.peak() for p in profiles]
-    for cls, peak in enumerate(peaks):
-        if peak > platform.capacity(cls) + eps:
-            raise ScheduleError(
-                f"class-{cls} memory peak {peak} exceeds capacity "
-                f"{platform.capacity(cls)}")
-    return peaks
+    core = as_core_platform(platform)
+    peaks = validate_schedule(graph, core, schedule, eps=eps)
+    return [peaks[m] for m in core.memories()]

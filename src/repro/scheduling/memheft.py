@@ -57,7 +57,7 @@ def memheft(graph: TaskGraph, platform: Platform, *, rng: RngLike = None,
         if not committed:
             raise InfeasibleScheduleError(
                 "MemHEFT: no remaining task fits within the memory bounds "
-                f"({len(remaining)} tasks left, bounds blue={platform.mem_blue}, "
-                f"red={platform.mem_red})"
+                f"({len(remaining)} tasks left, "
+                f"capacities={list(platform.capacities)})"
             )
     return state.finalize("memheft")

@@ -43,8 +43,8 @@ def memminmin(graph: TaskGraph, platform: Platform, *,
         if best is None:
             raise InfeasibleScheduleError(
                 "MemMinMin: no available task fits within the memory bounds "
-                f"({len(available)} available, bounds blue={platform.mem_blue}, "
-                f"red={platform.mem_red})"
+                f"({len(available)} available, "
+                f"capacities={list(platform.capacities)})"
             )
         state.commit(best)
         available.discard(best.task)

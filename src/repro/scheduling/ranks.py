@@ -1,11 +1,16 @@
-"""Task prioritisation: the upward rank of §5.1.
+"""Task prioritisation: the upward rank of §5.1, over k memory classes.
 
-``rank(i) = (W_blue_i + W_red_i) / 2 + max_{j in Children(i)} (rank(j) + C_ij / 2)``
+``rank(i) = mean_c(W^(c)_i) + max_{j in Children(i)} (rank(j) + C_ij * (k-1)/k)``
 
-computed in reverse topological order.  The task list of MemHEFT sorts by
-non-increasing rank; the paper breaks ties randomly, which we reproduce with
-a seeded RNG (``rng=None`` keeps a deterministic insertion-order tie-break,
-used by tests and the tie-breaking ablation bench).
+computed in reverse topological order.  The expected communication weight of
+an edge is ``C * (k - 1) / k`` — the chance that two uniformly chosen memory
+classes differ — which reduces to the paper's ``C / 2`` on the dual-memory
+platform (``k = 2``).
+
+The task list of MemHEFT sorts by non-increasing rank; the paper breaks ties
+randomly, which we reproduce with a seeded RNG (``rng=None`` keeps a
+deterministic insertion-order tie-break, used by tests and the tie-breaking
+ablation bench).
 """
 
 from __future__ import annotations
@@ -19,12 +24,14 @@ Task = Hashable
 
 
 def upward_ranks(graph: TaskGraph) -> dict[Task, float]:
-    """Upward rank of every task (mean execution + half mean communication)."""
+    """Upward rank of every task (mean execution + expected communication)."""
+    k = graph.n_classes
+    comm_weight = (k - 1) / k
     ranks: dict[Task, float] = {}
     for task in reversed(graph.topological_order()):
         best_child = 0.0
         for child in graph.children(task):
-            cand = ranks[child] + graph.comm(task, child) / 2.0
+            cand = ranks[child] + graph.comm(task, child) * comm_weight
             if cand > best_child:
                 best_child = cand
         ranks[task] = graph.w_mean(task) + best_child

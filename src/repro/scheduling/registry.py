@@ -1,4 +1,9 @@
-"""Name-based scheduler lookup used by the CLI and the experiment harness."""
+"""Name-based scheduler lookup used by the CLI and the experiment harness.
+
+Every registered heuristic runs on the unified k-memory engine: pass a
+``TaskGraph``/``Platform`` pair with any matching number of memory classes
+(the dual-memory paper setup is simply ``k = 2``).
+"""
 
 from __future__ import annotations
 

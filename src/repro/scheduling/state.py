@@ -1,11 +1,12 @@
-"""Shared scheduler state: the EST machinery of §5.1 plus commit bookkeeping.
+"""Shared scheduler state: the EST machinery of §5.1 plus commit bookkeeping,
+generalised to k memory classes and structured for incremental re-evaluation.
 
 For a ready task ``i`` and a candidate memory ``mu`` the paper defines four
 earliest-start-time components:
 
 * ``resource_EST``   — a processor of ``mu`` must be free;
 * ``precedence_EST`` — every parent finished (+ its transfer time ``C_ji``
-  when the parent sits on the other memory);
+  when the parent sits on a different memory);
 * ``task_mem_EST``   — earliest ``t`` such that, from ``t`` on, ``mu`` has
   room for the task's cross-memory inputs *and* all its outputs;
 * ``comm_mem_EST``   — earliest ``t`` such that, from ``t`` on, ``mu`` has
@@ -16,6 +17,29 @@ earliest-start-time components:
 ``Cmax = max_{cross parents j} C_ji`` (all incoming transfers are scheduled
 as late as possible, sharing the window ``[EST - Cmax, EST)``; see
 Algorithms 1–2).  ``EFT = EST + W^(mu)``.
+
+**Incremental EST kernel.**  The list-scheduling loops re-evaluate every
+ready candidate after each commit, which in the naive formulation re-walks
+every candidate's parent list and re-queries the memory staircases — the
+O(n²) candidate-rescan bottleneck of §5.2.  The kernel splits each
+breakdown into parts with different lifetimes:
+
+* the *precedence part* (``precedence``, ``Cmax``, cross-input total) only
+  depends on the placements of the task's parents, all committed by the
+  time the task is ready — computed once per (task, memory) and cached for
+  the rest of the run;
+* the *memory part* (``task_mem``, ``comm_mem``) is memoised against the
+  target :class:`~repro.core.memory_profile.MemoryProfile`'s ``version``
+  counter, so candidates whose memory class was untouched by the last
+  commit are served from cache;
+* the *resource part* is a min over the class's processor avail times —
+  O(procs) and recomputed on the fly (it must also reflect direct ``avail``
+  mutations made by branching searches).
+
+Every cached component is bit-for-bit identical to a fresh evaluation
+(`incremental=False` keeps the from-scratch path for cross-checking and
+benchmarks), so the heuristics take decision-for-decision identical
+schedules in both modes.
 
 On commit the state performs the §3.2 memory bookkeeping:
 
@@ -39,7 +63,7 @@ from typing import Hashable, Optional
 from .._util import EPS
 from ..core.graph import TaskGraph
 from ..core.memory_profile import MemoryProfile
-from ..core.platform import MEMORIES, Memory, Platform
+from ..core.platform import Memory, Platform
 from ..core.schedule import CommEvent, Placement, Schedule
 
 Task = Hashable
@@ -68,29 +92,50 @@ class ESTBreakdown:
     comm_fit: float = 0.0
 
     @property
+    def cls(self) -> int:
+        """Memory-class index (generic alias for ``memory.index``)."""
+        return self.memory.index
+
+    @property
     def feasible(self) -> bool:
         return math.isfinite(self.eft)
 
 
 class SchedulerState:
-    """Mutable partial schedule shared by every list-scheduling heuristic."""
+    """Mutable partial schedule shared by every list-scheduling heuristic.
+
+    Works for any number of memory classes; the paper's dual-memory
+    platform is simply ``k = 2``.
+    """
 
     def __init__(self, graph: TaskGraph, platform: Platform,
-                 comm_policy: str = "late") -> None:
+                 comm_policy: str = "late", incremental: bool = True) -> None:
         if comm_policy not in ("late", "eager"):
             raise ValueError(f"comm_policy must be 'late' or 'eager', got {comm_policy!r}")
+        if graph.n_classes != platform.n_classes:
+            raise ValueError(
+                f"graph has {graph.n_classes} memory classes, platform "
+                f"{platform.n_classes}")
         self.graph = graph
         self.platform = platform
         self.comm_policy = comm_policy
+        self.incremental = incremental
+        self.memories = platform.memories()
         self.schedule = Schedule(platform)
         self.avail: list[float] = [0.0] * platform.n_procs
         self.mem: dict[Memory, MemoryProfile] = {
-            m: MemoryProfile(platform.capacity(m)) for m in MEMORIES
+            m: MemoryProfile(platform.capacity(m)) for m in self.memories
         }
         self._pending_parents: dict[Task, int] = {
             t: graph.in_degree(t) for t in graph.tasks()
         }
         self._newly_ready: list[Task] = []
+        # -- incremental EST caches ------------------------------------
+        # per task: (precedence, cmax, cross_in, need_task) per class —
+        # immutable once the task is ready (parents all committed).
+        self._static: dict[Task, list[tuple[float, float, float, float]]] = {}
+        # per (task, class index): (profile version, task_mem, comm_fit).
+        self._fit: dict[tuple[Task, int], tuple[int, float, float]] = {}
 
     # ------------------------------------------------------------------
     # readiness
@@ -122,12 +167,85 @@ class SchedulerState:
     # ------------------------------------------------------------------
     # EST computation (§5.1)
     # ------------------------------------------------------------------
+    def _infeasible(self, task: Task, memory: Memory) -> ESTBreakdown:
+        inf = math.inf
+        return ESTBreakdown(task, memory, inf, inf, inf, inf, 0.0, inf, inf)
+
+    def _precedence_parts(self, task: Task) -> list[tuple[float, float, float, float]]:
+        """``(precedence, cmax, cross_in, need_task)`` per memory class.
+
+        A single pass over the parents fills all k classes at once; the
+        result is cached until the task itself commits — once a task is
+        ready its parents are all placed, so these values never change.
+        """
+        parts = self._static.get(task)
+        if parts is not None:
+            return parts
+        k = len(self.memories)
+        prec = [0.0] * k
+        cmax = [0.0] * k
+        cross = [0.0] * k
+        graph = self.graph
+        placement = self.schedule.placement
+        for parent in graph.parents(task):
+            pp = placement(parent)
+            finish = pp.finish
+            p_idx = pp.memory.index
+            c = graph.comm(parent, task)
+            size = graph.size(parent, task)
+            late = finish + c
+            for ci in range(k):
+                if ci == p_idx:
+                    if finish > prec[ci]:
+                        prec[ci] = finish
+                else:
+                    if late > prec[ci]:
+                        prec[ci] = late
+                    if c > cmax[ci]:
+                        cmax[ci] = c
+                    cross[ci] += size
+        out_total = graph.out_size(task)
+        parts = [(prec[ci], cmax[ci], cross[ci], cross[ci] + out_total)
+                 for ci in range(k)]
+        self._static[task] = parts
+        return parts
+
     def est(self, task: Task, memory: Memory) -> ESTBreakdown:
         """EST/EFT breakdown of ``task`` on ``memory`` given the partial
         schedule.  Infeasible candidates get ``est = eft = inf``."""
-        inf = math.inf
+        if not self.incremental:
+            return self._est_fresh(task, memory)
         if not self.is_ready(task) or self.platform.n_procs_of(memory) == 0:
-            return ESTBreakdown(task, memory, inf, inf, inf, inf, 0.0, inf, inf)
+            return self._infeasible(task, memory)
+
+        idx = memory.index
+        precedence, cmax, cross_in, need_task = self._precedence_parts(task)[idx]
+
+        avail = self.avail
+        resource = min(avail[p] for p in self.platform.procs(memory))
+
+        profile = self.mem[memory]
+        key = (task, idx)
+        cached = self._fit.get(key)
+        if cached is not None and cached[0] == profile.version:
+            task_mem, comm_fit = cached[1], cached[2]
+        else:
+            task_mem = profile.earliest_fit(need_task)
+            comm_fit = (profile.earliest_fit(cross_in)
+                        if cross_in > 0.0 or cmax > 0.0 else 0.0)
+            self._fit[key] = (profile.version, task_mem, comm_fit)
+        comm_mem = comm_fit + cmax if cross_in > 0.0 or cmax > 0.0 else 0.0
+
+        est = max(resource, precedence, task_mem, comm_mem)
+        eft = est + self.graph.w(task, memory) if math.isfinite(est) else math.inf
+        return ESTBreakdown(task, memory, resource, precedence, task_mem,
+                            comm_mem, cmax, est, eft, comm_fit)
+
+    def _est_fresh(self, task: Task, memory: Memory) -> ESTBreakdown:
+        """From-scratch EST evaluation (the pre-incremental reference path,
+        kept for cross-checks and the kernel benchmark)."""
+        if not self.is_ready(task) or self.platform.n_procs_of(memory) == 0:
+            return self._infeasible(task, memory)
 
         resource = min(self.avail[p] for p in self.platform.procs(memory))
 
@@ -155,15 +273,16 @@ class SchedulerState:
             comm_mem = 0.0
 
         est = max(resource, precedence, task_mem, comm_mem)
-        eft = est + self.graph.w(task, memory) if math.isfinite(est) else inf
+        eft = est + self.graph.w(task, memory) if math.isfinite(est) else math.inf
         return ESTBreakdown(task, memory, resource, precedence, task_mem,
                             comm_mem, cmax, est, eft, comm_fit)
 
     def best_est(self, task: Task) -> Optional[ESTBreakdown]:
         """The memory choice minimising EFT (§5.1 memory-selection phase);
-        ties go to blue.  ``None`` when neither memory is feasible."""
+        ties go to the lowest class index (blue in the dual case).
+        ``None`` when no memory is feasible."""
         best: Optional[ESTBreakdown] = None
-        for memory in MEMORIES:
+        for memory in self.memories:
             bd = self.est(task, memory)
             if not bd.feasible:
                 continue
@@ -237,6 +356,12 @@ class SchedulerState:
                     # Source copy freed when the transfer completes.
                     self.mem[pp.memory].add(-size, comm_end, None)
 
+        # Drop the committed task's cached EST components (it will never be
+        # a candidate again); profile-version keys invalidate the rest.
+        self._static.pop(task, None)
+        for m in self.memories:
+            self._fit.pop((task, m.index), None)
+
         # readiness propagation
         for child in self.graph.children(task):
             self._pending_parents[child] -= 1
@@ -251,11 +376,15 @@ class SchedulerState:
         clone.graph = self.graph
         clone.platform = self.platform
         clone.comm_policy = self.comm_policy
+        clone.incremental = self.incremental
+        clone.memories = self.memories
         clone.schedule = self.schedule.copy()
         clone.avail = list(self.avail)
         clone.mem = {m: p.copy() for m, p in self.mem.items()}
         clone._pending_parents = dict(self._pending_parents)
         clone._newly_ready = list(self._newly_ready)
+        clone._static = dict(self._static)
+        clone._fit = dict(self._fit)
         return clone
 
     # ------------------------------------------------------------------
@@ -263,10 +392,10 @@ class SchedulerState:
     # ------------------------------------------------------------------
     def peaks(self) -> dict[Memory, float]:
         """Memory peaks of the partial schedule (scheduler-side accounting)."""
-        return {m: self.mem[m].peak() for m in MEMORIES}
+        return {m: self.mem[m].peak() for m in self.memories}
 
     def check_invariants(self) -> None:
-        for m in MEMORIES:
+        for m in self.memories:
             self.mem[m].check_invariants()
 
     def finalize(self, algorithm: str) -> Schedule:
@@ -275,7 +404,11 @@ class SchedulerState:
         peaks = self.peaks()
         self.schedule.meta.update(
             algorithm=algorithm,
-            peak_blue=peaks[Memory.BLUE],
-            peak_red=peaks[Memory.RED],
+            peaks=[peaks[m] for m in self.memories],
         )
+        if len(self.memories) == 2:
+            self.schedule.meta.update(
+                peak_blue=peaks[Memory.BLUE],
+                peak_red=peaks[Memory.RED],
+            )
         return self.schedule

@@ -6,10 +6,11 @@ task with the globally smallest EFT, commit the task that would *suffer*
 most from not getting its preferred resource — the one with the largest
 gap between its best and second-best completion times.
 
-On a dual-memory platform the "resources" are the two memories, so the
-sufferage value of an available task is ``EFT(worse memory) - EFT(better
-memory)``.  A task that fits in only one memory is maximally urgent
-(infinite sufferage): delaying it risks the remaining memory filling up.
+The "resources" are the platform's memory classes (two on the paper's
+dual-memory platform, any k in general), so the sufferage value of an
+available task is ``EFT(second-best memory) - EFT(best memory)``.  A task
+that fits in only one memory is maximally urgent (infinite sufferage):
+delaying it risks the remaining memory filling up.
 
 This is *not* part of the paper — it is the natural third member of the
 family and shares all of the §5.1 machinery, which makes it a one-page
@@ -23,7 +24,7 @@ from typing import Hashable
 
 from .._util import EPS
 from ..core.graph import TaskGraph
-from ..core.platform import MEMORIES, Platform
+from ..core.platform import Platform
 from ..core.schedule import Schedule
 from .state import ESTBreakdown, InfeasibleScheduleError, SchedulerState
 
@@ -45,13 +46,13 @@ def memsufferage(graph: TaskGraph, platform: Platform, *,
         best_choice: ESTBreakdown | None = None
         best_key: tuple[float, float, int] | None = None
         for task in sorted(available, key=index.__getitem__):
-            breakdowns = [state.est(task, m) for m in MEMORIES]
+            breakdowns = [state.est(task, m) for m in state.memories]
             feasible = [bd for bd in breakdowns if bd.feasible]
             if not feasible:
                 continue
             feasible.sort(key=lambda bd: bd.eft)
             preferred = feasible[0]
-            if len(feasible) == 2:
+            if len(feasible) >= 2:
                 sufferage = feasible[1].eft - feasible[0].eft
             else:
                 sufferage = math.inf  # only one memory can take it: urgent
@@ -64,8 +65,8 @@ def memsufferage(graph: TaskGraph, platform: Platform, *,
         if best_choice is None:
             raise InfeasibleScheduleError(
                 "MemSufferage: no available task fits within the memory "
-                f"bounds ({len(available)} available, bounds "
-                f"blue={platform.mem_blue}, red={platform.mem_red})"
+                f"bounds ({len(available)} available, "
+                f"capacities={list(platform.capacities)})"
             )
         state.commit(best_choice)
         available.discard(best_choice.task)

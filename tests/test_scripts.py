@@ -1,5 +1,6 @@
 """The experiment-runner script end to end (ci scale, fast figures only)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -8,9 +9,18 @@ REPO = Path(__file__).resolve().parent.parent
 SCRIPT = REPO / "scripts" / "run_all_experiments.py"
 
 
-def test_runner_writes_results(tmp_path, monkeypatch):
+def _env_with_repro():
+    """Subprocess environment that can import the library from src/."""
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def test_runner_writes_results(tmp_path):
     # Run from a temp cwd; the script writes relative to its own location,
-    # so point it at a copy.
+    # so point it at a copy (and at the library via PYTHONPATH — the copy
+    # no longer sits next to src/).
     target = tmp_path / "scripts"
     target.mkdir()
     copy = target / "run_all_experiments.py"
@@ -18,6 +28,7 @@ def test_runner_writes_results(tmp_path, monkeypatch):
     out = subprocess.run(
         [sys.executable, str(copy), "ci", "table1", "fig11"],
         capture_output=True, text=True, cwd=tmp_path, timeout=300,
+        env=_env_with_repro(),
     )
     assert out.returncode == 0, out.stderr
     results = tmp_path / "results" / "ci"
@@ -25,3 +36,12 @@ def test_runner_writes_results(tmp_path, monkeypatch):
     fig11 = (results / "fig11.txt").read_text()
     assert "memheft" in fig11
     assert "scale=ci" in fig11
+
+
+def test_runner_help_smoke():
+    out = subprocess.run(
+        [sys.executable, str(SCRIPT), "--help"],
+        capture_output=True, text=True, timeout=60, env=_env_with_repro(),
+    )
+    assert out.returncode == 0, out.stderr
+    assert "usage" in out.stdout.lower()
