@@ -1,5 +1,4 @@
-"""Heuristic runtime scaling with graph size, and the incremental-EST
-kernel comparison.
+"""Heuristic runtime scaling with graph size, and the engine benchmarks.
 
 The paper quotes a worst-case complexity of ``O(n^2 (n + m))`` for both
 heuristics (§5.2).  The pytest-benchmark half of this file times MemHEFT
@@ -7,28 +6,41 @@ and MemMinMin on a size ladder of the LargeRandSet family — the measured
 growth should stay polynomial and comfortably handle the 1000-task paper
 scale.
 
-Run as a script to compare the unified incremental EST kernel against the
-seed implementation on large daggen graphs::
+Run as a script to benchmark the engine end to end::
 
-    PYTHONPATH=src python benchmarks/bench_scaling.py [sizes...]
+    PYTHONPATH=src python benchmarks/bench_scaling.py [sizes...] \
+        [--jobs N] [--json PATH] [--sweep-graphs G] [--sweep-size S]
 
-Three engine configurations are timed:
+Three benchmark sections, each emitted into a machine-readable
+``BENCH_scaling.json`` (schema documented in ``benchmarks/README.md``) so
+the perf trajectory is tracked across PRs:
 
-* ``seed``        — the pre-refactor cost model: every candidate's EST is
-  recomputed from scratch each scan *and* ``earliest_fit`` rebuilds an
-  O(l) suffix-max array after every profile mutation (reproduced here by
-  ``LegacySuffixMaxProfile`` so the comparison stays honest after the
-  shared ``MemoryProfile`` was rebuilt around block maxima);
-* ``fresh``       — from-scratch candidate evaluation over the new
-  block-max profile (``SchedulerState(..., incremental=False)``);
-* ``incremental`` — the default unified kernel: cached precedence parts,
-  version-keyed ``earliest_fit`` memoisation, block-max profiles.
+* **kernel** — the unified incremental EST kernel against the seed
+  implementation (``seed`` = from-scratch ESTs + O(l) suffix-max profile
+  rebuilds, reproduced by ``LegacySuffixMaxProfile``; ``fresh`` =
+  from-scratch ESTs over block-max profiles; ``incremental`` = the
+  shipped kernel).
+* **selection** — the lazy candidate heaps of
+  :mod:`repro.scheduling.candidates` against the naive full-rescan
+  selection loops (``lazy=True`` vs ``lazy=False``), on the standard
+  LargeRandSet shape and on a wide variant where the available set — and
+  so the naive O(n²) rescan — is large.
+* **sweep** (with ``--jobs N``) — a Figure-12-style normalised sweep run
+  serially and sharded over N worker processes; the cells are asserted
+  identical and the wall-clock speedup reported.  ``cpu_count`` is
+  recorded alongside: on a single-core container the parallel path can
+  only lose.
 
-All three produce decision-for-decision identical schedules (asserted on
-every run).
+All compared configurations produce decision-for-decision identical
+schedules (asserted on every run).
 """
 
+import argparse
+import json
 import math
+import os
+import platform as platform_mod
+import sys
 import time
 
 import pytest
@@ -37,11 +49,14 @@ from repro._util import EPS
 from repro.core.memory_profile import MemoryProfile
 from repro.core.platform import Platform
 from repro.dags.daggen import random_dag
+from repro.dags.datasets import large_rand_set
 from repro.experiments.figures import RAND_PLATFORM
+from repro.experiments.sweep import default_alphas, normalized_sweep
 from repro.scheduling.heft import heft
 from repro.scheduling.memheft import memheft
 from repro.scheduling.memminmin import memminmin
 from repro.scheduling.state import SchedulerState
+from repro.scheduling.sufferage import memsufferage
 
 SIZES = (25, 50, 100, 200)
 
@@ -153,18 +168,33 @@ def _run_memminmin(graph, platform, mode: str):
     return state.finalize("memminmin")
 
 
-def _compare(size: int) -> None:
-    graph = random_dag(size=size, rng=size,
-                       w_range=(1, 100), c_range=(1, 100), f_range=(1, 100))
+def _assert_identical(schedules: dict, reference: str, graph, label: str):
+    ref = schedules[reference]
+    for mode, sched in schedules.items():
+        if mode == reference:
+            continue
+        for t in graph.tasks():
+            assert sched.placement(t) == ref.placement(t), \
+                f"{label}/{mode} diverged on {t!r}"
+
+
+def _bench_platforms(graph):
     base = heft(graph, Platform(1, 1))
     ref = max(base.meta["peak_blue"], base.meta["peak_red"])
-    platforms = [
+    return [
         ("unbounded", Platform(1, 1)),
         ("bounded@0.8", Platform(1, 1).with_uniform_bound(0.8 * ref)),
     ]
+
+
+def bench_kernel(size: int) -> list[dict]:
+    """seed vs fresh vs incremental EST kernel (identical schedules)."""
+    graph = random_dag(size=size, rng=size,
+                       w_range=(1, 100), c_range=(1, 100), f_range=(1, 100))
     runners = [("memheft", _run_memheft, memheft),
                ("memminmin", _run_memminmin, memminmin)]
-    for plat_name, platform in platforms:
+    rows = []
+    for plat_name, platform in _bench_platforms(graph):
         for algo_name, runner, shipped_fn in runners:
             times = {}
             schedules = {}
@@ -175,22 +205,139 @@ def _compare(size: int) -> None:
             # Anchor the comparison to the *shipped* entry point so the
             # bench loops cannot silently drift from the real heuristics.
             schedules["shipped"] = shipped_fn(graph, platform)
-            for mode in ("seed", "fresh", "shipped"):
-                for t in graph.tasks():
-                    assert (schedules[mode].placement(t)
-                            == schedules["incremental"].placement(t)), \
-                        f"{algo_name}/{mode} diverged on {t!r}"
+            _assert_identical(schedules, "incremental", graph, algo_name)
             speedup = times["seed"] / times["incremental"]
-            print(f"n={size:5d} {algo_name:10s} {plat_name:12s} "
+            print(f"kernel    n={size:5d} {algo_name:12s} {plat_name:12s} "
                   f"seed={times['seed']:7.3f}s fresh={times['fresh']:7.3f}s "
                   f"incremental={times['incremental']:7.3f}s "
                   f"speedup={speedup:5.2f}x")
+            rows.append({
+                "n": size, "algorithm": algo_name, "platform": plat_name,
+                "seed_s": times["seed"], "fresh_s": times["fresh"],
+                "incremental_s": times["incremental"],
+                "speedup_seed_over_incremental": speedup,
+            })
+    return rows
+
+
+def bench_selection(size: int) -> list[dict]:
+    """Lazy candidate heaps vs naive rescan loops (identical schedules)."""
+    shapes = [
+        ("standard", dict(w_range=(1, 100), c_range=(1, 100),
+                          f_range=(1, 100))),
+        # A wide DAG keeps the available set large — the regime where the
+        # naive per-step rescan is O(n) and the heap pays off.
+        ("wide", dict(width=0.8, density=0.3, jumps=2,
+                      w_range=(1, 100), c_range=(1, 100), f_range=(1, 100))),
+    ]
+    heuristics = [("memheft", memheft), ("memminmin", memminmin),
+                  ("memsufferage", memsufferage)]
+    rows = []
+    for shape_name, kwargs in shapes:
+        graph = random_dag(size=size, rng=size, **kwargs)
+        for plat_name, platform in _bench_platforms(graph):
+            for algo_name, fn in heuristics:
+                t0 = time.perf_counter()
+                lazy = fn(graph, platform, lazy=True)
+                lazy_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                naive = fn(graph, platform, lazy=False)
+                naive_s = time.perf_counter() - t0
+                _assert_identical({"lazy": lazy, "naive": naive}, "lazy",
+                                  graph, algo_name)
+                speedup = naive_s / lazy_s
+                print(f"selection n={size:5d} {algo_name:12s} "
+                      f"{shape_name:8s} {plat_name:12s} "
+                      f"lazy={lazy_s:7.3f}s naive={naive_s:7.3f}s "
+                      f"speedup={speedup:5.2f}x")
+                rows.append({
+                    "n": size, "algorithm": algo_name, "graph": shape_name,
+                    "platform": plat_name, "lazy_s": lazy_s,
+                    "naive_s": naive_s, "speedup_naive_over_lazy": speedup,
+                })
+    return rows
+
+
+def bench_sweep(jobs: int, n_graphs: int, size: int, n_alphas: int) -> dict:
+    """Figure-12-style normalised sweep, serial vs sharded over ``jobs``
+    processes, cells asserted byte-identical."""
+    graphs = large_rand_set(n_graphs, size)
+    alphas = default_alphas(n_alphas)
+    t0 = time.perf_counter()
+    serial = normalized_sweep(graphs, RAND_PLATFORM, alphas=alphas, jobs=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = normalized_sweep(graphs, RAND_PLATFORM, alphas=alphas,
+                                jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+    identical = (serial.cells == parallel.cells
+                 and serial.alphas == parallel.alphas
+                 and serial.algorithms == parallel.algorithms)
+    assert identical, "parallel sweep diverged from the serial reference"
+    speedup = serial_s / parallel_s
+    print(f"sweep     {n_graphs} graphs x {size} tasks x {n_alphas} alphas "
+          f"serial={serial_s:.2f}s jobs={jobs}: {parallel_s:.2f}s "
+          f"speedup={speedup:.2f}x identical_cells={identical} "
+          f"(cpu_count={os.cpu_count()})")
+    return {
+        "jobs": jobs, "n_graphs": n_graphs, "graph_size": size,
+        "n_alphas": n_alphas, "serial_s": serial_s,
+        "parallel_s": parallel_s, "speedup": speedup,
+        "identical_cells": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="engine benchmarks (kernel / selection / sweep); "
+                    "emits BENCH_scaling.json")
+    parser.add_argument("sizes", nargs="*", type=int, default=None,
+                        help="graph sizes for the kernel/selection benches "
+                             "(default: 500 1000 2000)")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="also run the sweep bench sharded over N "
+                             "processes (0 = one per CPU)")
+    parser.add_argument("--json", default="BENCH_scaling.json",
+                        help="output path ('' disables)")
+    parser.add_argument("--sweep-graphs", type=int, default=8,
+                        help="graphs in the sweep bench")
+    parser.add_argument("--sweep-size", type=int, default=300,
+                        help="tasks per graph in the sweep bench")
+    parser.add_argument("--sweep-alphas", type=int, default=8,
+                        help="alpha grid points in the sweep bench")
+    parser.add_argument("--skip-kernel", action="store_true")
+    parser.add_argument("--skip-selection", action="store_true")
+    args = parser.parse_args(argv)
+    sizes = args.sizes or [500, 1000, 2000]
+
+    report = {
+        "bench": "scaling",
+        "schema_version": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "machine": platform_mod.platform(),
+        "cpu_count": os.cpu_count(),
+        "sizes": sizes,
+    }
+    if not args.skip_kernel:
+        print("incremental EST kernel vs seed implementation "
+              "(identical schedules asserted)")
+        report["kernel"] = [row for n in sizes for row in bench_kernel(n)]
+    if not args.skip_selection:
+        print("lazy candidate selection vs naive rescan "
+              "(identical schedules asserted)")
+        report["selection"] = [row for n in sizes
+                               for row in bench_selection(n)]
+    if args.jobs != 1:
+        report["sweep"] = bench_sweep(args.jobs, args.sweep_graphs,
+                                      args.sweep_size, args.sweep_alphas)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
 
 
 if __name__ == "__main__":
-    import sys
-    sizes = [int(a) for a in sys.argv[1:]] or [500, 1000, 2000]
-    print("incremental EST kernel vs seed implementation "
-          "(identical schedules asserted)")
-    for n in sizes:
-        _compare(n)
+    sys.exit(main())

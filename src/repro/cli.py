@@ -190,7 +190,7 @@ def cmd_ilp(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
-    result = EXPERIMENTS[args.figure](scale)
+    result = EXPERIMENTS[args.figure](scale, jobs=args.jobs)
     print(result)
     if args.csv:
         from pathlib import Path
@@ -266,6 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("figure", choices=sorted(EXPERIMENTS))
     p.add_argument("--scale", choices=sorted(SCALES), default=None)
     p.add_argument("--csv", help="also write the series as CSV here")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="shard the sweep grid over N worker processes "
+                        "(0 = one per CPU; identical results for any N)")
     p.set_defaults(func=cmd_experiment)
 
     return parser

@@ -60,11 +60,12 @@ class FigureResult:
         return "\n".join(out)
 
 
-def table1(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult:
+def table1(scale: Optional[Scale] = None, *, check: bool = False,
+           jobs: int = 1) -> FigureResult:
     """Table 1: kernel running times (+ our blue/red split, DESIGN.md §5).
 
-    ``scale``/``check`` are accepted for driver-signature uniformity; the
-    table is constant input data, not a measurement.
+    ``scale``/``check``/``jobs`` are accepted for driver-signature
+    uniformity; the table is constant input data, not a measurement.
     """
     headers = ["kernel", "paper_ms", "w_blue (CPU)", "w_red (GPU)", "gpu_speedup"]
     rows = []
@@ -79,7 +80,8 @@ def table1(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResul
                "red = blue / per-kernel GPU speedup (see DESIGN.md §5)"])
 
 
-def fig10(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult:
+def fig10(scale: Optional[Scale] = None, *, check: bool = False,
+          jobs: int = 1) -> FigureResult:
     """Figure 10: SmallRandSet — normalised makespan + success rate vs alpha.
 
     Heuristic series on SmallRandSet; the "optimal" series is computed on
@@ -89,7 +91,8 @@ def fig10(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult
     scale = scale or get_scale()
     graphs = small_rand_set(scale.small_n_graphs, scale.small_size)
     alphas = default_alphas(scale.n_alphas)
-    heur = normalized_sweep(graphs, RAND_PLATFORM, alphas=alphas, check=check)
+    heur = normalized_sweep(graphs, RAND_PLATFORM, alphas=alphas, check=check,
+                            jobs=jobs)
     text = render_normalized_sweep(
         heur, title=f"SmallRandSet ({len(graphs)} DAGs x {scale.small_size} tasks)")
 
@@ -102,7 +105,7 @@ def fig10(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult
         return sol.makespan
 
     opt = normalized_sweep(tiny, RAND_PLATFORM, alphas=alphas, check=check,
-                           extra_solver=ilp_solver)
+                           extra_solver=ilp_solver, jobs=jobs)
     text += "\n\n" + render_normalized_sweep(
         opt, title=f"TinyRandSet with ILP optimum ({len(tiny)} DAGs x "
                    f"{scale.tiny_size} tasks)")
@@ -118,13 +121,14 @@ def _absolute_grid(ref_memory: float, n: int = 12) -> list[float]:
     return [float(x) for x in np.linspace(ref_memory / n, ref_memory, n)]
 
 
-def fig11(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult:
+def fig11(scale: Optional[Scale] = None, *, check: bool = False,
+          jobs: int = 1) -> FigureResult:
     """Figure 11: makespan vs memory for one SmallRandSet DAG."""
     scale = scale or get_scale()
     graph = small_rand_set(1, scale.small_size)[0]
     ref = reference_run(graph, RAND_PLATFORM)
     grid = _absolute_grid(ref.ref_memory)
-    res = absolute_sweep(graph, RAND_PLATFORM, grid, check=check)
+    res = absolute_sweep(graph, RAND_PLATFORM, grid, check=check, jobs=jobs)
     text = render_absolute_sweep(res, title=f"DAG {graph.name} "
                                             f"({graph.n_tasks} tasks)")
     return FigureResult("fig11",
@@ -132,12 +136,14 @@ def fig11(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult
                         text, data=res)
 
 
-def fig12(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult:
+def fig12(scale: Optional[Scale] = None, *, check: bool = False,
+          jobs: int = 1) -> FigureResult:
     """Figure 12: LargeRandSet — normalised makespan + success rate vs alpha."""
     scale = scale or get_scale()
     graphs = large_rand_set(scale.large_n_graphs, scale.large_size)
     alphas = default_alphas(scale.n_alphas)
-    res = normalized_sweep(graphs, RAND_PLATFORM, alphas=alphas, check=check)
+    res = normalized_sweep(graphs, RAND_PLATFORM, alphas=alphas, check=check,
+                           jobs=jobs)
     text = render_normalized_sweep(
         res, title=f"LargeRandSet ({len(graphs)} DAGs x {scale.large_size} tasks)")
     notes = []
@@ -148,26 +154,28 @@ def fig12(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult
                         text, data=res, notes=notes)
 
 
-def fig13(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult:
+def fig13(scale: Optional[Scale] = None, *, check: bool = False,
+          jobs: int = 1) -> FigureResult:
     """Figure 13: makespan vs memory for one LargeRandSet DAG."""
     scale = scale or get_scale()
     graph = large_rand_set(1, scale.large_size)[0]
     ref = reference_run(graph, RAND_PLATFORM)
     grid = _absolute_grid(ref.ref_memory)
-    res = absolute_sweep(graph, RAND_PLATFORM, grid, check=check)
+    res = absolute_sweep(graph, RAND_PLATFORM, grid, check=check, jobs=jobs)
     text = render_absolute_sweep(res, title=f"DAG {graph.name} "
                                             f"({graph.n_tasks} tasks)")
     return FigureResult("fig13", "Makespan vs memory, single large random DAG",
                         text, data=res)
 
 
-def fig14(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult:
+def fig14(scale: Optional[Scale] = None, *, check: bool = False,
+          jobs: int = 1) -> FigureResult:
     """Figure 14: tiled LU factorisation, makespan vs memory (in tiles)."""
     scale = scale or get_scale()
     graph = lu_dag(scale.lu_tiles)
     ref = reference_run(graph, MIRAGE_PLATFORM)
     grid = _absolute_grid(ref.ref_memory)
-    res = absolute_sweep(graph, MIRAGE_PLATFORM, grid, check=check)
+    res = absolute_sweep(graph, MIRAGE_PLATFORM, grid, check=check, jobs=jobs)
     text = render_absolute_sweep(
         res, title=f"LU {scale.lu_tiles}x{scale.lu_tiles} tiles "
                    f"({graph.n_tasks} tasks), memory in tiles")
@@ -178,13 +186,14 @@ def fig14(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult
                         text, data=res, notes=notes)
 
 
-def fig15(scale: Optional[Scale] = None, *, check: bool = False) -> FigureResult:
+def fig15(scale: Optional[Scale] = None, *, check: bool = False,
+          jobs: int = 1) -> FigureResult:
     """Figure 15: tiled Cholesky factorisation, makespan vs memory (tiles)."""
     scale = scale or get_scale()
     graph = cholesky_dag(scale.cholesky_tiles)
     ref = reference_run(graph, MIRAGE_PLATFORM)
     grid = _absolute_grid(ref.ref_memory)
-    res = absolute_sweep(graph, MIRAGE_PLATFORM, grid, check=check)
+    res = absolute_sweep(graph, MIRAGE_PLATFORM, grid, check=check, jobs=jobs)
     t = scale.cholesky_tiles
     text = render_absolute_sweep(
         res, title=f"Cholesky {t}x{t} tiles ({graph.n_tasks} tasks), "

@@ -12,6 +12,13 @@ Two sweep styles, mirroring the paper:
   grid of memory bounds, makespan per algorithm per bound; the
   memory-oblivious baselines appear from the bound where their own peak
   fits, and the combinatorial lower bound gives the flat reference line.
+
+Both sweeps decompose into independent cells — (graph, alpha) for the
+normalised style, (bound,) for the absolute one — executed through
+:func:`repro.experiments.engine.map_cells`: pass ``jobs=N`` to shard the
+grid over N processes.  The serial and parallel paths run the *same* cell
+functions and aggregate in the same order, so they return identical
+results (``tests/experiments/test_engine.py`` pins this).
 """
 
 from __future__ import annotations
@@ -24,12 +31,13 @@ import numpy as np
 
 from ..core.bounds import lower_bound
 from ..core.graph import TaskGraph
-from ..core.platform import Memory, Platform
+from ..core.platform import Platform
 from ..core.validation import validate_schedule
 from ..scheduling.heft import heft
 from ..scheduling.minmin import minmin
 from ..scheduling.registry import get_scheduler
 from ..scheduling.state import InfeasibleScheduleError
+from .engine import cached_reference, map_cells
 
 
 @dataclass(frozen=True)
@@ -38,13 +46,22 @@ class ReferenceRun:
 
     graph: TaskGraph
     makespan: float
-    peak_blue: float
-    peak_red: float
+    #: HEFT's memory peak per class (any k, not just the dual pair).
+    peaks: tuple[float, ...]
+
+    @property
+    def peak_blue(self) -> float:
+        return self.peaks[0]
+
+    @property
+    def peak_red(self) -> float:
+        return self.peaks[1] if len(self.peaks) > 1 else 0.0
 
     @property
     def ref_memory(self) -> float:
-        """``max(M^HEFT_blue, M^HEFT_red)`` — the alpha = 1 normalisation."""
-        return max(self.peak_blue, self.peak_red)
+        """``max_c M^HEFT_c`` — the alpha = 1 normalisation, over *all*
+        memory classes."""
+        return max(self.peaks)
 
 
 def reference_run(graph: TaskGraph, platform: Platform) -> ReferenceRun:
@@ -53,9 +70,7 @@ def reference_run(graph: TaskGraph, platform: Platform) -> ReferenceRun:
     return ReferenceRun(
         graph=graph,
         makespan=schedule.makespan,
-        peak_blue=schedule.meta["peaks"][0],
-        peak_red=(schedule.meta["peaks"][1]
-                  if len(schedule.meta["peaks"]) > 1 else 0.0),
+        peaks=tuple(schedule.meta["peaks"]),
     )
 
 
@@ -81,8 +96,17 @@ class SweepResult:
     algorithms: tuple[str, ...]
     alphas: tuple[float, ...]
     cells: list[SweepCell] = field(default_factory=list)
+    #: Exact-key lookup index, rebuilt lazily when ``cells`` grows.
+    _index: dict = field(default_factory=dict, init=False, repr=False,
+                         compare=False)
 
     def cell(self, alpha: float, algorithm: str) -> SweepCell:
+        if len(self._index) != len(self.cells):
+            self._index = {(c.alpha, c.algorithm): c for c in self.cells}
+        found = self._index.get((alpha, algorithm))
+        if found is not None:
+            return found
+        # Tolerance fallback for callers that recompute alphas.
         for c in self.cells:
             if c.algorithm == algorithm and math.isclose(c.alpha, alpha):
                 return c
@@ -98,6 +122,27 @@ def default_alphas(n: int = 10) -> tuple[float, ...]:
     return tuple(float(a) for a in np.linspace(1.0 / n, 1.0, n))
 
 
+def _normalized_cell(payload: tuple, cache: dict,
+                     cell: tuple) -> list[Optional[float]]:
+    """One (graph, alpha) cell: per algorithm, the normalised makespan or
+    ``None`` when infeasible at this bound."""
+    graphs, platform, algorithms, check, refs = payload
+    graph_idx, alpha = cell
+    ref = cached_reference(cache, graphs, platform, graph_idx, refs)
+    bounded = platform.with_uniform_bound(alpha * ref.ref_memory)
+    out: list[Optional[float]] = []
+    for name in algorithms:
+        try:
+            schedule = get_scheduler(name)(ref.graph, bounded)
+        except InfeasibleScheduleError:
+            out.append(None)
+            continue
+        if check:
+            validate_schedule(ref.graph, bounded, schedule)
+        out.append(schedule.makespan / ref.makespan)
+    return out
+
+
 def normalized_sweep(
     graphs: Sequence[TaskGraph],
     platform: Platform,
@@ -109,47 +154,70 @@ def normalized_sweep(
         Callable[[TaskGraph, Platform], Optional[float]]
     ] = None,
     extra_name: str = "optimal",
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> SweepResult:
     """Normalised-memory sweep over a set of graphs (Figures 10 and 12).
 
+    ``jobs`` shards the (graph, alpha) grid over that many worker
+    processes (``jobs=1``: in-process; ``jobs<=0``: one per CPU); the
+    result is identical for any jobs value.
     ``extra_solver`` optionally adds one more series (the ILP optimum in
     Figure 10): a callable returning a makespan or ``None`` when it cannot
-    schedule within the bounds.
+    schedule within the bounds.  It runs in-process (solver callables are
+    generally not picklable), after the sharded heuristic grid.
     ``check=True`` re-validates every produced schedule with the independent
     validator (slower; used by integration tests).
     """
     alphas = tuple(alphas) if alphas is not None else default_alphas()
-    refs = [reference_run(g, platform) for g in graphs]
-    names = tuple(algorithms) + ((extra_name,) if extra_solver else ())
+    algorithms = tuple(algorithms)
+    names = algorithms + ((extra_name,) if extra_solver else ())
     result = SweepResult(algorithms=names, alphas=alphas)
+
+    # With an extra (in-process) solver series the reference runs are
+    # needed here anyway — compute them once and ship them to the workers
+    # instead of letting every process redo the HEFT baselines.
+    refs = (tuple(reference_run(g, platform) for g in graphs)
+            if extra_solver is not None else None)
+
+    # Graph-major cell order keeps one graph's cells contiguous, so each
+    # chunk — and hence (mostly) one worker process — computes that
+    # graph's reference run; alpha-major order would make every process
+    # redo nearly every reference.  Aggregation below indexes by cell, so
+    # the order does not affect the result.
+    cells = [(gi, alpha) for gi in range(len(graphs)) for alpha in alphas]
+    payload = (tuple(graphs), platform, algorithms, check, refs)
+    rows = map_cells(_normalized_cell, payload, cells,
+                     jobs=jobs, chunk_size=chunk_size)
+    cell_of = dict(zip(cells, rows))
+
+    extra_scores: dict[tuple[int, float], Optional[float]] = {}
+    if extra_solver is not None:
+        for alpha in alphas:
+            for gi, ref in enumerate(refs):
+                bounded = platform.with_uniform_bound(alpha * ref.ref_memory)
+                span = extra_solver(ref.graph, bounded)
+                extra_scores[(gi, alpha)] = (
+                    None if span is None else span / ref.makespan)
 
     for alpha in alphas:
         scores: dict[str, list[float]] = {name: [] for name in names}
-        successes: dict[str, int] = {name: 0 for name in names}
-        for ref in refs:
-            bound = alpha * ref.ref_memory
-            bounded = platform.with_uniform_bound(bound)
-            for name in algorithms:
-                try:
-                    schedule = get_scheduler(name)(ref.graph, bounded)
-                except InfeasibleScheduleError:
-                    continue
-                if check:
-                    validate_schedule(ref.graph, bounded, schedule)
-                successes[name] += 1
-                scores[name].append(schedule.makespan / ref.makespan)
+        for gi in range(len(graphs)):
+            row = cell_of[(gi, alpha)]
+            for name, norm in zip(algorithms, row):
+                if norm is not None:
+                    scores[name].append(norm)
             if extra_solver is not None:
-                span = extra_solver(ref.graph, bounded)
-                if span is not None:
-                    successes[extra_name] += 1
-                    scores[extra_name].append(span / ref.makespan)
+                norm = extra_scores[(gi, alpha)]
+                if norm is not None:
+                    scores[extra_name].append(norm)
         for name in names:
             vals = scores[name]
             result.cells.append(SweepCell(
                 alpha=alpha,
                 algorithm=name,
-                n_graphs=len(refs),
-                n_success=successes[name],
+                n_graphs=len(graphs),
+                n_success=len(vals),
                 mean_norm_makespan=float(np.mean(vals)) if vals else None,
             ))
     return result
@@ -187,6 +255,24 @@ class AbsoluteSweepResult:
         return min(feasible) if feasible else None
 
 
+def _absolute_cell(payload: tuple, cache: dict,
+                   bound: float) -> list[Optional[float]]:
+    """One memory bound of an absolute sweep: makespan per algorithm."""
+    graph, platform, algorithms, check = payload
+    bounded = platform.with_uniform_bound(bound)
+    out: list[Optional[float]] = []
+    for name in algorithms:
+        try:
+            schedule = get_scheduler(name)(graph, bounded)
+        except InfeasibleScheduleError:
+            out.append(None)
+            continue
+        if check:
+            validate_schedule(graph, bounded, schedule)
+        out.append(schedule.makespan)
+    return out
+
+
 def absolute_sweep(
     graph: TaskGraph,
     platform: Platform,
@@ -194,22 +280,24 @@ def absolute_sweep(
     algorithms: Sequence[str] = ("memheft", "memminmin"),
     *,
     check: bool = False,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> AbsoluteSweepResult:
-    """Makespan-vs-memory for one graph (Figures 11, 13, 14, 15)."""
+    """Makespan-vs-memory for one graph (Figures 11, 13, 14, 15).
+
+    ``jobs`` shards the bound grid over worker processes; identical
+    results for any value."""
     ref_heft = heft(graph, platform)
     ref_minmin = minmin(graph, platform)
-    points: list[AbsolutePoint] = []
-    for bound in memories:
-        bounded = platform.with_uniform_bound(bound)
-        for name in algorithms:
-            try:
-                schedule = get_scheduler(name)(graph, bounded)
-            except InfeasibleScheduleError:
-                points.append(AbsolutePoint(bound, name, None))
-                continue
-            if check:
-                validate_schedule(graph, bounded, schedule)
-            points.append(AbsolutePoint(bound, name, schedule.makespan))
+    algorithms = tuple(algorithms)
+    payload = (graph, platform, algorithms, check)
+    rows = map_cells(_absolute_cell, payload, list(memories),
+                     jobs=jobs, chunk_size=chunk_size)
+    points = [
+        AbsolutePoint(bound, name, span)
+        for bound, row in zip(memories, rows)
+        for name, span in zip(algorithms, row)
+    ]
     return AbsoluteSweepResult(
         graph_name=graph.name,
         memories=tuple(memories),

@@ -1,5 +1,6 @@
 """Scheduling heuristics: MemHEFT, MemMinMin and their classical baselines."""
 
+from .candidates import MinEFTSelector, RankSelector, SufferageSelector
 from .heft import heft
 from .memheft import memheft
 from .memminmin import memminmin
@@ -20,6 +21,9 @@ __all__ = [
     "rank_order",
     "SchedulerState",
     "ESTBreakdown",
+    "MinEFTSelector",
+    "RankSelector",
+    "SufferageSelector",
     "InfeasibleScheduleError",
     "SCHEDULERS",
     "MEMORY_AWARE",

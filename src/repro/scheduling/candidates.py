@@ -1,0 +1,307 @@
+"""Lazy-invalidation candidate selection for the list-scheduling loops.
+
+The naive §5.2 selection loop rescans every available (task, class) pair
+after each commit: MemMinMin and MemSufferage re-evaluate the full EST
+breakdown of every ready task per step — O(n) evaluations per commit, O(n²)
+per schedule — and MemHEFT re-walks its whole priority list.  PR 1's
+incremental EST kernel made each re-evaluation cheap; this module removes
+most re-evaluations altogether while committing **bit-identical** schedules
+(pinned by the golden-schedule and lazy-equivalence property tests).
+
+The difficulty is that EFTs are *not monotone* under commits: a commit
+releases memory at future instants, which can lower another candidate's
+``task_mem``/``comm_mem`` component, so a stale cached EFT is not a lower
+bound of the current one and a classic stale-entry heap would silently pick
+the wrong task.  :class:`MinEFTSelector` is built on two observations:
+
+* ``lb(T) = min_c max(resource_c, precedence_c(T)) + W^(c)_T`` — the
+  memory-free part of the breakdown — is a lower bound of ``best_eft(T)``
+  that stays valid for the rest of the run (precedence is immutable once a
+  task is ready, processor avail times only advance), so it is a sound
+  *eternal* heap key: candidates whose key exceeds the best exact EFT found
+  so far need not be touched at all;
+* each (version, resource) pair per memory class fully determines a
+  candidate's breakdown, so an evaluation stamped with those values can be
+  reused verbatim until one of them moves.
+
+Selection pops candidates in lower-bound order, re-evaluates each exactly
+(through the incremental kernel, which serves untouched classes from its
+version-keyed memo), and stops once the heap top's bound exceeds the best
+exact EFT ``m`` by more than ``2*EPS``.  The naive scan's order-dependent
+EPS-chain tie-break (``cand.eft < best.eft - EPS``) is reproduced exactly:
+its winner provably has ``eft <= m + EPS``, and when no candidate's EFT
+falls in ``(m + EPS, m + 2*EPS]`` the chain provably settles on the
+lowest-index candidate of the ``<= m + EPS`` band — with the paper's
+integer-valued task times the window case essentially never occurs, and
+when it does the selector falls back to replaying the exact chain.
+
+MemHEFT needs no EFT ordering at all — its selection is "first ready task
+in rank order with a feasible assignment" — so :class:`RankSelector` is a
+plain heap over rank positions of *ready* tasks, skipping the remaining
+list's not-yet-ready prefix walks entirely.
+
+MemSufferage's key (best minus second-best EFT) has no usable lower bound
+— it can move in either direction after a commit — so
+:class:`SufferageSelector` keeps version stamps only: candidates untouched
+since their last evaluation are reused verbatim and the arg-max is a single
+linear pass, replacing the naive loop's full re-evaluation plus
+O(R log R) sort per step.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Hashable, Optional
+
+from .._util import EPS
+from .state import ESTBreakdown, SchedulerState, lower_bound_from_parts
+
+Task = Hashable
+
+
+class _Entry:
+    """Cached evaluation of one ready task."""
+
+    __slots__ = ("task", "tie", "alive", "stamps", "value", "key",
+                 "breakdown", "lbparts", "bds", "cstamps")
+
+    def __init__(self, task: Task, tie: int) -> None:
+        self.task = task
+        self.tie = tie
+        self.alive = True
+        #: (version, resource) per memory class at last evaluation.
+        self.stamps: Optional[tuple] = None
+        self.value: float = math.inf
+        self.key: object = None  # SufferageSelector's ordering tuple
+        self.breakdown: Optional[ESTBreakdown] = None
+        #: Static ``(W^(c), precedence_c + W^(c))`` pair per class (``None``
+        #: for classes without processors) — the memory-free lower bound of
+        #: the EFT on class ``c`` is ``max(resource_c + W, prec + W)``.
+        self.lbparts: Optional[tuple] = None
+        #: Per-class breakdown cache (SufferageSelector).
+        self.bds: Optional[list] = None
+        self.cstamps: Optional[list] = None
+
+
+def _state_stamp(state: SchedulerState, resources: list[float]) -> tuple:
+    """Snapshot that fully determines every candidate's EST breakdown."""
+    mem = state.mem
+    return tuple((mem[m].version, resources[m.index]) for m in state.memories)
+
+
+class MinEFTSelector:
+    """Lazy heap returning the MemMinMin winner: the available task whose
+    best-class EFT survives the naive scan's EPS-chain, bit-identically.
+
+    ``order`` maps each task to its stable tie-break index (the topological
+    position the naive scan sorts by).
+    """
+
+    def __init__(self, state: SchedulerState, order: dict[Task, int]) -> None:
+        self.state = state
+        self.order = order
+        self._heap: list[tuple[float, int, _Entry]] = []
+        self._live: dict[Task, _Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def push(self, task: Task) -> None:
+        """Register a task that just became ready.  The initial key is the
+        trivial lower bound 0.0: the entry gets evaluated — and re-keyed
+        with its real bound — on the next :meth:`select`."""
+        entry = _Entry(task, self.order[task])
+        self._live[task] = entry
+        heappush(self._heap, (0.0, entry.tie, entry))
+
+    def remove(self, task: Task) -> None:
+        """Drop a committed task (its heap entry dies lazily)."""
+        entry = self._live.pop(task, None)
+        if entry is not None:
+            entry.alive = False
+
+    def _lower_bound(self, entry: _Entry, resources: list[float]) -> float:
+        """The entry's eternal heap key, from its cached static parts (see
+        :meth:`SchedulerState.est_lower_bound` for why it is sound)."""
+        parts = entry.lbparts
+        if parts is None:
+            parts = entry.lbparts = \
+                self.state.est_lower_bound_parts(entry.task)
+        return lower_bound_from_parts(parts, resources)
+
+    def _chain_fallback(self) -> Optional[ESTBreakdown]:
+        """Replay the naive scan's exact EPS-chain over all ready tasks
+        (only reached when an EFT lands in the ``(m+EPS, m+2*EPS]``
+        window that makes the chain genuinely order-dependent)."""
+        state = self.state
+        best: Optional[ESTBreakdown] = None
+        for task in sorted(self._live, key=self.order.__getitem__):
+            cand = state.best_est(task)
+            if cand is None:
+                continue
+            if best is None or cand.eft < best.eft - EPS:
+                best = cand
+        return best
+
+    def select(self) -> Optional[ESTBreakdown]:
+        """The candidate the naive scan would commit, or ``None`` when no
+        available task fits within the memory bounds."""
+        state = self.state
+        heap = self._heap
+        resources = state.class_resources()
+        stamp = _state_stamp(state, resources)
+        window = 2.0 * EPS
+        m = math.inf
+        popped: list[_Entry] = []
+        while heap:
+            key, _tie, entry = heap[0]
+            if not entry.alive:
+                heappop(heap)
+                continue
+            if key > m + window:
+                break
+            heappop(heap)
+            if entry.stamps != stamp:
+                bd = state.best_est(entry.task)
+                entry.breakdown = bd
+                entry.value = bd.eft if bd is not None else math.inf
+                entry.stamps = stamp
+            popped.append(entry)
+            if entry.value < m:
+                m = entry.value
+
+        if math.isinf(m):
+            for entry in popped:
+                heappush(heap, (self._lower_bound(entry, resources),
+                                entry.tie, entry))
+            return None
+
+        lead: Optional[_Entry] = None  # lowest-index entry with eft <= m+EPS
+        n_band = 0
+        in_window = False
+        for entry in popped:
+            if entry.value <= m + EPS:
+                n_band += 1
+                if lead is None or entry.tie < lead.tie:
+                    lead = entry
+            elif entry.value <= m + window:
+                in_window = True
+        if n_band == 1 or not in_window:
+            choice = lead.breakdown
+        else:
+            choice = self._chain_fallback()
+        assert choice is not None  # m is finite, so some candidate fits
+        for entry in popped:
+            # Reinsert with a refreshed (tighter) eternal lower bound; the
+            # winner is reinserted too and dies lazily on remove().
+            heappush(heap, (self._lower_bound(entry, resources),
+                            entry.tie, entry))
+        return choice
+
+
+class RankSelector:
+    """MemHEFT's selection: the first *ready* task in rank order with a
+    feasible assignment, served from a heap over rank positions instead of
+    re-walking the remaining priority list each step.
+
+    The winner is popped for good by :meth:`select` (every selected
+    candidate is committed by the heuristic); infeasible tasks skipped on
+    the way are pushed back and retried next step, exactly like the naive
+    front-to-back rescan."""
+
+    def __init__(self, state: SchedulerState, position: dict[Task, int]) -> None:
+        self.state = state
+        self.position = position
+        self._heap: list[tuple[int, Task]] = []
+
+    def push(self, task: Task) -> None:
+        heappush(self._heap, (self.position[task], task))
+
+    def remove(self, task: Task) -> None:
+        """No-op: the winner already left the heap in :meth:`select`."""
+
+    def select(self) -> Optional[ESTBreakdown]:
+        state = self.state
+        heap = self._heap
+        skipped: list[tuple[int, Task]] = []
+        choice: Optional[ESTBreakdown] = None
+        while heap:
+            item = heappop(heap)
+            bd = state.best_est(item[1])
+            if bd is not None:
+                choice = bd
+                break
+            skipped.append(item)
+        for item in skipped:
+            heappush(heap, item)
+        return choice
+
+
+class SufferageSelector:
+    """MemSufferage's selection with per-candidate version stamps.
+
+    Candidates whose stamp — (profile version, class resource) for every
+    memory class — is unchanged since their last evaluation are reused
+    verbatim; the rest are re-evaluated with the exact naive logic.  The
+    arg-max over ``(-sufferage, preferred_eft, index)`` keys is one linear
+    pass (the key embeds the stable task index, so iteration order cannot
+    leak into the result)."""
+
+    def __init__(self, state: SchedulerState, order: dict[Task, int]) -> None:
+        self.state = state
+        self.order = order
+        self._live: dict[Task, _Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def push(self, task: Task) -> None:
+        self._live[task] = _Entry(task, self.order[task])
+
+    def remove(self, task: Task) -> None:
+        self._live.pop(task, None)
+
+    def _evaluate(self, entry: _Entry, stamp: tuple) -> None:
+        """Refresh the entry's per-class breakdowns (only the classes whose
+        stamp moved) and rebuild its key exactly as the naive scan does."""
+        state = self.state
+        memories = state.memories
+        if entry.bds is None:
+            entry.bds = [None] * len(memories)
+            entry.cstamps = [None] * len(memories)
+        bds, cstamps = entry.bds, entry.cstamps
+        for ci, memory in enumerate(memories):
+            if cstamps[ci] != stamp[ci]:
+                bds[ci] = state.est(entry.task, memory)
+                cstamps[ci] = stamp[ci]
+        feasible = [bd for bd in bds if bd.feasible]
+        if not feasible:
+            entry.key = None
+            entry.breakdown = None
+            return
+        feasible.sort(key=lambda bd: bd.eft)
+        preferred = feasible[0]
+        if len(feasible) >= 2:
+            sufferage = feasible[1].eft - feasible[0].eft
+        else:
+            sufferage = math.inf  # only one memory can take it: urgent
+        entry.key = (-sufferage, preferred.eft, entry.tie)
+        entry.breakdown = preferred
+
+    def select(self) -> Optional[ESTBreakdown]:
+        state = self.state
+        stamp = _state_stamp(state, state.class_resources())
+        best_key = None
+        best_bd: Optional[ESTBreakdown] = None
+        for entry in self._live.values():
+            if entry.stamps != stamp:
+                self._evaluate(entry, stamp)
+                entry.stamps = stamp
+            key = entry.key
+            if key is None:
+                continue
+            if best_key is None or key < best_key:
+                best_key = key
+                best_bd = entry.breakdown
+        return best_bd

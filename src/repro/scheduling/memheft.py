@@ -12,6 +12,12 @@ Two phases:
 If no remaining task can be scheduled the memory bounds are unsatisfiable
 for this heuristic and :class:`InfeasibleScheduleError` is raised
 (the ``Error`` branch of Algorithm 1).
+
+By default the "first ready task in rank order that fits" query is served
+by a heap over the rank positions of the *ready* tasks
+(:class:`repro.scheduling.candidates.RankSelector`) instead of re-walking
+the remaining list — which is mostly not-yet-ready tasks — on every step;
+``lazy=False`` keeps the list walk.  Both paths commit identical schedules.
 """
 
 from __future__ import annotations
@@ -20,17 +26,19 @@ from .._util import RngLike
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..core.schedule import Schedule
+from .candidates import RankSelector
 from .ranks import rank_order
 from .state import InfeasibleScheduleError, SchedulerState
 
 
 def memheft(graph: TaskGraph, platform: Platform, *, rng: RngLike = None,
-            comm_policy: str = "late") -> Schedule:
+            comm_policy: str = "late", lazy: bool = True) -> Schedule:
     """Schedule ``graph`` on ``platform`` with MemHEFT.
 
     ``comm_policy`` selects when incoming transfers fire: ``"late"`` (the
     paper's choice) or ``"eager"`` (ablation, see
-    :mod:`repro.experiments.ablation`).
+    :mod:`repro.experiments.ablation`).  ``lazy`` selects the ready-task
+    heap (default) or the naive priority-list walk.
 
     Raises
     ------
@@ -38,8 +46,29 @@ def memheft(graph: TaskGraph, platform: Platform, *, rng: RngLike = None,
         When the heuristic cannot fit the graph within the memory bounds.
     """
     state = SchedulerState(graph, platform, comm_policy=comm_policy)
-    remaining = rank_order(graph, rng=rng)
 
+    if lazy:
+        position = {t: k for k, t in enumerate(rank_order(graph, rng=rng))}
+        selector = RankSelector(state, position)
+        for task in graph.roots():
+            selector.push(task)
+        n_left = graph.n_tasks
+        while n_left:
+            best = selector.select()
+            if best is None:
+                raise InfeasibleScheduleError(
+                    "MemHEFT: no remaining task fits within the memory "
+                    f"bounds ({n_left} tasks left, "
+                    f"capacities={list(platform.capacities)})"
+                )
+            state.commit(best)
+            selector.remove(best.task)
+            n_left -= 1
+            for task in state.pop_newly_ready():
+                selector.push(task)
+        return state.finalize("memheft")
+
+    remaining = rank_order(graph, rng=rng)
     while remaining:
         committed = False
         for index, task in enumerate(remaining):

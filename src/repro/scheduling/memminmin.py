@@ -5,33 +5,59 @@ task (all parents scheduled) on both memories and commits the pair
 ``(task, memory)`` with the minimum EFT.  Raises
 :class:`InfeasibleScheduleError` when no available task fits (the ``Error``
 branch of Algorithm 2).
+
+By default the per-step argmin is served by the lazy candidate heap of
+:mod:`repro.scheduling.candidates` instead of a full rescan of the
+available set; ``lazy=False`` keeps the naive scan, and both paths take
+decision-for-decision identical schedules
+(``tests/scheduling/test_lazy_selection.py``).
 """
 
 from __future__ import annotations
 
-import math
 from typing import Hashable
 
 from .._util import EPS
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..core.schedule import Schedule
+from .candidates import MinEFTSelector
 from .state import ESTBreakdown, InfeasibleScheduleError, SchedulerState
 
 Task = Hashable
 
 
 def memminmin(graph: TaskGraph, platform: Platform, *,
-              comm_policy: str = "late") -> Schedule:
+              comm_policy: str = "late", lazy: bool = True) -> Schedule:
     """Schedule ``graph`` on ``platform`` with MemMinMin.
 
     ``comm_policy``: ``"late"`` (paper) or ``"eager"`` (ablation).
+    ``lazy``: serve the per-step argmin from the lazy candidate heap
+    (default) or rescan every available task (the reference path).
     """
     state = SchedulerState(graph, platform, comm_policy=comm_policy)
     # Stable task indices make the (unspecified) tie-break deterministic.
     index = {t: k for k, t in enumerate(graph.topological_order())}
-    available: set[Task] = set(graph.roots())
 
+    if lazy:
+        selector = MinEFTSelector(state, index)
+        for task in graph.roots():
+            selector.push(task)
+        while len(selector):
+            best = selector.select()
+            if best is None:
+                raise InfeasibleScheduleError(
+                    "MemMinMin: no available task fits within the memory "
+                    f"bounds ({len(selector)} available, "
+                    f"capacities={list(platform.capacities)})"
+                )
+            state.commit(best)
+            selector.remove(best.task)
+            for task in state.pop_newly_ready():
+                selector.push(task)
+        return state.finalize("memminmin")
+
+    available: set[Task] = set(graph.roots())
     while available:
         best: ESTBreakdown | None = None
         for task in sorted(available, key=index.__getitem__):

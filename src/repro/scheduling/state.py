@@ -74,6 +74,24 @@ class InfeasibleScheduleError(RuntimeError):
     (the ``Error`` branch of Algorithms 1 and 2)."""
 
 
+def lower_bound_from_parts(
+        parts: tuple, resources: "list[float]") -> float:
+    """``min_c max(resource_c, precedence_c) + W^(c)`` from the static
+    pairs of :meth:`SchedulerState.est_lower_bound_parts` — the single
+    implementation of the lazy-heap key (used both by
+    :meth:`SchedulerState.est_lower_bound` and the candidate selectors)."""
+    best = math.inf
+    for ci, part in enumerate(parts):
+        if part is None:
+            continue
+        lb = resources[ci] + part[0]
+        if part[1] > lb:
+            lb = part[1]
+        if lb < best:
+            best = lb
+    return best
+
+
 @dataclass(frozen=True)
 class ESTBreakdown:
     """All EST components for one (task, memory) candidate."""
@@ -276,6 +294,46 @@ class SchedulerState:
         eft = est + self.graph.w(task, memory) if math.isfinite(est) else math.inf
         return ESTBreakdown(task, memory, resource, precedence, task_mem,
                             comm_mem, cmax, est, eft, comm_fit)
+
+    def class_resources(self) -> list[float]:
+        """Min processor avail per memory class (``inf`` for classes without
+        processors).  Non-decreasing over the run: commits only push avail
+        times forward."""
+        avail = self.avail
+        out = []
+        for memory in self.memories:
+            procs = self.platform.procs(memory)
+            out.append(min(avail[p] for p in procs) if len(procs) else math.inf)
+        return out
+
+    def est_lower_bound_parts(
+            self, task: Task) -> tuple[Optional[tuple[float, float]], ...]:
+        """Static ``(W^(c), precedence_c + W^(c))`` pair per class for a
+        *ready* task (``None`` for classes without processors) — immutable
+        for the rest of the run, so callers may cache the tuple and combine
+        it with live resources via :func:`lower_bound_from_parts`."""
+        parts = self._precedence_parts(task)
+        times = self.graph.times(task)
+        counts = self.platform.proc_counts
+        return tuple(
+            (times[ci], parts[ci][0] + times[ci]) if counts[ci] else None
+            for ci in range(len(times)))
+
+    def est_lower_bound(self, task: Task,
+                        resources: Optional[list[float]] = None) -> float:
+        """Memory-free lower bound on ``best_est(task).eft`` for a *ready*
+        task: ``min_c max(resource_c, precedence_c) + W^(c)``.
+
+        Unlike a cached EFT — whose memory components can *drop* when a
+        commit releases memory — this bound only ever grows (precedence is
+        immutable once the task is ready, resources only advance), which is
+        what makes it a sound lazy-heap key
+        (:class:`repro.scheduling.candidates.MinEFTSelector`).
+        """
+        if resources is None:
+            resources = self.class_resources()
+        return lower_bound_from_parts(self.est_lower_bound_parts(task),
+                                      resources)
 
     def best_est(self, task: Task) -> Optional[ESTBreakdown]:
         """The memory choice minimising EFT (§5.1 memory-selection phase);

@@ -26,22 +26,47 @@ from .._util import EPS
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..core.schedule import Schedule
+from .candidates import SufferageSelector
 from .state import ESTBreakdown, InfeasibleScheduleError, SchedulerState
 
 Task = Hashable
 
 
 def memsufferage(graph: TaskGraph, platform: Platform, *,
-                 comm_policy: str = "late") -> Schedule:
+                 comm_policy: str = "late", lazy: bool = True) -> Schedule:
     """Schedule ``graph`` with the memory-aware Sufferage heuristic.
+
+    ``lazy`` (default) serves the per-step arg-max-sufferage from the
+    version-stamped candidate cache of
+    :class:`repro.scheduling.candidates.SufferageSelector` — candidates
+    untouched by the last commit are reused verbatim — while ``lazy=False``
+    rescans every available task.  Both paths commit identical schedules.
 
     Raises :class:`InfeasibleScheduleError` when no available task fits
     within the memory bounds (same contract as Algorithms 1-2).
     """
     state = SchedulerState(graph, platform, comm_policy=comm_policy)
     index = {t: k for k, t in enumerate(graph.topological_order())}
-    available: set[Task] = set(graph.roots())
 
+    if lazy:
+        selector = SufferageSelector(state, index)
+        for task in graph.roots():
+            selector.push(task)
+        while len(selector):
+            best_choice = selector.select()
+            if best_choice is None:
+                raise InfeasibleScheduleError(
+                    "MemSufferage: no available task fits within the memory "
+                    f"bounds ({len(selector)} available, "
+                    f"capacities={list(platform.capacities)})"
+                )
+            state.commit(best_choice)
+            selector.remove(best_choice.task)
+            for task in state.pop_newly_ready():
+                selector.push(task)
+        return state.finalize("memsufferage")
+
+    available: set[Task] = set(graph.roots())
     while available:
         best_choice: ESTBreakdown | None = None
         best_key: tuple[float, float, int] | None = None

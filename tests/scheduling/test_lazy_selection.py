@@ -1,0 +1,141 @@
+"""The lazy candidate heaps must commit bit-identical schedules to the
+naive full-rescan selection loops, on every heuristic, across randomized
+graphs, platforms and memory bounds — including infeasibility verdicts."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Platform, heft
+from repro.dags import dex, random_dag
+from repro.scheduling.memheft import memheft
+from repro.scheduling.memminmin import memminmin
+from repro.scheduling.state import InfeasibleScheduleError
+from repro.scheduling.sufferage import memsufferage
+
+HEURISTICS = (memheft, memminmin, memsufferage)
+
+
+def _assert_same_outcome(fn, graph, platform, **kwargs):
+    """Run lazy and naive paths; both must agree placement-for-placement
+    (or both raise)."""
+    try:
+        lazy = fn(graph, platform, lazy=True, **kwargs)
+    except InfeasibleScheduleError:
+        with pytest.raises(InfeasibleScheduleError):
+            fn(graph, platform, lazy=False, **kwargs)
+        return None
+    naive = fn(graph, platform, lazy=False, **kwargs)
+    assert lazy.makespan == naive.makespan
+    for task in graph.tasks():
+        pl, pn = lazy.placement(task), naive.placement(task)
+        assert (pl.proc, pl.memory, pl.start, pl.finish) == \
+               (pn.proc, pn.memory, pn.start, pn.finish), \
+            f"{fn.__name__} diverged on {task!r}"
+    assert lazy.meta["peaks"] == naive.meta["peaks"]
+    return lazy
+
+
+@pytest.mark.parametrize("fn", HEURISTICS, ids=lambda f: f.__name__)
+def test_dex_unbounded_and_tight(fn):
+    for platform in (Platform(1, 1), Platform(1, 1, 5, 5),
+                     Platform(1, 1, 4, 4), Platform(1, 1, 3, 3)):
+        _assert_same_outcome(fn, dex(), platform)
+
+
+@settings(max_examples=20, deadline=None)
+@given(size=st.integers(min_value=3, max_value=40),
+       seed=st.integers(min_value=0, max_value=10**6),
+       alpha=st.floats(min_value=0.3, max_value=1.2),
+       procs=st.sampled_from([(1, 1), (2, 1), (1, 3)]))
+def test_lazy_equals_naive_on_random_daggen(size, seed, alpha, procs):
+    graph = random_dag(size=size, rng=seed)
+    base = heft(graph, Platform(*procs))
+    ref_peak = max(base.meta["peak_blue"], base.meta["peak_red"]) or 1.0
+    bounded = Platform(*procs).with_uniform_bound(alpha * ref_peak)
+    for fn in HEURISTICS:
+        _assert_same_outcome(fn, graph, bounded)
+
+
+@pytest.mark.parametrize("fn", HEURISTICS, ids=lambda f: f.__name__)
+@pytest.mark.parametrize("seed", range(3))
+def test_lazy_equals_naive_unbounded(fn, seed):
+    graph = random_dag(size=30, rng=seed)
+    schedule = _assert_same_outcome(fn, graph, Platform(2, 2))
+    assert schedule is not None and len(schedule) == 30
+
+
+@pytest.mark.parametrize("fn", (memheft, memminmin), ids=lambda f: f.__name__)
+def test_lazy_equals_naive_eager_policy(fn):
+    graph = random_dag(size=25, rng=7)
+    base = heft(graph, Platform(1, 1))
+    bound = 0.7 * max(base.meta["peak_blue"], base.meta["peak_red"])
+    _assert_same_outcome(fn, graph, Platform(1, 1).with_uniform_bound(bound),
+                         comm_policy="eager")
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_lazy_equals_naive_three_classes(seed):
+    from repro._util import as_rng
+    from repro.multi import MultiTaskGraph
+    gen = as_rng(seed)
+    g = MultiTaskGraph(3, name=f"tri{seed}")
+    n = 18
+    for k in range(n):
+        g.add_task(k, tuple(float(gen.integers(1, 20)) for _ in range(3)))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if gen.random() < 0.3:
+                g.add_dependency(i, j, size=float(gen.integers(1, 8)),
+                                 comm=float(gen.integers(1, 5)))
+    platform = Platform([1, 1, 1], [math.inf] * 3)
+    for fn in HEURISTICS:
+        _assert_same_outcome(fn, g, platform)
+    bounded = Platform([1, 1, 1], [30.0] * 3)
+    for fn in HEURISTICS:
+        _assert_same_outcome(fn, g, bounded)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_selector_lower_bound_matches_state_reference(seed):
+    """MinEFTSelector's cached lower bound must agree with the reference
+    implementation (SchedulerState.est_lower_bound) and actually bound the
+    exact best-class EFT from below at every step."""
+    from repro.scheduling.candidates import MinEFTSelector
+    from repro.scheduling.state import SchedulerState
+
+    graph = random_dag(size=25, rng=seed)
+    base = heft(graph, Platform(1, 1))
+    bound = 0.8 * max(base.meta["peak_blue"], base.meta["peak_red"])
+    state = SchedulerState(graph, Platform(1, 1).with_uniform_bound(bound))
+    index = {t: k for k, t in enumerate(graph.topological_order())}
+    selector = MinEFTSelector(state, index)
+    for task in graph.roots():
+        selector.push(task)
+    while len(selector):
+        resources = state.class_resources()
+        for task, entry in selector._live.items():
+            cached = selector._lower_bound(entry, resources)
+            assert cached == state.est_lower_bound(task, resources)
+            best = state.best_est(task)
+            if best is not None:
+                assert cached <= best.eft + 1e-12
+        best = selector.select()
+        if best is None:
+            break
+        state.commit(best)
+        selector.remove(best.task)
+        for task in state.pop_newly_ready():
+            selector.push(task)
+
+
+def test_memheft_seeded_tiebreak_matches(fn=memheft):
+    graph = random_dag(size=20, rng=3)
+    for rng in (0, 1, 2):
+        a = fn(graph, Platform(1, 1), rng=rng, lazy=True)
+        b = fn(graph, Platform(1, 1), rng=rng, lazy=False)
+        assert a.makespan == b.makespan
+        for task in graph.tasks():
+            assert a.placement(task).start == b.placement(task).start
