@@ -34,6 +34,11 @@ k-memory platforms use the same entry points::
 
     platform = Platform([12, 3, 1], [64, 16, 8])    # CPU + 2 accelerator pools
     graph = TaskGraph("tri", n_classes=3)           # times= per class
+
+For long-lived use, :mod:`repro.service` wraps the engine in an asyncio
+JSON-over-HTTP scheduling service with a content-addressed schedule cache
+(``memsched serve`` / ``memsched submit``); see the top-level README for
+the protocol.
 """
 
 from .core import (

@@ -10,6 +10,8 @@ Subcommands::
     memsched bounds    graph.json --blue 2 --red 1
     memsched ilp       graph.json --blue 1 --red 1 --mem-blue 5 --mem-red 5
     memsched experiment fig10 --scale ci
+    memsched serve     --port 8123 --workers 4
+    memsched submit    graph.json --algo memheft --port 8123 -o sched.json
 """
 
 from __future__ import annotations
@@ -211,6 +213,73 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+    return serve(args.host, args.port, workers=args.workers,
+                 cache_size=args.cache_size)
+
+
+def _print_response(resp, graph_path: str) -> None:
+    cache = {True: "hit", False: "miss", None: "?"}[resp.cached]
+    print(f"graph     : {graph_path}")
+    print(f"algorithm : {resp.algorithm}")
+    print(f"makespan  : {resp.makespan:g}")
+    print(f"peaks     : {' '.join(f'{v:g}' for v in resp.peaks)}")
+    print(f"cache     : {cache}  (digest {resp.digest[:16]}...)")
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceClientError
+
+    if args.output and len(args.graphs) > 1:
+        print("error: -o/--output only applies to a single graph",
+              file=sys.stderr)
+        return 2
+    platform = _platform_from_args(args)
+    graphs = [load_graph(p) for p in args.graphs]
+    options = {}
+    if args.comm_policy != "late":
+        options["comm_policy"] = args.comm_policy
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        client.wait_until_ready(args.wait)
+        if len(graphs) == 1:
+            resp = client.schedule(graphs[0], platform, args.algo,
+                                   options or None)
+            responses = [resp]
+            _print_response(resp, args.graphs[0])
+        else:
+            results = client.batch(
+                [(g, platform, args.algo, options or None) for g in graphs])
+            responses = []
+            for path, res in zip(args.graphs, results):
+                if isinstance(res, ServiceClientError):
+                    print(f"{path}: ERROR [{res.err_type}] {res.message}",
+                          file=sys.stderr)
+                else:
+                    responses.append(res)
+                    print(f"{path}: makespan={res.makespan:g} "
+                          f"cache={'hit' if res.cached else 'miss'}")
+            if len(responses) != len(graphs):
+                return 2
+    except ServiceClientError as exc:
+        if exc.err_type == "infeasible":
+            print(f"INFEASIBLE: {exc.message}", file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    if args.output:
+        import json as _json
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            _json.dumps(responses[0].schedule, indent=2))
+        print(f"wrote schedule to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="memsched",
@@ -270,6 +339,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard the sweep grid over N worker processes "
                         "(0 = one per CPU; identical results for any N)")
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("serve", help="run the async scheduling service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123)
+    p.add_argument("-w", "--workers", type=int, default=1,
+                   help="process-pool size for /batch fan-out "
+                        "(1 = schedule in-process)")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="content-addressed schedule cache capacity (entries)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit graphs to a running scheduling service")
+    p.add_argument("graphs", nargs="+", metavar="graph",
+                   help="graph JSON file(s); several go as one /batch")
+    p.add_argument("--algo", choices=sorted(SCHEDULERS), default="memheft")
+    _add_platform_args(p)
+    p.add_argument("--comm-policy", choices=("late", "eager"), default="late")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123)
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-request timeout (seconds)")
+    p.add_argument("--wait", type=float, default=10.0,
+                   help="max seconds to wait for the service to come up")
+    p.add_argument("-o", "--output",
+                   help="write the returned schedule JSON here (single graph)")
+    p.set_defaults(func=cmd_submit)
 
     return parser
 

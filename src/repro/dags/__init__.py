@@ -4,6 +4,7 @@ hand-built toys, and the paper's benchmark datasets."""
 from .daggen import assign_uniform_weights, daggen, daggen_layers, random_dag
 from .datasets import (
     cholesky_set,
+    huge_rand_set,
     large_rand_set,
     lu_set,
     small_rand_set,
@@ -29,6 +30,7 @@ __all__ = [
     "small_rand_set",
     "tiny_rand_set",
     "large_rand_set",
+    "huge_rand_set",
     "lu_set",
     "cholesky_set",
     "lu_dag",

@@ -67,6 +67,25 @@ def large_rand_set(n_graphs: int = 15, size: int = 150, seed: int = 1000
     return graphs
 
 
+def huge_rand_set(n_graphs: int = 5, size: int = 500, seed: int = 5000
+                  ) -> list[TaskGraph]:
+    """HugeRandSet: a larger daggen scale than LargeRandSet (defaults: 5
+    DAGs of 500 tasks, all weights in ``[1, 100]``) for the scheduling
+    service's load generator and the scaling benchmarks.  The paper-scale
+    LargeRandSet is ``n_graphs=100, size=1000``; this set keeps the same
+    structure parameters at an intermediate, pure-Python-tractable size —
+    tests using it are ``slow``-marked.
+    """
+    graphs = []
+    for idx, rng in enumerate(_seeds(seed, n_graphs)):
+        g = random_dag(size=size, width=RAND_WIDTH, density=RAND_DENSITY,
+                       jumps=RAND_JUMPS, rng=rng,
+                       w_range=(1, 100), c_range=(1, 100), f_range=(1, 100))
+        g.name = f"huge_rand[{idx}]"
+        graphs.append(g)
+    return graphs
+
+
 def lu_set(tile_counts: Sequence[int] = (4, 8, 13)) -> list[TaskGraph]:
     """LUSet: LU factorisation DAGs for several tiled-matrix sizes."""
     return [lu_dag(t) for t in tile_counts]

@@ -3,6 +3,8 @@
 from .dot import to_dot
 from .gantt import ascii_gantt, memory_sparkline, schedule_summary
 from .json_io import (
+    canonical_digest,
+    canonical_json,
     graph_from_dict,
     graph_to_dict,
     load_graph,
@@ -17,6 +19,8 @@ from .json_io import (
 
 __all__ = [
     "to_dot",
+    "canonical_json",
+    "canonical_digest",
     "ascii_gantt",
     "memory_sparkline",
     "schedule_summary",

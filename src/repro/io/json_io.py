@@ -14,6 +14,7 @@ k-memory objects use the generic ``times`` / ``proc_counts`` /
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from pathlib import Path
@@ -171,3 +172,39 @@ def save_schedule(schedule: Schedule, path: PathLike) -> None:
 
 def load_schedule(path: PathLike) -> Schedule:
     return schedule_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# canonical serialization / content addressing
+# ----------------------------------------------------------------------
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON rendering: sorted keys, minimal separators, no
+    NaN/Infinity literals (use the ``None``-for-unbounded convention of
+    :func:`platform_to_dict` before calling).
+
+    Two structurally equal payloads always render to the same string, across
+    processes and Python versions, which makes the output safe to hash.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def canonical_digest(graph: Union[TaskGraph, dict],
+                     platform: Union[Platform, dict],
+                     algorithm: str,
+                     options: Union[dict, None] = None) -> str:
+    """Content address of one scheduling problem instance.
+
+    A sha256 hex digest of the canonical JSON form of ``(graph, platform,
+    algorithm, options)`` — the key of the :mod:`repro.service` schedule
+    cache.  Model objects are converted through :func:`graph_to_dict` /
+    :func:`platform_to_dict`, so a :class:`TaskGraph` and its serialized
+    dict address the same content; algorithm names are case-folded and
+    ``options=None`` equals ``options={}``.
+    """
+    graph_d = graph_to_dict(graph) if isinstance(graph, TaskGraph) else graph
+    platform_d = (platform_to_dict(platform)
+                  if isinstance(platform, Platform) else platform)
+    payload = canonical_json(
+        [graph_d, platform_d, str(algorithm).lower(), options or {}])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

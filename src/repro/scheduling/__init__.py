@@ -6,7 +6,14 @@ from .memheft import memheft
 from .memminmin import memminmin
 from .minmin import minmin
 from .ranks import rank_order, upward_ranks
-from .registry import BASELINES, MEMORY_AWARE, SCHEDULERS, get_scheduler
+from .registry import (
+    BASELINES,
+    ENGINE_OPTIONED,
+    MEMORY_AWARE,
+    MEMORY_OBLIVIOUS,
+    SCHEDULERS,
+    get_scheduler,
+)
 from .state import ESTBreakdown, InfeasibleScheduleError, SchedulerState
 from .sufferage import memsufferage, sufferage
 
@@ -28,5 +35,7 @@ __all__ = [
     "SCHEDULERS",
     "MEMORY_AWARE",
     "BASELINES",
+    "MEMORY_OBLIVIOUS",
+    "ENGINE_OPTIONED",
     "get_scheduler",
 ]

@@ -20,9 +20,12 @@ the wrong task.  :class:`MinEFTSelector` is built on two observations:
   task is ready, processor avail times only advance), so it is a sound
   *eternal* heap key: candidates whose key exceeds the best exact EFT found
   so far need not be touched at all;
-* each (version, resource) pair per memory class fully determines a
-  candidate's breakdown, so an evaluation stamped with those values can be
-  reused verbatim until one of them moves.
+* each (touch serial, resource) pair per memory class fully determines a
+  candidate's per-class breakdown — the touch serial comes from the
+  commit-side dirty tracking of :meth:`SchedulerState.commit`, which
+  records exactly which classes each commit mutated — so an evaluation
+  stamped with those values is reused verbatim until one of them moves,
+  and a re-evaluation only touches the classes that actually changed.
 
 Selection pops candidates in lower-bound order, re-evaluates each exactly
 (through the incremental kernel, which serves untouched classes from its
@@ -70,7 +73,7 @@ class _Entry:
         self.task = task
         self.tie = tie
         self.alive = True
-        #: (version, resource) per memory class at last evaluation.
+        #: (class touch serial, resource) per memory class at last evaluation.
         self.stamps: Optional[tuple] = None
         self.value: float = math.inf
         self.key: object = None  # SufferageSelector's ordering tuple
@@ -85,9 +88,17 @@ class _Entry:
 
 
 def _state_stamp(state: SchedulerState, resources: list[float]) -> tuple:
-    """Snapshot that fully determines every candidate's EST breakdown."""
-    mem = state.mem
-    return tuple((mem[m].version, resources[m.index]) for m in state.memories)
+    """Snapshot that fully determines every candidate's EST breakdown.
+
+    Keyed per class on ``(touch serial, resource)``: the touch serial is
+    bumped once per commit that actually mutated the class's profile (the
+    commit-side dirty tracking of :meth:`SchedulerState.commit`), so a
+    class whose component is unchanged has a bit-identical profile *and*
+    an unchanged resource floor — every cached per-class breakdown stamped
+    with it can be reused verbatim.
+    """
+    touch = state.class_touch_serial
+    return tuple((touch[m.index], resources[m.index]) for m in state.memories)
 
 
 class MinEFTSelector:
@@ -130,6 +141,32 @@ class MinEFTSelector:
                 self.state.est_lower_bound_parts(entry.task)
         return lower_bound_from_parts(parts, resources)
 
+    def _best_cached(self, entry: _Entry, stamp: tuple) -> Optional[ESTBreakdown]:
+        """:meth:`SchedulerState.best_est`, but re-evaluating only the
+        classes whose stamp component moved since the entry's last
+        evaluation (commit-side dirty tracking): clean classes reuse their
+        cached :class:`ESTBreakdown` object outright.  Same iteration
+        order and EPS comparison as ``best_est``, so the choice is
+        bit-identical."""
+        state = self.state
+        memories = state.memories
+        bds = entry.bds
+        if bds is None:
+            bds = entry.bds = [None] * len(memories)
+            entry.cstamps = [None] * len(memories)
+        cstamps = entry.cstamps
+        best: Optional[ESTBreakdown] = None
+        for ci, memory in enumerate(memories):
+            if cstamps[ci] != stamp[ci]:
+                bds[ci] = state.est(entry.task, memory)
+                cstamps[ci] = stamp[ci]
+            bd = bds[ci]
+            if not bd.feasible:
+                continue
+            if best is None or bd.eft < best.eft - EPS:
+                best = bd
+        return best
+
     def _chain_fallback(self) -> Optional[ESTBreakdown]:
         """Replay the naive scan's exact EPS-chain over all ready tasks
         (only reached when an EFT lands in the ``(m+EPS, m+2*EPS]``
@@ -163,7 +200,7 @@ class MinEFTSelector:
                 break
             heappop(heap)
             if entry.stamps != stamp:
-                bd = state.best_est(entry.task)
+                bd = self._best_cached(entry, stamp)
                 entry.breakdown = bd
                 entry.value = bd.eft if bd is not None else math.inf
                 entry.stamps = stamp
@@ -239,9 +276,9 @@ class RankSelector:
 
 
 class SufferageSelector:
-    """MemSufferage's selection with per-candidate version stamps.
+    """MemSufferage's selection with per-candidate dirty stamps.
 
-    Candidates whose stamp — (profile version, class resource) for every
+    Candidates whose stamp — (class touch serial, class resource) for every
     memory class — is unchanged since their last evaluation are reused
     verbatim; the rest are re-evaluated with the exact naive logic.  The
     arg-max over ``(-sufferage, preferred_eft, index)`` keys is one linear

@@ -36,8 +36,15 @@ SCHEDULERS: dict[str, Callable[..., Schedule]] = {
 #: The two memory-aware heuristics contributed by the paper (memsufferage
 #: is this library's extension, see repro.scheduling.sufferage).
 MEMORY_AWARE = ("memheft", "memminmin")
-#: The memory-oblivious reference heuristics.
+#: The memory-oblivious reference heuristics (the paper's comparison pair).
 BASELINES = ("heft", "minmin")
+#: Every memory-oblivious heuristic (unbounded-memory specialisations).
+MEMORY_OBLIVIOUS = ("heft", "minmin", "sufferage")
+#: Heuristics taking the engine options (``comm_policy=``, ``lazy=``) —
+#: consumers (e.g. ``repro.service``) must key capability checks on these
+#: tuples, not hand-maintained copies, so new registry entries are
+#: advertised correctly.
+ENGINE_OPTIONED = ("memheft", "memminmin", "memsufferage")
 
 
 def get_scheduler(name: str) -> Callable[..., Schedule]:

@@ -154,6 +154,17 @@ class SchedulerState:
         self._static: dict[Task, list[tuple[float, float, float, float]]] = {}
         # per (task, class index): (profile version, task_mem, comm_fit).
         self._fit: dict[tuple[Task, int], tuple[int, float, float]] = {}
+        # -- per-class dirty tracking ----------------------------------
+        # Commits record which memory classes they actually mutated: one
+        # serial per commit, and per class the serial of the last commit
+        # that touched its profile.  The candidate selectors key their
+        # reuse stamps on these (a class whose serial is unchanged has a
+        # bit-identical profile), instead of chasing profile ``version``
+        # counters that can bump several times within one commit.
+        self.commit_serial: int = 0
+        self.class_touch_serial: list[int] = [0] * platform.n_classes
+        #: Class indices mutated by the most recent commit (diagnostics).
+        self.last_touched_classes: tuple[int, ...] = ()
 
     # ------------------------------------------------------------------
     # readiness
@@ -381,11 +392,13 @@ class SchedulerState:
         self.avail[proc] = finish
 
         profile = self.mem[memory]
+        touched: set[int] = set()
         # Outputs resident in mu from the task start until each consumer is
         # committed (release scheduled then).
         out_total = self.graph.out_size(task)
         if out_total > 0.0:
             profile.add(out_total, est, None)
+            touched.add(memory.index)
 
         for parent in self.graph.parents(task):
             pp = self.schedule.placement(parent)
@@ -394,6 +407,7 @@ class SchedulerState:
                 # Same-memory input: freed when this task finishes.
                 if size > 0.0:
                     profile.add(-size, finish, None)
+                    touched.add(memory.index)
             else:
                 # Cross-memory input transfer.  "late" (the paper's policy):
                 # share the window [EST - Cmax, EST), clipped to the
@@ -413,6 +427,14 @@ class SchedulerState:
                     profile.add(size, comm_start, finish)
                     # Source copy freed when the transfer completes.
                     self.mem[pp.memory].add(-size, comm_end, None)
+                    touched.add(memory.index)
+                    touched.add(pp.memory.index)
+
+        # Record which classes this commit actually mutated.
+        self.commit_serial += 1
+        for ci in touched:
+            self.class_touch_serial[ci] = self.commit_serial
+        self.last_touched_classes = tuple(sorted(touched))
 
         # Drop the committed task's cached EST components (it will never be
         # a candidate again); profile-version keys invalidate the rest.
@@ -443,6 +465,9 @@ class SchedulerState:
         clone._newly_ready = list(self._newly_ready)
         clone._static = dict(self._static)
         clone._fit = dict(self._fit)
+        clone.commit_serial = self.commit_serial
+        clone.class_touch_serial = list(self.class_touch_serial)
+        clone.last_touched_classes = self.last_touched_classes
         return clone
 
     # ------------------------------------------------------------------

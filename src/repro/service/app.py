@@ -1,0 +1,488 @@
+"""Transport-independent request handling for the scheduling service.
+
+:class:`ServiceApp` is a plain object mapping ``(method, path, body)`` to
+``(status, headers, body)`` — the asyncio server in
+:mod:`repro.service.server` is only a thin HTTP shell around it, so the
+whole protocol is unit-testable without sockets.
+
+**Content-addressed caching.**  Every scheduling request is normalised and
+hashed with :func:`repro.io.json_io.canonical_digest`; the digest keys an
+LRU (:class:`ScheduleCache`) whose values are the *serialized response
+bodies*.  A cache hit therefore returns the exact bytes the cold run
+produced — bit-identity between cached, cold and direct library calls is
+structural, not a property to maintain.  Whether a response was served
+from cache travels in the ``X-Cache: hit|miss`` header, never in the body
+(the body must not depend on cache state).
+
+**Batch offload.**  ``POST /batch`` deduplicates its instances against the
+cache *and against each other* (two identical instances in one batch are
+scheduled once), then fans the remaining unique misses out over a
+*persistent* :class:`concurrent.futures.ProcessPoolExecutor` built with
+the :func:`repro.experiments.engine.map_cells` worker/payload pattern
+(same ``_init_worker``/``_call_cell`` machinery, worker spawn paid once
+per service lifetime, not per request), so serial (``workers=1``) and
+parallel batches produce identical bytes by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from typing import Optional
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..core.validation import ScheduleError, validate_schedule
+from ..experiments.engine import _call_cell, _init_worker, default_chunk_size
+from ..io.json_io import (
+    canonical_digest,
+    canonical_json,
+    graph_from_dict,
+    platform_from_dict,
+    schedule_to_dict,
+)
+from ..scheduling.registry import (
+    ENGINE_OPTIONED,
+    MEMORY_OBLIVIOUS,
+    SCHEDULERS,
+)
+from ..scheduling.state import InfeasibleScheduleError
+
+#: Protocol revision, reported by ``GET /healthz``.
+PROTOCOL_VERSION = 1
+
+#: Algorithms accepting the ``comm_policy`` / ``lazy`` engine options (the
+#: memory-oblivious heuristics run on fixed unbounded settings).
+_OPTIONED = frozenset(ENGINE_OPTIONED)
+
+_DEFAULT_OPTIONS = {"comm_policy": "late", "lazy": True}
+
+
+class ServiceError(Exception):
+    """A request that cannot be served; carries the HTTP status to emit.
+
+    ``err_type`` is a stable machine-readable slug (``bad_request``,
+    ``unknown_algorithm``, ``infeasible``, ...), ``message`` the human
+    explanation.
+    """
+
+    def __init__(self, status: int, err_type: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.err_type = err_type
+        self.message = message
+
+    def to_body(self) -> bytes:
+        return canonical_json(
+            {"error": {"status": self.status, "type": self.err_type,
+                       "message": self.message}}
+        ).encode("utf-8")
+
+
+def normalize_options(options: Optional[dict], algorithm: str) -> dict:
+    """Validate and default-fill the per-request engine options.
+
+    Filling the defaults *before* hashing means ``{}``,
+    ``{"comm_policy": "late"}`` and ``None`` all address the same cache
+    entry.  Unknown keys and options on algorithms that do not take them
+    are rejected rather than silently ignored — they would otherwise
+    fragment the cache without changing the result.
+    """
+    if options is None:
+        options = {}
+    if not isinstance(options, dict):
+        raise ServiceError(400, "bad_request", "'options' must be an object")
+    unknown = set(options) - set(_DEFAULT_OPTIONS)
+    if unknown:
+        raise ServiceError(
+            400, "bad_request",
+            f"unknown options: {sorted(unknown)} "
+            f"(known: {sorted(_DEFAULT_OPTIONS)})")
+    out = dict(_DEFAULT_OPTIONS)
+    out.update(options)
+    if out["comm_policy"] not in ("late", "eager"):
+        raise ServiceError(400, "bad_request",
+                           f"comm_policy must be 'late' or 'eager', "
+                           f"got {out['comm_policy']!r}")
+    out["lazy"] = bool(out["lazy"])
+    if algorithm not in _OPTIONED and out != _DEFAULT_OPTIONS:
+        raise ServiceError(
+            400, "bad_request",
+            f"algorithm {algorithm!r} takes no engine options")
+    return out
+
+
+def request_digest(graph_d: dict, platform_d: dict, algorithm: str,
+                   options: dict) -> str:
+    """:func:`canonical_digest` with protocol-level error mapping: JSON
+    payloads can smuggle ``Infinity``/``NaN`` literals past parsing (Python
+    accepts them by default), which canonical JSON rejects — that is the
+    *request's* fault, not the server's."""
+    try:
+        return canonical_digest(graph_d, platform_d, algorithm, options)
+    except ValueError as exc:
+        raise ServiceError(
+            400, "bad_request",
+            f"non-finite numbers in request (serialize unbounded "
+            f"capacities as null): {exc}") from exc
+
+
+def parse_request(req: object) -> tuple[dict, dict, str, dict]:
+    """Validate the shape of one scheduling request; returns the
+    ``(graph_dict, platform_dict, algorithm, options)`` quadruple."""
+    if not isinstance(req, dict):
+        raise ServiceError(400, "bad_request",
+                           "request body must be a JSON object")
+    missing = [k for k in ("graph", "platform") if k not in req]
+    if missing:
+        raise ServiceError(400, "bad_request",
+                           f"missing required fields: {missing}")
+    graph_d, platform_d = req["graph"], req["platform"]
+    if not isinstance(graph_d, dict) or not isinstance(platform_d, dict):
+        raise ServiceError(400, "bad_request",
+                           "'graph' and 'platform' must be JSON objects")
+    algorithm = str(req.get("algorithm", "memheft")).lower()
+    if algorithm not in SCHEDULERS:
+        raise ServiceError(
+            400, "unknown_algorithm",
+            f"unknown algorithm {algorithm!r}; known: "
+            f"{', '.join(sorted(SCHEDULERS))}")
+    options = normalize_options(req.get("options"), algorithm)
+    return graph_d, platform_d, algorithm, options
+
+
+def execute_request(graph_d: dict, platform_d: dict, algorithm: str,
+                    options: dict, digest: str) -> bytes:
+    """Run one scheduling instance to a serialized response body.
+
+    The single cold path shared by ``/schedule``, the in-process half of
+    ``/batch`` and the pool workers — identical bytes wherever it runs.
+    The schedule is revalidated by the independent validator before being
+    served; the reported ``peaks`` are the validator's (replay-side), one
+    entry per memory class.
+    """
+    try:
+        graph = graph_from_dict(graph_d)
+        platform = platform_from_dict(platform_d)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(400, "bad_request",
+                           f"malformed graph/platform: {exc}") from exc
+    if graph.n_classes != platform.n_classes:
+        raise ServiceError(
+            400, "bad_request",
+            f"graph has {graph.n_classes} memory classes but the platform "
+            f"has {platform.n_classes}")
+    try:
+        graph.validate()
+    except ValueError as exc:
+        raise ServiceError(400, "bad_request", str(exc)) from exc
+
+    scheduler = SCHEDULERS[algorithm]
+    kwargs = ({"comm_policy": options["comm_policy"], "lazy": options["lazy"]}
+              if algorithm in _OPTIONED else {})
+    try:
+        schedule = scheduler(graph, platform, **kwargs)
+    except InfeasibleScheduleError as exc:
+        raise ServiceError(422, "infeasible", str(exc)) from exc
+    try:
+        peaks = validate_schedule(graph, platform, schedule)
+    except ScheduleError as exc:  # pragma: no cover - scheduler bug guard
+        raise ServiceError(500, "internal",
+                           f"scheduler produced an invalid schedule: {exc}"
+                           ) from exc
+    response = {
+        "digest": digest,
+        "algorithm": algorithm,
+        "makespan": schedule.makespan,
+        "peaks": [peaks[m] for m in platform.memories()],
+        "schedule": schedule_to_dict(schedule),
+    }
+    return canonical_json(response).encode("utf-8")
+
+
+def _batch_worker(payload: object, cache: dict, cell: tuple) -> tuple:
+    """Pool worker for ``/batch`` cache misses (top-level for pickling).
+
+    ``cell`` is ``(graph_d, platform_d, algorithm, options, digest)``;
+    returns ``("ok", body)`` or ``("error", status, err_type, message)`` so
+    per-instance failures don't poison the whole batch.
+    """
+    graph_d, platform_d, algorithm, options, digest = cell
+    try:
+        return ("ok", execute_request(graph_d, platform_d, algorithm,
+                                      options, digest))
+    except ServiceError as exc:
+        return ("error", exc.status, exc.err_type, exc.message)
+
+
+class ScheduleCache:
+    """Thread-safe content-addressed LRU over serialized response bodies."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[str, bytes]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, digest: str) -> Optional[bytes]:
+        with self._lock:
+            body = self._data.get(digest)
+            if body is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(digest)
+            self.hits += 1
+            return body
+
+    def put(self, digest: str, body: bytes) -> None:
+        with self._lock:
+            if digest in self._data:
+                self._data.move_to_end(digest)
+                return  # identical by construction: same digest, same bytes
+            self._data[digest] = body
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+_JSON_HEADERS = {"Content-Type": "application/json"}
+
+
+class ServiceApp:
+    """Routes service requests; owns the cache and the worker count."""
+
+    def __init__(self, workers: int = 1, cache_size: int = 1024) -> None:
+        self.workers = max(1, int(workers))
+        self.cache = ScheduleCache(cache_size)
+        self.started_at = time.monotonic()
+        self.n_requests = 0
+        self._count_lock = threading.Lock()
+        # Raw-body fast path: sha256 of the exact request bytes -> canonical
+        # digest.  A byte-identical resubmission skips JSON parsing and
+        # canonicalization entirely — for a 1000-task graph that is most of
+        # the warm-path cost.  Differently-formatted but equivalent bodies
+        # miss here and fall through to the canonical path (and still hit
+        # the content-addressed cache).
+        self._raw_index: "OrderedDict[bytes, str]" = OrderedDict()
+        self._raw_lock = threading.Lock()
+        # Persistent batch pool (lazy): an always-on service cannot afford
+        # worker spawn + package import per /batch request.
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Shut down the batch worker pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _batch_pool(self) -> ProcessPoolExecutor:
+        """The persistent /batch pool, initialised with the same
+        worker/payload pattern :func:`repro.experiments.engine.map_cells`
+        uses — the worker and payload never change, so one initializer
+        call per worker process serves every batch."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(_batch_worker, None))
+            return self._pool
+
+    def _run_cells(self, cells: list) -> list:
+        """Fan batch cells out (persistent pool) or run them in-process."""
+        if self.workers <= 1 or len(cells) <= 1:
+            cache: dict = {}
+            return [_batch_worker(None, cache, cell) for cell in cells]
+        try:
+            return list(self._batch_pool().map(
+                _call_cell, cells,
+                chunksize=default_chunk_size(len(cells), self.workers)))
+        except BrokenProcessPool as exc:
+            self.close()   # discard the broken pool; next batch rebuilds it
+            raise ServiceError(
+                500, "worker_pool",
+                f"batch worker pool died ({exc}); pool reset, retry the "
+                f"request") from exc
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str,
+               body: bytes) -> tuple[int, dict, bytes]:
+        """Serve one request; returns ``(status, headers, body_bytes)``.
+
+        Never raises for protocol-level problems — they become structured
+        JSON error bodies — so the transport layer stays dumb.
+        """
+        with self._count_lock:
+            self.n_requests += 1
+        path = path.split("?", 1)[0]
+        try:
+            if path == "/schedule":
+                self._require(method, "POST", path)
+                return self._handle_schedule(body)
+            if path == "/batch":
+                self._require(method, "POST", path)
+                return self._handle_batch(body)
+            if path == "/algorithms":
+                self._require(method, "GET", path)
+                return self._handle_algorithms()
+            if path == "/healthz":
+                self._require(method, "GET", path)
+                return self._handle_healthz()
+            raise ServiceError(404, "not_found", f"unknown path {path!r}")
+        except ServiceError as exc:
+            return exc.status, dict(_JSON_HEADERS), exc.to_body()
+        except Exception as exc:   # noqa: BLE001 — a bug must answer 500,
+            # not tear the connection down (the transport only handles
+            # socket errors, and a dropped socket makes the client retry).
+            err = ServiceError(500, "internal",
+                               f"{type(exc).__name__}: {exc}")
+            return err.status, dict(_JSON_HEADERS), err.to_body()
+
+    @staticmethod
+    def _require(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise ServiceError(405, "method_not_allowed",
+                               f"{path} only accepts {expected}")
+
+    @staticmethod
+    def _parse_body(body: bytes) -> object:
+        try:
+            return json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(400, "bad_request",
+                               f"invalid JSON body: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _handle_schedule(self, body: bytes) -> tuple[int, dict, bytes]:
+        headers = dict(_JSON_HEADERS)
+        raw_key = hashlib.sha256(body).digest()
+        with self._raw_lock:
+            digest = self._raw_index.get(raw_key)
+            if digest is not None:
+                self._raw_index.move_to_end(raw_key)
+        parsed = None
+        if digest is None:
+            parsed = parse_request(self._parse_body(body))
+            digest = request_digest(*parsed)
+            with self._raw_lock:
+                self._raw_index[raw_key] = digest
+                while len(self._raw_index) > self.cache.capacity:
+                    self._raw_index.popitem(last=False)
+        cached = self.cache.get(digest)
+        if cached is not None:
+            headers["X-Cache"] = "hit"
+            return 200, headers, cached
+        if parsed is None:  # raw alias outlived the cached response
+            parsed = parse_request(self._parse_body(body))
+        out = execute_request(*parsed, digest)
+        self.cache.put(digest, out)
+        headers["X-Cache"] = "miss"
+        return 200, headers, out
+
+    def _handle_batch(self, body: bytes) -> tuple[int, dict, bytes]:
+        payload = self._parse_body(body)
+        if not isinstance(payload, dict) or "requests" not in payload:
+            raise ServiceError(400, "bad_request",
+                               "batch body must be {\"requests\": [...]}")
+        requests = payload["requests"]
+        if not isinstance(requests, list):
+            raise ServiceError(400, "bad_request",
+                               "'requests' must be an array")
+
+        # Resolve each instance to either an error body, a cached body, or
+        # a position in the unique-miss work list.
+        results: list[Optional[bytes]] = [None] * len(requests)
+        cached_flags = [False] * len(requests)
+        miss_index: dict[str, int] = {}   # digest -> index into cells
+        cells: list[tuple] = []
+        slots: list[list[int]] = []       # cells[i] fills slots[i]
+        for pos, req in enumerate(requests):
+            try:
+                graph_d, platform_d, algorithm, options = parse_request(req)
+                digest = request_digest(graph_d, platform_d, algorithm,
+                                        options)
+            except ServiceError as exc:
+                results[pos] = exc.to_body()
+                continue
+            hit = self.cache.get(digest)
+            if hit is not None:
+                results[pos] = hit
+                cached_flags[pos] = True
+                continue
+            ci = miss_index.get(digest)
+            if ci is None:
+                ci = miss_index[digest] = len(cells)
+                cells.append((graph_d, platform_d, algorithm, options, digest))
+                slots.append([pos])
+            else:
+                slots[ci].append(pos)   # duplicate within the batch
+                cached_flags[pos] = True
+
+        if cells:
+            outcomes = self._run_cells(cells)
+            for cell, outcome, fills in zip(cells, outcomes, slots):
+                if outcome[0] == "ok":
+                    out = outcome[1]
+                    self.cache.put(cell[4], out)
+                else:
+                    out = ServiceError(*outcome[1:]).to_body()
+                for pos in fills:
+                    results[pos] = out
+
+        # Splice the per-instance bodies verbatim: each array element is
+        # byte-identical to the corresponding /schedule response.
+        joined = b",".join(results)  # type: ignore[arg-type]
+        out_body = (b'{"cached":' + canonical_json(cached_flags).encode()
+                    + b',"results":[' + joined + b"]}")
+        return 200, dict(_JSON_HEADERS), out_body
+
+    def _handle_algorithms(self) -> tuple[int, dict, bytes]:
+        algos = [
+            {
+                "name": name,
+                "memory_aware": name not in MEMORY_OBLIVIOUS,
+                "baseline": name in MEMORY_OBLIVIOUS,
+                "options": sorted(_DEFAULT_OPTIONS) if name in _OPTIONED else [],
+            }
+            for name in sorted(SCHEDULERS)
+        ]
+        body = canonical_json({"algorithms": algos}).encode("utf-8")
+        return 200, dict(_JSON_HEADERS), body
+
+    def _handle_healthz(self) -> tuple[int, dict, bytes]:
+        body = canonical_json({
+            "status": "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "n_requests": self.n_requests,
+            "workers": self.workers,
+            "cache": self.cache.stats(),
+        }).encode("utf-8")
+        return 200, dict(_JSON_HEADERS), body

@@ -1,7 +1,10 @@
 """Benchmark dataset builders: sizes, ranges, per-graph determinism."""
 
+import pytest
+
 from repro.dags import (
     cholesky_set,
+    huge_rand_set,
     large_rand_set,
     lu_set,
     small_rand_set,
@@ -56,6 +59,31 @@ class TestRandomSets:
     def test_names_are_indexed(self):
         graphs = small_rand_set(n_graphs=3)
         assert [g.name for g in graphs] == [f"small_rand[{k}]" for k in range(3)]
+
+
+class TestHugeRandSet:
+    def test_small_override_shape(self):
+        # The builder itself at a CI-friendly size.
+        graphs = huge_rand_set(n_graphs=2, size=60)
+        assert [g.name for g in graphs] == ["huge_rand[0]", "huge_rand[1]"]
+        assert all(g.n_tasks == 60 for g in graphs)
+        for g in graphs:
+            for t in g.tasks():
+                assert 1 <= g.w_blue(t) <= 100
+
+    def test_deterministic_by_seed(self):
+        a = huge_rand_set(n_graphs=2, size=40, seed=3)
+        b = huge_rand_set(n_graphs=2, size=40, seed=3)
+        for ga, gb in zip(a, b):
+            assert list(ga.edges()) == list(gb.edges())
+
+    @pytest.mark.slow
+    def test_default_scale(self):
+        graphs = huge_rand_set()
+        assert len(graphs) == 5
+        assert all(g.n_tasks == 500 for g in graphs)
+        for g in graphs:
+            g.validate()
 
 
 class TestLinalgSets:

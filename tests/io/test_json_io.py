@@ -7,6 +7,8 @@ import pytest
 from repro import Memory, Platform, memheft
 from repro.dags import dex, lu_dag, random_dag
 from repro.io import (
+    canonical_digest,
+    canonical_json,
     graph_from_dict,
     graph_to_dict,
     load_graph,
@@ -85,3 +87,43 @@ class TestScheduleRoundTrip:
         path = tmp_path / "s.json"
         save_schedule(s, path)
         assert load_schedule(path).makespan == s.makespan
+
+
+class TestCanonicalDigest:
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": [1.5, "x"]}) == \
+               canonical_json({"a": [1.5, "x"], "b": 1})
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_objects_and_dicts_address_the_same_content(self):
+        g = dex()
+        p = Platform(1, 1, 5, 5)
+        assert canonical_digest(g, p, "memheft") == \
+               canonical_digest(graph_to_dict(g), platform_to_dict(p),
+                                "memheft")
+
+    def test_default_options_and_case_are_normalised(self):
+        g, p = dex(), Platform(1, 1, 5, 5)
+        assert canonical_digest(g, p, "MemHEFT") == \
+               canonical_digest(g, p, "memheft", {})
+
+    def test_sensitive_to_every_component(self):
+        g, p = dex(), Platform(1, 1, 5, 5)
+        base = canonical_digest(g, p, "memheft")
+        assert base != canonical_digest(g, p, "memminmin")
+        assert base != canonical_digest(g, Platform(1, 1, 6, 5), "memheft")
+        assert base != canonical_digest(g, p, "memheft",
+                                        {"comm_policy": "eager"})
+        g2 = dex()
+        d2 = graph_to_dict(g2)
+        d2["tasks"][0]["w_blue"] += 1
+        assert base != canonical_digest(d2, platform_to_dict(p), "memheft")
+
+    def test_stable_across_calls(self):
+        g, p = dex(), Platform(1, 1, 5, 5)
+        assert canonical_digest(g, p, "memheft") == \
+               canonical_digest(g, p, "memheft")
+        assert len(canonical_digest(g, p, "memheft")) == 64

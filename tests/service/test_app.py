@@ -1,0 +1,303 @@
+"""ServiceApp protocol tests — no sockets, straight into ``handle()``.
+
+The load-bearing property throughout: every body served for a scheduling
+request — cold, cached, or inside a batch — is bit-identical to what a
+direct library call serializes to.
+"""
+
+import json
+
+import pytest
+
+from repro.core.platform import Platform
+from repro.core.validation import validate_schedule
+from repro.dags.daggen import random_dag
+from repro.dags.toy import dex
+from repro.io.json_io import (
+    canonical_json,
+    graph_to_dict,
+    platform_to_dict,
+    schedule_to_dict,
+)
+from repro.scheduling.registry import SCHEDULERS, get_scheduler
+from repro.service.app import ServiceApp
+
+PLATFORM = Platform(n_blue=1, n_red=1, mem_blue=5, mem_red=5)
+
+
+def post(app, path, payload):
+    body = payload if isinstance(payload, bytes) else \
+        json.dumps(payload).encode()
+    return app.handle("POST", path, body)
+
+
+def schedule_req(graph=None, platform=PLATFORM, algorithm="memheft",
+                 **extra):
+    req = {
+        "graph": graph_to_dict(graph if graph is not None else dex()),
+        "platform": platform_to_dict(platform),
+        "algorithm": algorithm,
+    }
+    req.update(extra)
+    return req
+
+
+def direct_body_fields(graph, platform, algorithm, **kwargs):
+    schedule = get_scheduler(algorithm)(graph, platform, **kwargs)
+    peaks = validate_schedule(graph, platform, schedule)
+    return {
+        "algorithm": algorithm,
+        "makespan": schedule.makespan,
+        "peaks": [peaks[m] for m in platform.memories()],
+        "schedule": schedule_to_dict(schedule),
+    }
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("algorithm", sorted(SCHEDULERS))
+    def test_response_equals_direct_call(self, algorithm):
+        app = ServiceApp()
+        status, headers, body = post(app, "/schedule",
+                                     schedule_req(algorithm=algorithm))
+        assert status == 200
+        assert headers["X-Cache"] == "miss"
+        data = json.loads(body)
+        expect = direct_body_fields(dex(), PLATFORM, algorithm)
+        assert data["schedule"] == expect["schedule"]
+        assert data["makespan"] == expect["makespan"]
+        assert data["peaks"] == expect["peaks"]
+        # The body is the canonical serialization of its own parse.
+        assert body == canonical_json(data).encode()
+
+    def test_warm_hit_is_byte_identical(self):
+        app = ServiceApp()
+        req = schedule_req()
+        _, h1, cold = post(app, "/schedule", req)
+        _, h2, warm = post(app, "/schedule", req)
+        assert (h1["X-Cache"], h2["X-Cache"]) == ("miss", "hit")
+        assert cold == warm
+        assert app.cache.stats()["hits"] == 1
+
+    def test_equivalent_but_reordered_body_still_hits(self):
+        app = ServiceApp()
+        req = schedule_req()
+        post(app, "/schedule", req)
+        # Same content, different key order and spacing: the raw-body fast
+        # path misses, the canonical digest still hits.
+        reordered = json.dumps(req, sort_keys=True, indent=2).encode()
+        status, headers, body = app.handle("POST", "/schedule", reordered)
+        assert status == 200
+        assert headers["X-Cache"] == "hit"
+
+    def test_default_algorithm_is_memheft(self):
+        app = ServiceApp()
+        req = schedule_req()
+        del req["algorithm"]
+        _, _, body = post(app, "/schedule", req)
+        assert json.loads(body)["algorithm"] == "memheft"
+
+    def test_comm_policy_option_changes_result_and_digest(self):
+        g = random_dag(size=25, rng=5)
+        app = ServiceApp()
+        _, _, late = post(app, "/schedule", schedule_req(g, PLATFORM.unbounded()))
+        _, h, eager = post(app, "/schedule", schedule_req(
+            g, PLATFORM.unbounded(), options={"comm_policy": "eager"}))
+        assert h["X-Cache"] == "miss"
+        assert json.loads(late)["digest"] != json.loads(eager)["digest"]
+
+    def test_lazy_false_matches_lazy_true(self):
+        g = random_dag(size=30, rng=9)
+        app = ServiceApp()
+        _, _, a = post(app, "/schedule",
+                       schedule_req(g, PLATFORM.unbounded()))
+        _, _, b = post(app, "/schedule",
+                       schedule_req(g, PLATFORM.unbounded(),
+                                    options={"lazy": False}))
+        assert json.loads(a)["schedule"] == json.loads(b)["schedule"]
+
+
+class TestErrorPaths:
+    @pytest.mark.parametrize("body,err_type", [
+        (b"{not json", "bad_request"),
+        (b"[1,2,3]", "bad_request"),
+        (b"{}", "bad_request"),
+        (json.dumps({"graph": 5, "platform": {}}).encode(), "bad_request"),
+    ])
+    def test_malformed_requests_are_400(self, body, err_type):
+        app = ServiceApp()
+        status, _, out = app.handle("POST", "/schedule", body)
+        assert status == 400
+        assert json.loads(out)["error"]["type"] == err_type
+
+    def test_unknown_algorithm(self):
+        status, _, out = post(ServiceApp(), "/schedule",
+                              schedule_req(algorithm="quantum"))
+        assert status == 400
+        assert json.loads(out)["error"]["type"] == "unknown_algorithm"
+
+    def test_unknown_option_rejected(self):
+        status, _, out = post(ServiceApp(), "/schedule",
+                              schedule_req(options={"frobnicate": 1}))
+        assert status == 400
+
+    def test_options_on_baseline_rejected(self):
+        status, _, out = post(ServiceApp(), "/schedule",
+                              schedule_req(algorithm="heft",
+                                           options={"comm_policy": "eager"}))
+        assert status == 400
+
+    def test_class_mismatch(self):
+        req = schedule_req(platform=Platform([1, 1, 1], [5, 5, 5]))
+        status, _, out = post(ServiceApp(), "/schedule", req)
+        assert status == 400
+        assert "memory classes" in json.loads(out)["error"]["message"]
+
+    def test_infeasible_is_422_and_not_cached(self):
+        app = ServiceApp()
+        req = schedule_req(platform=Platform(1, 1, 0.5, 0.5))
+        status, _, out = post(app, "/schedule", req)
+        assert status == 422
+        assert json.loads(out)["error"]["type"] == "infeasible"
+        assert len(app.cache) == 0
+        # And the identical resubmission (raw-index alias path) re-errors.
+        status2, _, out2 = post(app, "/schedule", req)
+        assert status2 == 422
+
+    def test_unknown_path_and_method(self):
+        app = ServiceApp()
+        assert app.handle("GET", "/nope", b"")[0] == 404
+        assert app.handle("GET", "/schedule", b"")[0] == 405
+        assert app.handle("POST", "/healthz", b"")[0] == 405
+
+    def test_cyclic_graph_rejected(self):
+        req = schedule_req()
+        req["graph"]["edges"].append(
+            {"src": req["graph"]["edges"][0]["dst"],
+             "dst": req["graph"]["edges"][0]["src"], "size": 1, "comm": 1})
+        status, _, out = post(ServiceApp(), "/schedule", req)
+        assert status == 400
+
+
+class TestBatch:
+    def test_batch_elements_equal_schedule_bodies(self):
+        app = ServiceApp()
+        graphs = [random_dag(size=15, rng=s) for s in (1, 2, 3)]
+        reqs = [schedule_req(g, PLATFORM.unbounded()) for g in graphs]
+        status, _, body = post(app, "/batch", {"requests": reqs})
+        assert status == 200
+        data = json.loads(body)
+        assert data["cached"] == [False, False, False]
+        singles = [json.loads(post(ServiceApp(), "/schedule", r)[2])
+                   for r in reqs]
+        assert data["results"] == singles
+
+    def test_batch_deduplicates_identical_instances(self):
+        app = ServiceApp()
+        req = schedule_req()
+        status, _, body = post(app, "/batch", {"requests": [req, req, req]})
+        data = json.loads(body)
+        assert data["cached"] == [False, True, True]
+        assert data["results"][0] == data["results"][1] == data["results"][2]
+        assert app.cache.stats()["size"] == 1
+
+    def test_batch_embeds_per_instance_errors(self):
+        app = ServiceApp()
+        good = schedule_req()
+        bad = schedule_req(algorithm="quantum")
+        infeasible = schedule_req(platform=Platform(1, 1, 0.5, 0.5))
+        _, _, body = post(app, "/batch",
+                          {"requests": [good, bad, infeasible]})
+        data = json.loads(body)
+        assert "schedule" in data["results"][0]
+        assert data["results"][1]["error"]["type"] == "unknown_algorithm"
+        assert data["results"][2]["error"]["type"] == "infeasible"
+
+    def test_batch_serial_equals_workers(self):
+        graphs = [random_dag(size=20, rng=s) for s in (4, 5)]
+        reqs = [schedule_req(g, PLATFORM.unbounded()) for g in graphs]
+        _, _, serial = post(ServiceApp(workers=1), "/batch",
+                            {"requests": reqs})
+        _, _, parallel = post(ServiceApp(workers=2), "/batch",
+                              {"requests": reqs})
+        assert serial == parallel
+
+    def test_batch_shape_errors(self):
+        app = ServiceApp()
+        assert post(app, "/batch", {"nope": []})[0] == 400
+        assert post(app, "/batch", {"requests": "x"})[0] == 400
+
+    def test_empty_batch(self):
+        status, _, body = post(ServiceApp(), "/batch", {"requests": []})
+        assert status == 200
+        assert json.loads(body) == {"cached": [], "results": []}
+
+
+class TestRobustness:
+    def test_internal_errors_become_500_not_exceptions(self, monkeypatch):
+        app = ServiceApp()
+        monkeypatch.setattr(ServiceApp, "_handle_schedule",
+                            lambda self, body: 1 / 0)
+        status, _, out = post(app, "/schedule", schedule_req())
+        assert status == 500
+        assert json.loads(out)["error"]["type"] == "internal"
+
+    def test_infinity_in_platform_is_400_not_500(self):
+        # Python's json emits/accepts Infinity literals; canonical JSON
+        # rejects them — that must surface as the *client's* error.
+        req = schedule_req()
+        req["platform"] = {"n_blue": 1, "n_red": 1,
+                           "mem_blue": float("inf"), "mem_red": 5}
+        app = ServiceApp()
+        status, _, out = post(app, "/schedule", req)
+        assert status == 400
+        assert json.loads(out)["error"]["type"] == "bad_request"
+
+    def test_infinity_instance_does_not_poison_batch(self):
+        good = schedule_req()
+        bad = schedule_req()
+        bad["platform"] = {"n_blue": 1, "n_red": 1,
+                           "mem_blue": float("inf"), "mem_red": 5}
+        status, _, body = post(ServiceApp(), "/batch",
+                               {"requests": [good, bad]})
+        assert status == 200
+        data = json.loads(body)
+        assert "schedule" in data["results"][0]
+        assert data["results"][1]["error"]["status"] == 400
+
+    def test_batch_pool_is_persistent_across_requests(self):
+        app = ServiceApp(workers=2)
+        graphs = [random_dag(size=12, rng=s) for s in (41, 42, 43, 44)]
+        reqs = [schedule_req(g, PLATFORM.unbounded()) for g in graphs]
+        assert post(app, "/batch", {"requests": reqs[:2]})[0] == 200
+        pool = app._pool
+        assert pool is not None
+        assert post(app, "/batch", {"requests": reqs[2:]})[0] == 200
+        assert app._pool is pool   # reused, not respawned
+        app.close()
+        assert app._pool is None
+
+
+class TestIntrospection:
+    def test_algorithms_lists_registry(self):
+        _, _, body = ServiceApp().handle("GET", "/algorithms", b"")
+        algos = json.loads(body)["algorithms"]
+        assert [a["name"] for a in algos] == sorted(SCHEDULERS)
+        by_name = {a["name"]: a for a in algos}
+        assert by_name["memheft"]["memory_aware"] is True
+        assert by_name["heft"]["baseline"] is True
+        # Every algorithm is classified exactly one way.
+        for a in algos:
+            assert a["memory_aware"] != a["baseline"], a
+        assert by_name["sufferage"]["baseline"] is True
+        assert by_name["memsufferage"]["memory_aware"] is True
+
+    def test_healthz_counts_requests(self):
+        app = ServiceApp(workers=3, cache_size=7)
+        post(app, "/schedule", schedule_req())
+        _, _, body = app.handle("GET", "/healthz", b"")
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["workers"] == 3
+        assert health["n_requests"] == 2
+        assert health["cache"]["capacity"] == 7
+        assert health["cache"]["size"] == 1

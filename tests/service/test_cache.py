@@ -1,0 +1,70 @@
+"""Content-addressed LRU cache: eviction order, accounting, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.service.app import ScheduleCache
+
+
+class TestScheduleCache:
+    def test_miss_then_hit(self):
+        cache = ScheduleCache(capacity=4)
+        assert cache.get("d1") is None
+        cache.put("d1", b"body1")
+        assert cache.get("d1") == b"body1"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ScheduleCache(capacity=2)
+        cache.put("a", b"A")
+        cache.put("b", b"B")
+        assert cache.get("a") == b"A"   # refreshes a's recency
+        cache.put("c", b"C")            # evicts b, the least recent
+        assert cache.get("b") is None
+        assert cache.get("a") == b"A"
+        assert cache.get("c") == b"C"
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_repeated_put_is_idempotent(self):
+        cache = ScheduleCache(capacity=2)
+        cache.put("a", b"A")
+        cache.put("a", b"A")
+        assert len(cache) == 1
+        assert cache.evictions == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ScheduleCache(capacity=0)
+
+    def test_stats_shape(self):
+        cache = ScheduleCache(capacity=3)
+        cache.put("a", b"A")
+        cache.get("a")
+        cache.get("zz")
+        stats = cache.stats()
+        assert stats == {"size": 1, "capacity": 3, "hits": 1,
+                         "misses": 1, "evictions": 0}
+
+    def test_concurrent_access_keeps_accounting_consistent(self):
+        cache = ScheduleCache(capacity=8)
+        n_threads, n_ops = 8, 200
+
+        def worker(k: int) -> None:
+            for i in range(n_ops):
+                digest = f"d{(k + i) % 16}"
+                if cache.get(digest) is None:
+                    cache.put(digest, digest.encode())
+
+        threads = [threading.Thread(target=worker, args=(k,))
+                   for k in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 8
+        assert cache.hits + cache.misses == n_threads * n_ops
+        # Every stored body still matches its digest.
+        for digest in list(cache._data):
+            assert cache._data[digest] == digest.encode()

@@ -128,3 +128,58 @@ class TestExperiment:
         rc = main(["experiment", "table1", "--scale", "ci",
                    "--csv", str(tmp_path / "t.csv")])
         assert rc == 2
+
+
+class TestSubmit:
+    @pytest.fixture
+    def live_server(self):
+        from repro.service import ServiceApp, ThreadedServer
+        with ThreadedServer(ServiceApp()) as srv:
+            yield srv
+
+    def test_submit_matches_direct_schedule(self, dex_file, live_server,
+                                            tmp_path, capsys):
+        served = tmp_path / "served.json"
+        direct = tmp_path / "direct.json"
+        rc = main(["submit", str(dex_file), "--port", str(live_server.port),
+                   "--algo", "memheft", "--mem-blue", "5", "--mem-red", "5",
+                   "-o", str(served)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan  : 6" in out
+        assert "cache     : miss" in out
+        assert main(["schedule", str(dex_file), "--algo", "memheft",
+                     "--mem-blue", "5", "--mem-red", "5",
+                     "-o", str(direct)]) == 0
+        assert json.loads(served.read_text()) == json.loads(direct.read_text())
+
+    def test_submit_second_time_hits_cache(self, dex_file, live_server,
+                                           capsys):
+        args = ["submit", str(dex_file), "--port", str(live_server.port),
+                "--mem-blue", "5", "--mem-red", "5"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "cache     : hit" in capsys.readouterr().out
+
+    def test_submit_many_graphs_uses_batch(self, dex_file, live_server,
+                                           tmp_path, capsys):
+        rc = main(["submit", str(dex_file), str(dex_file),
+                   "--port", str(live_server.port),
+                   "--mem-blue", "5", "--mem-red", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("makespan=6") == 2
+        assert "cache=hit" in out   # the duplicate dedups inside the batch
+
+    def test_submit_infeasible_exit_code(self, dex_file, live_server, capsys):
+        rc = main(["submit", str(dex_file), "--port", str(live_server.port),
+                   "--mem-blue", "0.5", "--mem-red", "0.5"])
+        assert rc == 2
+        assert "INFEASIBLE" in capsys.readouterr().err
+
+    def test_submit_unreachable_service(self, dex_file, capsys):
+        rc = main(["submit", str(dex_file), "--port", "1",
+                   "--wait", "0.2", "--timeout", "1"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
