@@ -48,10 +48,11 @@ import pytest
 from repro._util import EPS
 from repro.core.memory_profile import MemoryProfile
 from repro.core.platform import Platform
+from repro.core.validation import validate_schedule
 from repro.dags.daggen import random_dag
 from repro.dags.datasets import large_rand_set
 from repro.experiments.figures import RAND_PLATFORM
-from repro.experiments.sweep import default_alphas, normalized_sweep
+from repro.experiments.sweep import default_alphas, normalized_sweep, spread_speeds
 from repro.scheduling.heft import heft
 from repro.scheduling.memheft import memheft
 from repro.scheduling.memminmin import memminmin
@@ -258,6 +259,42 @@ def bench_selection(size: int) -> list[dict]:
     return rows
 
 
+def bench_hetero(size: int, spreads=(0.0, 0.25, 0.5)) -> list[dict]:
+    """Heterogeneous (per-processor speeds) mode: wall-clock and makespan
+    of the per-finish-time kernel across speed spreads on a 4+2 hybrid
+    platform.  Every schedule is re-checked by the speed-aware validator,
+    and the spread-0 run is asserted placement-identical to the plain
+    homogeneous platform (the uniform-class fast path)."""
+    graph = random_dag(size=size, rng=size,
+                       w_range=(1, 100), c_range=(1, 100), f_range=(1, 100))
+    base = Platform(4, 2)
+    heuristics = [("memheft", memheft), ("memminmin", memminmin),
+                  ("memsufferage", memsufferage)]
+    plain = {name: fn(graph, base) for name, fn in heuristics}
+    rows = []
+    for spread in spreads:
+        platform = spread_speeds(base, spread)
+        for algo_name, fn in heuristics:
+            t0 = time.perf_counter()
+            schedule = fn(graph, platform)
+            wall = time.perf_counter() - t0
+            validate_schedule(graph, platform, schedule)
+            if spread == 0.0:
+                _assert_identical({"hetero0": schedule,
+                                   "plain": plain[algo_name]},
+                                  "plain", graph, algo_name)
+            ratio = schedule.makespan / plain[algo_name].makespan
+            print(f"hetero    n={size:5d} {algo_name:12s} "
+                  f"spread={spread:4.2f} {wall:7.3f}s "
+                  f"makespan={schedule.makespan:10.2f} vs_hom={ratio:5.3f}")
+            rows.append({
+                "n": size, "algorithm": algo_name, "spread": spread,
+                "wall_s": wall, "makespan": schedule.makespan,
+                "ratio_to_homogeneous": ratio,
+            })
+    return rows
+
+
 def bench_sweep(jobs: int, n_graphs: int, size: int, n_alphas: int) -> dict:
     """Figure-12-style normalised sweep, serial vs sharded over ``jobs``
     processes, cells asserted byte-identical."""
@@ -307,6 +344,12 @@ def main(argv=None) -> int:
                         help="alpha grid points in the sweep bench")
     parser.add_argument("--skip-kernel", action="store_true")
     parser.add_argument("--skip-selection", action="store_true")
+    parser.add_argument("--hetero", action="store_true",
+                        help="also run the heterogeneous (per-processor "
+                             "speeds) mode: speed-spread ladder on a 4+2 "
+                             "platform, schedules validated and the "
+                             "spread-0 case asserted identical to the "
+                             "homogeneous fast path")
     args = parser.parse_args(argv)
     sizes = args.sizes or [500, 1000, 2000]
 
@@ -328,6 +371,10 @@ def main(argv=None) -> int:
               "(identical schedules asserted)")
         report["selection"] = [row for n in sizes
                                for row in bench_selection(n)]
+    if args.hetero:
+        print("heterogeneous kernel: speed-spread ladder "
+              "(validated; spread 0 asserted == homogeneous)")
+        report["hetero"] = [row for n in sizes for row in bench_hetero(n)]
     if args.jobs != 1:
         report["sweep"] = bench_sweep(args.jobs, args.sweep_graphs,
                                       args.sweep_size, args.sweep_alphas)

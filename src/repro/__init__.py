@@ -30,10 +30,14 @@ Quickstart::
     peaks = validate_schedule(graph, platform, schedule)
     print(schedule.makespan, peaks)
 
-k-memory platforms use the same entry points::
+k-memory platforms use the same entry points, and processors inside a
+class may carry relative speeds (heterogeneous SKUs; task ``i`` on
+processor ``p`` of class ``c`` runs ``W^(c)_i / speeds[p]``, all-1.0 being
+the paper's homogeneous model)::
 
     platform = Platform([12, 3, 1], [64, 16, 8])    # CPU + 2 accelerator pools
     graph = TaskGraph("tri", n_classes=3)           # times= per class
+    mixed = Platform(2, 1, 40, 40, speeds=[1.0, 0.5, 2.0])
 
 For long-lived use, :mod:`repro.service` wraps the engine in an asyncio
 JSON-over-HTTP scheduling service with a content-addressed schedule cache

@@ -47,23 +47,31 @@ def _platform_from_args(args: argparse.Namespace) -> Platform:
     if getattr(args, "mems", None) and not getattr(args, "procs", None):
         raise SystemExit("error: --mems requires --procs "
                          "(use --mem-blue/--mem-red on dual platforms)")
-    if getattr(args, "procs", None):
+    speeds = None
+    if getattr(args, "speeds", None):
         try:
+            speeds = [float(s) for s in args.speeds.split(",")]
+        except ValueError as exc:
+            raise SystemExit(f"error: invalid --speeds: {exc}") from None
+    try:
+        if getattr(args, "procs", None):
             counts = [int(n) for n in args.procs.split(",")]
             if args.mems:
                 caps = [math.inf if m in ("inf", "") else float(m)
                         for m in args.mems.split(",")]
             else:
                 caps = [math.inf] * len(counts)
-            return Platform(counts, caps)
-        except ValueError as exc:
-            raise SystemExit(f"error: invalid --procs/--mems: {exc}") from None
-    return Platform(
-        n_blue=args.blue,
-        n_red=args.red,
-        mem_blue=math.inf if args.mem_blue is None else args.mem_blue,
-        mem_red=math.inf if args.mem_red is None else args.mem_red,
-    )
+            return Platform(counts, caps, speeds=speeds)
+        return Platform(
+            n_blue=args.blue,
+            n_red=args.red,
+            mem_blue=math.inf if args.mem_blue is None else args.mem_blue,
+            mem_red=math.inf if args.mem_red is None else args.mem_red,
+            speeds=speeds,
+        )
+    except ValueError as exc:
+        raise SystemExit(
+            f"error: invalid --procs/--mems/--speeds: {exc}") from None
 
 
 def _add_platform_args(parser: argparse.ArgumentParser) -> None:
@@ -79,6 +87,11 @@ def _add_platform_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mems", default=None, metavar="M0,M1,...",
                         help="k-memory capacities per class ('inf' allowed; "
                              "requires --procs)")
+    parser.add_argument("--speeds", default=None, metavar="S0,S1,...",
+                        help="per-processor relative speeds in global "
+                             "processor order (one entry per processor; "
+                             "default: all 1.0 — the paper's homogeneous "
+                             "model)")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -167,7 +180,7 @@ def cmd_bounds(args: argparse.Namespace) -> int:
     platform = _platform_from_args(args)
     if not _check_classes(graph, platform):
         return 2
-    print(f"critical path : {critical_path_lower_bound(graph):g}")
+    print(f"critical path : {critical_path_lower_bound(graph, platform):g}")
     print(f"work          : {work_lower_bound(graph, platform):g}")
     print(f"split work    : {split_work_lower_bound(graph, platform):g}")
     print(f"lower bound   : {lower_bound(graph, platform):g}")
@@ -178,6 +191,10 @@ def cmd_ilp(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     platform = _platform_from_args(args)
     if not _check_classes(graph, platform, dual_only=True):
+        return 2
+    if platform.is_heterogeneous:
+        print("error: the exact ILP only models homogeneous (all speed "
+              "1.0) platforms", file=sys.stderr)
         return 2
     sol = solve_ilp(graph, platform, node_limit=args.node_limit,
                     time_limit=args.time_limit)
@@ -197,8 +214,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if args.csv:
         from pathlib import Path
 
-        from .experiments.report import absolute_to_csv, sweep_to_csv
-        from .experiments.sweep import AbsoluteSweepResult, SweepResult
+        from .experiments.report import (
+            absolute_to_csv,
+            heterogeneity_to_csv,
+            sweep_to_csv,
+        )
+        from .experiments.sweep import (
+            AbsoluteSweepResult,
+            HeterogeneitySweepResult,
+            SweepResult,
+        )
         data = result.data
         if isinstance(data, dict):  # fig10 carries two sweeps
             data = data.get("heuristics", data)
@@ -206,6 +231,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             Path(args.csv).write_text(sweep_to_csv(data))
         elif isinstance(data, AbsoluteSweepResult):
             Path(args.csv).write_text(absolute_to_csv(data))
+        elif isinstance(data, HeterogeneitySweepResult):
+            Path(args.csv).write_text(heterogeneity_to_csv(data))
         else:
             print(f"--csv not supported for {args.figure}", file=sys.stderr)
             return 2
@@ -216,7 +243,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import serve
     return serve(args.host, args.port, workers=args.workers,
-                 cache_size=args.cache_size)
+                 cache_size=args.cache_size, cache_dir=args.cache_dir,
+                 max_connections=args.max_connections,
+                 idle_timeout=args.idle_timeout)
 
 
 def _print_response(resp, graph_path: str) -> None:
@@ -348,6 +377,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(1 = schedule in-process)")
     p.add_argument("--cache-size", type=int, default=1024,
                    help="content-addressed schedule cache capacity (entries)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persist the schedule cache here and reload it on "
+                        "restart (eviction order preserved; default: "
+                        "in-memory only)")
+    p.add_argument("--max-connections", type=int, default=None,
+                   help="concurrent-connection cap; extra connections get "
+                        "a 503 (default: unlimited)")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   help="close keep-alive connections idle for this many "
+                        "seconds (default: never)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit",

@@ -12,6 +12,13 @@ only increase the optimal makespan, so memory-oblivious bounds remain valid):
   to minimise ``max(blue load / P1, red load / P2)``.
 
 :func:`lower_bound` is the max of the three.
+
+All three are speed-aware on heterogeneous platforms: the fastest
+processing time of a task becomes ``min_c W^(c) / max_speed(c)`` (its best
+case is the fastest processor of the best class) and a class's processing
+capacity becomes the *sum of its processor speeds* rather than its
+processor count.  On homogeneous (all speed 1.0) platforms both reduce to
+the historical expressions exactly.
 """
 
 from __future__ import annotations
@@ -21,27 +28,62 @@ import math
 import numpy as np
 from scipy.optimize import linprog
 
+from typing import Optional
+
 from .graph import TaskGraph
 from .platform import Platform
 
 
-def critical_path_lower_bound(graph: TaskGraph) -> float:
-    """Longest path with per-task ``min(W_blue, W_red)`` and zero comms."""
-    return graph.longest_path_length(weight="min")
+def _best_case_duration(graph: TaskGraph, platform: Platform, task) -> float:
+    """Fastest possible execution time of one task on ``platform``:
+    the fastest processor of its best class."""
+    fastest = platform.max_class_speeds
+    return min(graph.w(task, c) / fastest[c]
+               for c in platform.classes() if platform.proc_counts[c])
+
+
+def critical_path_lower_bound(graph: TaskGraph,
+                              platform: Optional[Platform] = None) -> float:
+    """Longest path with per-task best-case durations and zero comms.
+
+    Without a platform (or on a homogeneous one) the per-task weight is
+    ``min_c W^(c)`` exactly as before; a heterogeneous platform scales
+    each class by its fastest processor speed."""
+    if platform is None or not platform.is_heterogeneous:
+        return graph.longest_path_length(weight="min")
+    best: dict = {}
+    for t in graph.topological_order():
+        incoming = max((best[p] for p in graph.parents(t)), default=0.0)
+        best[t] = incoming + _best_case_duration(graph, platform, t)
+    return max(best.values(), default=0.0)
+
+
+def _class_capacity(platform: Platform, cls: int) -> float:
+    """Processing capacity of one class: the sum of its processor speeds
+    (reduces to the processor count at speed 1.0)."""
+    return sum(platform.class_speeds(cls))
 
 
 def work_lower_bound(graph: TaskGraph, platform: Platform) -> float:
-    """Total fastest work divided by the total processor count."""
+    """Total fastest work divided by the total processing capacity
+    (``sum of speeds``; the processor count on homogeneous platforms)."""
     if platform.n_procs == 0:
         return math.inf
-    return graph.total_work(None) / platform.n_procs
+    if not platform.is_heterogeneous:
+        return graph.total_work(None) / platform.n_procs
+    # Task i on class c occupies its processor for W^(c)/s_p time, i.e.
+    # consumes W^(c) >= min_c W^(c) capacity units; the platform provides
+    # sum(speeds) capacity units per unit of time.
+    return graph.total_work(None) / sum(platform.speeds)
 
 
 def split_work_lower_bound(graph: TaskGraph, platform: Platform) -> float:
     """Fractional-assignment load-balance bound.
 
-    Dual platform LP: minimise ``T`` s.t. ``sum_i x_i W1_i <= P1 T``,
-    ``sum_i (1 - x_i) W2_i <= P2 T``, ``0 <= x_i <= 1``.
+    Dual platform LP: minimise ``T`` s.t. ``sum_i x_i W1_i <= S1 T``,
+    ``sum_i (1 - x_i) W2_i <= S2 T``, ``0 <= x_i <= 1``, where ``S_c`` is
+    the class's processing capacity — the sum of its processor speeds,
+    which is the processor count on homogeneous platforms.
     Degenerates gracefully when one resource class is empty, and
     generalises to k classes with per-class fractions ``x_{i,c}``.
     """
@@ -53,19 +95,21 @@ def split_work_lower_bound(graph: TaskGraph, platform: Platform) -> float:
         return _split_work_k_classes(graph, platform, tasks)
     w1 = np.array([graph.w_blue(t) for t in tasks])
     w2 = np.array([graph.w_red(t) for t in tasks])
+    s1 = _class_capacity(platform, 0)
+    s2 = _class_capacity(platform, 1)
     if platform.n_blue == 0:
-        return float(w2.sum()) / max(platform.n_red, 1)
+        return float(w2.sum()) / max(s2, 1)
     if platform.n_red == 0:
-        return float(w1.sum()) / max(platform.n_blue, 1)
+        return float(w1.sum()) / max(s1, 1)
 
     # Variables: x_0..x_{n-1}, T.  Minimise T.
     c = np.zeros(n + 1)
     c[-1] = 1.0
     a_ub = np.zeros((2, n + 1))
     a_ub[0, :n] = w1
-    a_ub[0, -1] = -platform.n_blue
+    a_ub[0, -1] = -s1
     a_ub[1, :n] = -w2
-    a_ub[1, -1] = -platform.n_red
+    a_ub[1, -1] = -s2
     b_ub = np.array([0.0, -w2.sum()])
     bounds = [(0.0, 1.0)] * n + [(0.0, None)]
     res = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
@@ -77,14 +121,15 @@ def split_work_lower_bound(graph: TaskGraph, platform: Platform) -> float:
 def _split_work_k_classes(graph: TaskGraph, platform: Platform,
                           tasks: list) -> float:
     """k-class fractional assignment: minimise ``T`` s.t. for every class
-    ``c`` with processors, ``sum_i x_{i,c} W^(c)_i <= P_c T``; fractions of
-    each task over the *usable* classes sum to 1."""
+    ``c`` with processors, ``sum_i x_{i,c} W^(c)_i <= S_c T`` (``S_c`` the
+    class's speed sum); fractions of each task over the *usable* classes
+    sum to 1."""
     usable = [c for c in platform.classes() if platform.proc_counts[c] > 0]
     n = len(tasks)
     k = len(usable)
     if k == 1:
         c0 = usable[0]
-        return sum(graph.w(t, c0) for t in tasks) / platform.proc_counts[c0]
+        return sum(graph.w(t, c0) for t in tasks) / _class_capacity(platform, c0)
 
     # Variables: x_{i,c} for usable classes (n*k), then T.  Minimise T.
     nvar = n * k + 1
@@ -94,7 +139,7 @@ def _split_work_k_classes(graph: TaskGraph, platform: Platform,
     for col, cls in enumerate(usable):
         for i, t in enumerate(tasks):
             a_ub[col, i * k + col] = graph.w(t, cls)
-        a_ub[col, -1] = -platform.proc_counts[cls]
+        a_ub[col, -1] = -_class_capacity(platform, cls)
     b_ub = np.zeros(k)
     a_eq = np.zeros((n, nvar))
     for i in range(n):
@@ -111,7 +156,7 @@ def _split_work_k_classes(graph: TaskGraph, platform: Platform,
 def lower_bound(graph: TaskGraph, platform: Platform) -> float:
     """Best available makespan lower bound (max of all bounds)."""
     return max(
-        critical_path_lower_bound(graph),
+        critical_path_lower_bound(graph, platform),
         work_lower_bound(graph, platform),
         split_work_lower_bound(graph, platform),
     )

@@ -1,9 +1,8 @@
 """k-memory platform model (paper §3.1, generalised per §7).
 
 A platform holds ``k`` memory classes; class ``c`` owns ``proc_counts[c]``
-identical processors sharing a memory of capacity ``capacities[c]``.
-Processors are indexed globally, class after class: class 0 first, then
-class 1, and so on.
+processors sharing a memory of capacity ``capacities[c]``.  Processors are
+indexed globally, class after class: class 0 first, then class 1, and so on.
 
 The paper's dual-memory platform is the ``k = 2`` special case: class 0 is
 the *blue* memory (multicore CPUs), class 1 the *red* one (GPU/FPGA
@@ -11,12 +10,22 @@ accelerators).  The historical dual-memory API (``Memory.BLUE``/``RED``,
 ``n_blue``/``n_red``, ``mem_blue``/``mem_red``) is preserved as a thin
 facade over the generic representation, so existing call sites and
 serialized schedules keep working unchanged.
+
+**Heterogeneous processors.**  The paper assumes the processors inside a
+memory class are identical; real hybrid nodes mix CPU SKUs and GPU
+generations.  ``speeds`` gives every processor a relative speed factor
+(default 1.0): a task with per-class time ``W^(c)`` runs for
+``W^(c) / speeds[p]`` on processor ``p`` of class ``c`` (the related-machines
+model of Amaris et al., arXiv:1711.06433).  ``speeds = all 1.0`` recovers
+the paper's model exactly — serialization omits the vector and the
+scheduling kernel takes the identical uniform-class arithmetic, so
+homogeneous platforms behave (and hash) exactly as before.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterator, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 
 class Memory:
@@ -120,15 +129,21 @@ class Platform:
 
     ``math.inf`` capacities mean unbounded, which turns the memory-aware
     heuristics into their classical memory-oblivious counterparts.
+
+    ``speeds`` optionally gives each processor (global index order) a
+    relative speed factor; omitted, every processor runs at speed 1.0 (the
+    paper's homogeneous model).
     """
 
-    __slots__ = ("proc_counts", "capacities", "_proc_ranges")
+    __slots__ = ("proc_counts", "capacities", "speeds", "_proc_ranges",
+                 "uniform_classes", "max_class_speeds")
 
     def __init__(self,
                  n_blue: Union[int, Sequence[int]] = 1,
                  n_red: Union[int, Sequence[float], None] = None,
                  mem_blue: float = math.inf,
-                 mem_red: float = math.inf) -> None:
+                 mem_red: float = math.inf,
+                 speeds: Optional[Sequence[float]] = None) -> None:
         if isinstance(n_blue, (list, tuple)):
             counts = tuple(int(n) for n in n_blue)
             if n_red is None:
@@ -159,6 +174,29 @@ class Platform:
             start += n
         object.__setattr__(self, "_proc_ranges", tuple(ranges))
 
+        n_procs = sum(counts)
+        if speeds is None:
+            spd = (1.0,) * n_procs
+        else:
+            spd = tuple(float(s) for s in speeds)
+            if len(spd) != n_procs:
+                raise ValueError(
+                    f"speeds must have one entry per processor "
+                    f"({n_procs}), got {len(spd)}")
+            if any(s <= 0 or not math.isfinite(s) for s in spd):
+                raise ValueError("processor speeds must be finite and > 0")
+        object.__setattr__(self, "speeds", spd)
+        # Per class: whether all its processors share one speed (the fast
+        # path of the EST kernel), and the fastest speed (lower-bound key
+        # of the lazy selectors).
+        uniform, fastest = [], []
+        for r in ranges:
+            cs = spd[r.start:r.stop]
+            uniform.append(len(set(cs)) <= 1)
+            fastest.append(max(cs) if cs else 1.0)
+        object.__setattr__(self, "uniform_classes", tuple(uniform))
+        object.__setattr__(self, "max_class_speeds", tuple(fastest))
+
     # -- frozen semantics -------------------------------------------------
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Platform is immutable")
@@ -167,13 +205,17 @@ class Platform:
         if not isinstance(other, Platform):
             return NotImplemented
         return (self.proc_counts == other.proc_counts
-                and self.capacities == other.capacities)
+                and self.capacities == other.capacities
+                and self.speeds == other.speeds)
 
     def __hash__(self) -> int:
-        return hash((self.proc_counts, self.capacities))
+        return hash((self.proc_counts, self.capacities, self.speeds))
 
     def __reduce__(self):
-        return (Platform, (list(self.proc_counts), list(self.capacities)))
+        return (Platform, (list(self.proc_counts), list(self.capacities),
+                           math.inf, math.inf,
+                           None if not self.is_heterogeneous
+                           else list(self.speeds)))
 
     # ------------------------------------------------------------------
     # memory classes
@@ -250,6 +292,51 @@ class Platform:
         return self.memory_of(proc).index
 
     # ------------------------------------------------------------------
+    # processor speeds
+    # ------------------------------------------------------------------
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether any processor runs at a speed other than 1.0.
+
+        ``False`` is the paper's model; serialization omits the speed
+        vector exactly when this is ``False`` (digest stability).
+        """
+        return any(s != 1.0 for s in self.speeds)
+
+    def speed(self, proc: int) -> float:
+        """Relative speed of a global processor index."""
+        return self.speeds[proc]
+
+    def class_speeds(self, memory: Union[Memory, int]) -> tuple[float, ...]:
+        """Speeds of the processors attached to ``memory``."""
+        r = self._proc_ranges[_as_index(memory)]
+        return self.speeds[r.start:r.stop]
+
+    def max_class_speed(self, memory: Union[Memory, int]) -> float:
+        """Fastest processor speed inside ``memory`` (1.0 when empty) —
+        the per-class duration lower bound ``W^(c) / max_speed`` used by
+        the lazy selectors' eternal heap keys."""
+        return self.max_class_speeds[_as_index(memory)]
+
+    def is_uniform_class(self, memory: Union[Memory, int]) -> bool:
+        """Whether every processor of ``memory`` shares one speed — the
+        condition under which the EST kernel takes the class-wide
+        ``min(avail)`` fast path (bit-identical to the homogeneous
+        arithmetic)."""
+        return self.uniform_classes[_as_index(memory)]
+
+    def duration(self, w: float, proc: int) -> float:
+        """Execution time of a task with class-time ``w`` on ``proc``
+        (``w / speed``; exact — bit-identical to ``w`` — at speed 1.0)."""
+        return w / self.speeds[proc]
+
+    def with_speeds(self, speeds: Optional[Sequence[float]]) -> "Platform":
+        """Copy of this platform with a different speed vector
+        (``None`` resets to homogeneous)."""
+        return Platform(list(self.proc_counts), list(self.capacities),
+                        speeds=None if speeds is None else list(speeds))
+
+    # ------------------------------------------------------------------
     # memory capacities
     # ------------------------------------------------------------------
     def capacity(self, memory: Union[Memory, int]) -> float:
@@ -262,8 +349,10 @@ class Platform:
         return any(math.isfinite(c) for c in self.capacities)
 
     def with_capacities(self, capacities: Sequence[float]) -> "Platform":
-        """Copy of this platform with different memory capacities."""
-        return Platform(list(self.proc_counts), list(capacities))
+        """Copy of this platform with different memory capacities
+        (processor speeds preserved)."""
+        return Platform(list(self.proc_counts), list(capacities),
+                        speeds=list(self.speeds))
 
     def with_bounds(self, mem_blue: float, mem_red: float) -> "Platform":
         """Copy with different capacities (dual-memory convenience)."""
@@ -282,4 +371,7 @@ class Platform:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         caps = ", ".join("inf" if math.isinf(c) else f"{c:g}"
                          for c in self.capacities)
-        return f"Platform(procs={list(self.proc_counts)}, capacities=[{caps}])"
+        spd = (f", speeds={[f'{s:g}' for s in self.speeds]}"
+               if self.is_heterogeneous else "")
+        return (f"Platform(procs={list(self.proc_counts)}, "
+                f"capacities=[{caps}]{spd})")

@@ -5,6 +5,10 @@ plus per-memory usage timelines.
 it — task starts/finishes, transfer starts/finishes and the running memory
 occupancy of both memories at each event.  Used by the CLI (``--trace``),
 by examples, and handy for debugging heuristic decisions.
+
+The replay is driven entirely by the schedule's placements, so per-proc
+durations on heterogeneous platforms (``W^(c) / speed(p)``) are narrated
+as-is — a task's window is whatever its processor actually ran.
 """
 
 from __future__ import annotations

@@ -5,7 +5,9 @@ Replays a :class:`~repro.core.schedule.Schedule` against its
 and checks every constraint of the model (§3):
 
 * **completeness** — every task placed exactly once, durations match the
-  per-memory processing times;
+  per-memory processing times scaled by the assigned processor's speed
+  (``W^(c) / speed(p)``; speed is 1.0 everywhere on the paper's
+  homogeneous platforms);
 * **flow** (§3.1) — producers finish before transfers start, transfers finish
   before consumers start, same-memory edges respect precedence directly, and
   every transfer window is at least ``C_ij`` long;
@@ -104,13 +106,22 @@ def validate_schedule(
         if task not in schedule:
             raise ScheduleError(f"task {task!r} is not scheduled")
         p = schedule.placement(task)
-        expect = graph.w(task, p.memory)
-        if abs(p.duration - expect) > eps:
-            raise ScheduleError(
-                f"task {task!r} runs for {p.duration} but W^({p.memory}) = {expect}"
-            )
         if platform.n_procs_of(p.memory) == 0:
             raise ScheduleError(f"task {task!r} placed on empty resource {p.memory}")
+        if p.proc not in platform.procs(p.memory):
+            # Must precede the duration check: the expected duration reads
+            # the *processor's* speed, which is only meaningful when the
+            # processor actually belongs to the placement's memory class.
+            raise ScheduleError(
+                f"task {task!r} placed on processor {p.proc}, which is not "
+                f"attached to memory {p.memory}"
+            )
+        expect = graph.w(task, p.memory) / platform.speed(p.proc)
+        if abs(p.duration - expect) > eps:
+            raise ScheduleError(
+                f"task {task!r} runs for {p.duration} but "
+                f"W^({p.memory}) / speed(P{p.proc}) = {expect}"
+            )
 
     if len(schedule) != graph.n_tasks:
         extra = {p.task for p in schedule.placements()} - set(graph.tasks())

@@ -27,12 +27,19 @@ from ..dags.linalg import (
 )
 from ..ilp import solve_ilp
 from .config import Scale, get_scale
-from .report import render_absolute_sweep, render_normalized_sweep, render_table
+from .report import (
+    render_absolute_sweep,
+    render_heterogeneity_sweep,
+    render_normalized_sweep,
+    render_table,
+)
 from .sweep import (
     AbsoluteSweepResult,
     SweepResult,
     absolute_sweep,
     default_alphas,
+    default_spreads,
+    heterogeneity_sweep,
     normalized_sweep,
     reference_run,
 )
@@ -205,6 +212,36 @@ def fig15(scale: Optional[Scale] = None, *, check: bool = False,
                         text, data=res, notes=notes)
 
 
+#: The heterogeneity axis runs on a multi-processor hybrid platform (the
+#: speed spread is invisible on Figures 10-13's one-proc-per-class shape).
+HETERO_PLATFORM = Platform(n_blue=4, n_red=2)
+
+
+def hetero(scale: Optional[Scale] = None, *, check: bool = False,
+           jobs: int = 1) -> FigureResult:
+    """Heterogeneity axis (beyond the paper): speed-spread sweep.
+
+    Daggen graphs on a 4 CPU + 2 GPU platform whose per-class processor
+    speeds are spread over ``[1 - alpha, 1 + alpha]``; ``alpha = 0`` is
+    the paper's homogeneous model, reported as the per-heuristic
+    normalisation baseline.
+    """
+    scale = scale or get_scale()
+    graphs = small_rand_set(scale.small_n_graphs, scale.small_size)
+    spreads = default_spreads(scale.n_alphas)
+    res = heterogeneity_sweep(graphs, HETERO_PLATFORM, spreads=spreads,
+                              check=check, jobs=jobs)
+    text = render_heterogeneity_sweep(
+        res, title=f"SmallRandSet ({len(graphs)} DAGs x {scale.small_size} "
+                   f"tasks) on {HETERO_PLATFORM.n_blue}+"
+                   f"{HETERO_PLATFORM.n_red} procs, unbounded memory")
+    return FigureResult(
+        "hetero", "Speed-spread sweep on a heterogeneous hybrid platform",
+        text, data=res,
+        notes=["not a paper figure: per-processor speeds generalise the "
+               "platform model (spread 0 = the paper's setting)"])
+
+
 #: All drivers by experiment id (CLI dispatch).
 EXPERIMENTS = {
     "table1": table1,
@@ -214,4 +251,5 @@ EXPERIMENTS = {
     "fig13": fig13,
     "fig14": fig14,
     "fig15": fig15,
+    "hetero": hetero,
 }

@@ -6,7 +6,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from .._util import fmt_num
-from .sweep import AbsoluteSweepResult, SweepResult
+from .sweep import AbsoluteSweepResult, HeterogeneitySweepResult, SweepResult
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
@@ -69,6 +69,39 @@ def render_normalized_sweep(result: SweepResult, title: str = "") -> str:
             row.append(None if cell.mean_norm_makespan is None
                        else round(cell.mean_norm_makespan, 3))
             row.append(round(cell.success_rate, 3))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def heterogeneity_to_csv(result: HeterogeneitySweepResult) -> str:
+    """Heterogeneity sweep as CSV (one row per spread x algorithm cell)."""
+    lines = ["spread,algorithm,n_graphs,n_success,mean_makespan,"
+             "mean_ratio_to_homogeneous"]
+    for cell in result.cells:
+        mk = "" if cell.mean_makespan is None else f"{cell.mean_makespan:.6g}"
+        rt = ("" if cell.mean_ratio_to_homogeneous is None
+              else f"{cell.mean_ratio_to_homogeneous:.6g}")
+        lines.append(f"{cell.spread:.6g},{cell.algorithm},{cell.n_graphs},"
+                     f"{cell.n_success},{mk},{rt}")
+    return "\n".join(lines) + "\n"
+
+
+def render_heterogeneity_sweep(result: HeterogeneitySweepResult,
+                               title: str = "") -> str:
+    """Speed-spread table: one row per spread, per-algorithm columns (mean
+    makespan and its ratio to the same heuristic's homogeneous run)."""
+    headers = ["spread"]
+    for name in result.algorithms:
+        headers += [f"{name}:mean_mk", f"{name}:vs_hom"]
+    rows = []
+    for spread in result.spreads:
+        row: list[object] = [round(spread, 4)]
+        for name in result.algorithms:
+            cell = result.cell(spread, name)
+            row.append(None if cell.mean_makespan is None
+                       else round(cell.mean_makespan, 2))
+            row.append(None if cell.mean_ratio_to_homogeneous is None
+                       else round(cell.mean_ratio_to_homogeneous, 3))
         rows.append(row)
     return render_table(headers, rows, title=title)
 

@@ -13,12 +13,23 @@ Two sweep styles, mirroring the paper:
   memory-oblivious baselines appear from the bound where their own peak
   fits, and the combinatorial lower bound gives the flat reference line.
 
-Both sweeps decompose into independent cells — (graph, alpha) for the
-normalised style, (bound,) for the absolute one — executed through
-:func:`repro.experiments.engine.map_cells`: pass ``jobs=N`` to shard the
-grid over N processes.  The serial and parallel paths run the *same* cell
-functions and aggregate in the same order, so they return identical
-results (``tests/experiments/test_engine.py`` pins this).
+A third axis goes beyond the paper:
+
+* :func:`heterogeneity_sweep` — for each *speed spread* ``alpha``, make the
+  platform heterogeneous (processor speeds evenly spaced over
+  ``[1 - alpha, 1 + alpha]`` inside each class, :func:`spread_speeds`) and
+  record, per heuristic, the mean makespan and its ratio to the same
+  heuristic's homogeneous (``alpha = 0``) run.  ``alpha = 0`` *is* the
+  paper's model, so the axis continuously deforms the reproduced setting
+  into mixed-SKU platforms.
+
+All sweeps decompose into independent cells — (graph, alpha) for the
+normalised and heterogeneity styles, (bound,) for the absolute one —
+executed through :func:`repro.experiments.engine.map_cells`: pass
+``jobs=N`` to shard the grid over N processes.  The serial and parallel
+paths run the *same* cell functions and aggregate in the same order, so
+they return identical results (``tests/experiments/test_engine.py`` pins
+this).
 """
 
 from __future__ import annotations
@@ -219,6 +230,165 @@ def normalized_sweep(
                 n_graphs=len(graphs),
                 n_success=len(vals),
                 mean_norm_makespan=float(np.mean(vals)) if vals else None,
+            ))
+    return result
+
+
+# ----------------------------------------------------------------------
+# heterogeneity (speed spread) sweeps
+# ----------------------------------------------------------------------
+def spread_speeds(platform: Platform, spread: float) -> Platform:
+    """Heterogeneous copy of ``platform`` with speed spread ``spread``.
+
+    Inside each memory class the processor speeds are evenly spaced over
+    ``[1 - spread, 1 + spread]``, fastest first (the class's mean speed
+    stays 1.0, so total processing capacity is preserved and results stay
+    comparable across spreads).  Single-processor classes and
+    ``spread = 0`` stay at speed 1.0 — the returned platform is then
+    homogeneous and serializes/hashes exactly like the input.
+    """
+    if not 0.0 <= spread < 1.0:
+        raise ValueError(f"speed spread must be in [0, 1), got {spread}")
+    speeds: list[float] = []
+    for n in platform.proc_counts:
+        for j in range(n):
+            if n == 1 or spread == 0.0:
+                speeds.append(1.0)
+            else:
+                speeds.append(1.0 + spread * (1.0 - 2.0 * j / (n - 1)))
+    return platform.with_speeds(speeds)
+
+
+def default_spreads(n: int = 5) -> tuple[float, ...]:
+    """Evenly spaced speed-spread grid ``[0, ..., 0.8]`` (0 = the paper's
+    homogeneous model)."""
+    return tuple(float(a) for a in np.linspace(0.0, 0.8, n))
+
+
+@dataclass
+class HeterogeneityCell:
+    """Aggregated result of one (spread, algorithm) grid point."""
+
+    spread: float
+    algorithm: str
+    n_graphs: int
+    n_success: int
+    mean_makespan: Optional[float]      # None when nothing scheduled
+    #: Mean of makespan(spread) / makespan(0) over graphs where both runs
+    #: succeeded — the cost (or gain) of heterogeneity for this heuristic.
+    mean_ratio_to_homogeneous: Optional[float]
+
+    @property
+    def success_rate(self) -> float:
+        return self.n_success / self.n_graphs if self.n_graphs else 0.0
+
+
+@dataclass
+class HeterogeneitySweepResult:
+    """Full grid of a heterogeneity sweep."""
+
+    algorithms: tuple[str, ...]
+    spreads: tuple[float, ...]
+    cells: list[HeterogeneityCell] = field(default_factory=list)
+
+    def cell(self, spread: float, algorithm: str) -> HeterogeneityCell:
+        for c in self.cells:
+            if c.algorithm == algorithm and (c.spread == spread
+                                             or math.isclose(c.spread, spread)):
+                return c
+        raise KeyError((spread, algorithm))
+
+    def series(self, algorithm: str) -> list[HeterogeneityCell]:
+        return sorted((c for c in self.cells if c.algorithm == algorithm),
+                      key=lambda c: c.spread)
+
+
+def _heterogeneity_cell(payload: tuple, cache: dict,
+                        cell: tuple) -> list[Optional[tuple[float, float]]]:
+    """One (graph, spread) cell: per algorithm, ``(makespan, baseline
+    makespan at spread 0)`` or ``None`` when infeasible."""
+    graphs, platform, algorithms, check = payload
+    graph_idx, spread = cell
+    graph = graphs[graph_idx]
+    hetero = spread_speeds(platform, spread)
+    out: list[Optional[tuple[float, float]]] = []
+    for name in algorithms:
+        base_key = ("hetero-base", graph_idx, name)
+        base = cache.get(base_key, -1.0)
+        if base == -1.0:
+            try:
+                base = get_scheduler(name)(graph, platform).makespan
+            except InfeasibleScheduleError:
+                base = None
+            cache[base_key] = base
+        if not hetero.is_heterogeneous:
+            # spread 0: the "hetero" platform equals the baseline one, so
+            # rescheduling would redo the exact same run — reuse it.
+            out.append(None if base is None else (base, base))
+            continue
+        try:
+            schedule = get_scheduler(name)(graph, hetero)
+        except InfeasibleScheduleError:
+            out.append(None)
+            continue
+        if check:
+            validate_schedule(graph, hetero, schedule)
+        out.append((schedule.makespan, base))
+    return out
+
+
+def heterogeneity_sweep(
+    graphs: Sequence[TaskGraph],
+    platform: Platform,
+    algorithms: Sequence[str] = ("memheft", "memminmin"),
+    spreads: Optional[Sequence[float]] = None,
+    *,
+    check: bool = False,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+) -> HeterogeneitySweepResult:
+    """Speed-spread sweep over a set of graphs.
+
+    For every spread ``alpha`` the platform's processor speeds are spread
+    over ``[1 - alpha, 1 + alpha]`` per class (:func:`spread_speeds`;
+    capacities untouched) and each algorithm is run on every graph.
+    ``jobs`` shards the (graph, spread) grid over worker processes;
+    identical results for any value.  ``check=True`` re-validates every
+    schedule with the independent (speed-aware) validator.
+    """
+    spreads = (tuple(float(s) for s in spreads) if spreads is not None
+               else default_spreads())
+    algorithms = tuple(algorithms)
+    result = HeterogeneitySweepResult(algorithms=algorithms, spreads=spreads)
+
+    # Graph-major order: one graph's cells stay contiguous, so each chunk
+    # mostly reuses its process's cached homogeneous baselines.
+    cells = [(gi, spread) for gi in range(len(graphs)) for spread in spreads]
+    payload = (tuple(graphs), platform, algorithms, check)
+    rows = map_cells(_heterogeneity_cell, payload, cells,
+                     jobs=jobs, chunk_size=chunk_size)
+    cell_of = dict(zip(cells, rows))
+
+    for spread in spreads:
+        for name_i, name in enumerate(algorithms):
+            spans: list[float] = []
+            ratios: list[float] = []
+            for gi in range(len(graphs)):
+                entry = cell_of[(gi, spread)][name_i]
+                if entry is None:
+                    continue
+                span, base = entry
+                spans.append(span)
+                if base is not None and base > 0.0:
+                    ratios.append(span / base)
+            result.cells.append(HeterogeneityCell(
+                spread=spread,
+                algorithm=name,
+                n_graphs=len(graphs),
+                n_success=len(spans),
+                mean_makespan=float(np.mean(spans)) if spans else None,
+                mean_ratio_to_homogeneous=(float(np.mean(ratios))
+                                           if ratios else None),
             ))
     return result
 

@@ -49,7 +49,14 @@ def solve_ilp(
     bound then only needs to close the gap downwards, and if it exhausts the
     tree without improving, the heuristic value is *proven* optimal and the
     heuristic schedule is returned as an optimal witness.
+
+    The ILP encodes the paper's homogeneous model (one duration per memory
+    class); heterogeneous platforms are rejected rather than silently
+    solved with wrong durations.
     """
+    if platform.is_heterogeneous:
+        raise ValueError("solve_ilp only models homogeneous (all speed 1.0) "
+                         "platforms; this one carries per-processor speeds")
     incumbent_value: Optional[float] = None
     incumbent_schedule: Optional[Schedule] = None
     if seed_with_heuristics:

@@ -3,6 +3,7 @@
 from .dot import to_dot
 from .gantt import ascii_gantt, memory_sparkline, schedule_summary
 from .json_io import (
+    DIGEST_SCHEMA_VERSION,
     canonical_digest,
     canonical_json,
     graph_from_dict,
@@ -19,6 +20,7 @@ from .json_io import (
 
 __all__ = [
     "to_dot",
+    "DIGEST_SCHEMA_VERSION",
     "canonical_json",
     "canonical_digest",
     "ascii_gantt",

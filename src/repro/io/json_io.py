@@ -10,6 +10,15 @@ graphs, platforms and schedules from earlier versions load unchanged;
 k-memory objects use the generic ``times`` / ``proc_counts`` /
 ``capacities`` fields.  Memories serialize as their canonical names
 (``"blue"``, ``"red"``, ``"mem2"``, ...).
+
+**Schema v2 — heterogeneous processors.**  A platform with per-processor
+``speeds`` serializes them as a ``"speeds"`` array (global processor
+order) next to either layout; the key is *omitted entirely* when every
+speed is 1.0.  Omission is deliberate: :func:`canonical_digest` hashes
+these dicts, so every pre-v2 (homogeneous) payload keeps its exact digest
+— content-addressed cache keys never churn across the version bump —
+while heterogeneous payloads hash their speed vector.  Readers accept
+both layouts with or without ``speeds``.
 """
 
 from __future__ import annotations
@@ -94,30 +103,41 @@ def load_graph(path: PathLike) -> TaskGraph:
 # ----------------------------------------------------------------------
 def platform_to_dict(platform: Platform) -> dict:
     if platform.n_classes == 2:
-        return {
+        out = {
             "n_blue": platform.n_blue,
             "n_red": platform.n_red,
             "mem_blue": _cap_out(platform.mem_blue),
             "mem_red": _cap_out(platform.mem_red),
         }
-    return {
-        "proc_counts": list(platform.proc_counts),
-        "capacities": [_cap_out(c) for c in platform.capacities],
-    }
+    else:
+        out = {
+            "proc_counts": list(platform.proc_counts),
+            "capacities": [_cap_out(c) for c in platform.capacities],
+        }
+    # Omitted when homogeneous: pre-v2 payloads — and their canonical
+    # digests — stay byte-identical.
+    if platform.is_heterogeneous:
+        out["speeds"] = list(platform.speeds)
+    return out
 
 
 def platform_from_dict(data: dict) -> Platform:
+    speeds = data.get("speeds")
+    if speeds is not None:
+        speeds = [float(s) for s in speeds]
     if "proc_counts" in data:
         return Platform(
             [int(n) for n in data["proc_counts"]],
             [_cap_in(c) for c in data.get("capacities",
                                           [None] * len(data["proc_counts"]))],
+            speeds=speeds,
         )
     return Platform(
         n_blue=data["n_blue"],
         n_red=data["n_red"],
         mem_blue=_cap_in(data.get("mem_blue")),
         mem_red=_cap_in(data.get("mem_red")),
+        speeds=speeds,
     )
 
 
@@ -177,6 +197,15 @@ def load_schedule(path: PathLike) -> Schedule:
 # ----------------------------------------------------------------------
 # canonical serialization / content addressing
 # ----------------------------------------------------------------------
+#: Digest schema revision.  v2 added the optional per-processor
+#: ``speeds`` vector to platform payloads.  The version is *not* hashed:
+#: homogeneous payloads serialize identically across v1/v2 (``speeds``
+#: omitted when all 1.0), so every pre-existing digest — and every
+#: content-addressed cache entry keyed on one — remains valid
+#: (``tests/io/test_digest_stability.py`` pins this).
+DIGEST_SCHEMA_VERSION = 2
+
+
 def canonical_json(obj: Any) -> str:
     """Deterministic JSON rendering: sorted keys, minimal separators, no
     NaN/Infinity literals (use the ``None``-for-unbounded convention of
@@ -201,6 +230,10 @@ def canonical_digest(graph: Union[TaskGraph, dict],
     :func:`platform_to_dict`, so a :class:`TaskGraph` and its serialized
     dict address the same content; algorithm names are case-folded and
     ``options=None`` equals ``options={}``.
+
+    Schema v2 (:data:`DIGEST_SCHEMA_VERSION`): heterogeneous platforms
+    contribute their ``speeds`` vector to the digest; homogeneous payloads
+    serialize — and therefore hash — exactly as under v1.
     """
     graph_d = graph_to_dict(graph) if isinstance(graph, TaskGraph) else graph
     platform_d = (platform_to_dict(platform)

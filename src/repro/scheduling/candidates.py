@@ -14,16 +14,20 @@ releases memory at future instants, which can lower another candidate's
 bound of the current one and a classic stale-entry heap would silently pick
 the wrong task.  :class:`MinEFTSelector` is built on two observations:
 
-* ``lb(T) = min_c max(resource_c, precedence_c(T)) + W^(c)_T`` — the
-  memory-free part of the breakdown — is a lower bound of ``best_eft(T)``
-  that stays valid for the rest of the run (precedence is immutable once a
-  task is ready, processor avail times only advance), so it is a sound
-  *eternal* heap key: candidates whose key exceeds the best exact EFT found
-  so far need not be touched at all;
-* each (touch serial, resource) pair per memory class fully determines a
-  candidate's per-class breakdown — the touch serial comes from the
-  commit-side dirty tracking of :meth:`SchedulerState.commit`, which
-  records exactly which classes each commit mutated — so an evaluation
+* ``lb(T) = min_c max(resource_c, precedence_c(T)) + Wmin^(c)_T`` — the
+  memory-free part of the breakdown, with ``Wmin^(c) = W^(c)/max_speed(c)``
+  keyed on the *fastest processor of each class* — is a lower bound of
+  ``best_eft(T)`` that stays valid for the rest of the run (precedence is
+  immutable once a task is ready, processor avail times only advance, no
+  assignment runs faster than the class's fastest processor), so it is a
+  sound *eternal* heap key: candidates whose key exceeds the best exact
+  EFT found so far need not be touched at all;
+* each per-class stamp — ``(touch serial, resource)`` on uniform-speed
+  classes, ``(touch serial, per-processor avail tuple)`` on heterogeneous
+  ones, where a per-processor finish argmin decides the breakdown — fully
+  determines a candidate's per-class breakdown; the touch serial comes
+  from the commit-side dirty tracking of :meth:`SchedulerState.commit`,
+  which records exactly which classes each commit mutated.  An evaluation
   stamped with those values is reused verbatim until one of them moves,
   and a re-evaluation only touches the classes that actually changed.
 
@@ -96,9 +100,28 @@ def _state_stamp(state: SchedulerState, resources: list[float]) -> tuple:
     class whose component is unchanged has a bit-identical profile *and*
     an unchanged resource floor — every cached per-class breakdown stamped
     with it can be reused verbatim.
+
+    A *uniform-speed* class is fully described by its ``min(avail)``
+    resource floor; a heterogeneous class's breakdown depends on which
+    individual processor wins the per-finish-time argmin, so its stamp
+    component carries the whole per-processor avail tuple (the
+    touched-proc view: any commit that advanced any of the class's
+    processors — including direct ``avail`` mutations by branching
+    searches — changes the stamp).
     """
     touch = state.class_touch_serial
-    return tuple((touch[m.index], resources[m.index]) for m in state.memories)
+    avail = state.avail
+    uniform = state.platform.uniform_classes
+    out = []
+    for m in state.memories:
+        ci = m.index
+        if uniform[ci]:
+            out.append((touch[ci], resources[ci]))
+        else:
+            procs = state.platform.procs(m)
+            out.append((touch[ci],
+                        tuple(avail[p] for p in procs)))
+    return tuple(out)
 
 
 class MinEFTSelector:

@@ -18,6 +18,20 @@ earliest-start-time components:
 as late as possible, sharing the window ``[EST - Cmax, EST)``; see
 Algorithms 1–2).  ``EFT = EST + W^(mu)``.
 
+**Heterogeneous processors.**  When the platform carries per-processor
+``speeds``, a task with class-time ``W^(mu)`` runs for
+``W^(mu) / speeds[p]`` on processor ``p``, so the resource part can no
+longer collapse a class to ``min(avail)``: the kernel evaluates, per
+processor of the class, ``finish(p) = max(floor, avail[p]) + W/speed(p)``
+(``floor`` being the precedence/memory components, which are per-class)
+and picks the processor minimising the finish time — ties broken towards
+the later-available processor (less idle, mirroring :meth:`choose_proc`)
+then the lower index.  The chosen processor and its duration travel in the
+:class:`ESTBreakdown` and are honoured verbatim by :meth:`commit`.  A
+class whose processors all share one speed takes the historical
+``min(avail)`` fast path — at speed 1.0 it is bit-for-bit the paper's
+arithmetic, which keeps the golden schedules byte-stable.
+
 **Incremental EST kernel.**  The list-scheduling loops re-evaluate every
 ready candidate after each commit, which in the naive formulation re-walks
 every candidate's parent list and re-queries the memory staircases — the
@@ -108,6 +122,14 @@ class ESTBreakdown:
     #: Raw ``earliest_fit(cross inputs)`` value (no +Cmax); the eager
     #: transfer policy re-uses it at commit time.
     comm_fit: float = 0.0
+    #: Execution time on the chosen resource (``W^(mu) / speed``); equals
+    #: ``W^(mu)`` bit-for-bit on speed-1.0 processors.
+    duration: float = math.inf
+    #: Pre-chosen processor for heterogeneous classes (honoured by
+    #: :meth:`SchedulerState.commit`); ``-1`` on uniform classes, where the
+    #: processor is picked at commit time by ``choose_proc`` exactly as in
+    #: the homogeneous engine.
+    proc: int = -1
 
     @property
     def cls(self) -> int:
@@ -139,6 +161,10 @@ class SchedulerState:
         self.comm_policy = comm_policy
         self.incremental = incremental
         self.memories = platform.memories()
+        # Per class: True when all its processors share one speed (the
+        # min(avail) fast path); heterogeneous classes take the
+        # per-processor finish-time path.
+        self._uniform = platform.uniform_classes
         self.schedule = Schedule(platform)
         self.avail: list[float] = [0.0] * platform.n_procs
         self.mem: dict[Memory, MemoryProfile] = {
@@ -200,6 +226,49 @@ class SchedulerState:
         inf = math.inf
         return ESTBreakdown(task, memory, inf, inf, inf, inf, 0.0, inf, inf)
 
+    def _finish_choice(self, memory: Memory, floor: float,
+                       w: float) -> tuple[int, float, float]:
+        """Per-processor finish-time minimisation for a *heterogeneous*
+        class: returns ``(proc, avail[proc], duration)`` for the processor
+        minimising ``max(floor, avail[p]) + w / speed(p)``.  Exact-equality
+        ties prefer the later-available processor (least idle time, the
+        same preference ``choose_proc`` applies on uniform classes), then
+        the lower index (iteration order)."""
+        avail = self.avail
+        speeds = self.platform.speeds
+        best_proc = -1
+        best_finish = math.inf
+        best_avail = -math.inf
+        best_dur = math.inf
+        for p in self.platform.procs(memory):
+            a = avail[p]
+            dur = w / speeds[p]
+            finish = (a if a > floor else floor) + dur
+            if finish < best_finish or (finish == best_finish
+                                        and a > best_avail):
+                best_proc, best_finish, best_avail, best_dur = (
+                    p, finish, a, dur)
+        return best_proc, best_avail, best_dur
+
+    def _resource_choice(self, memory: Memory, precedence: float,
+                         task_mem: float, comm_mem: float,
+                         w: float) -> tuple[float, float, float, int]:
+        """The resource/processor half of one EST evaluation, shared by
+        the incremental and from-scratch kernels: returns
+        ``(resource, est, duration, proc)``.  Uniform-speed classes take
+        the class-wide ``min(avail)`` fast path (bit-identical to the
+        homogeneous arithmetic at speed 1.0; the processor is chosen at
+        commit time); heterogeneous ones minimise per-processor finish
+        times via :meth:`_finish_choice`."""
+        idx = memory.index
+        if self._uniform[idx]:
+            resource = min(self.avail[p] for p in self.platform.procs(memory))
+            est = max(resource, precedence, task_mem, comm_mem)
+            return resource, est, w / self.platform.max_class_speeds[idx], -1
+        floor = max(precedence, task_mem, comm_mem)
+        proc, resource, duration = self._finish_choice(memory, floor, w)
+        return resource, max(floor, resource), duration, proc
+
     def _precedence_parts(self, task: Task) -> list[tuple[float, float, float, float]]:
         """``(precedence, cmax, cross_in, need_task)`` per memory class.
 
@@ -250,9 +319,6 @@ class SchedulerState:
         idx = memory.index
         precedence, cmax, cross_in, need_task = self._precedence_parts(task)[idx]
 
-        avail = self.avail
-        resource = min(avail[p] for p in self.platform.procs(memory))
-
         profile = self.mem[memory]
         key = (task, idx)
         cached = self._fit.get(key)
@@ -265,18 +331,18 @@ class SchedulerState:
             self._fit[key] = (profile.version, task_mem, comm_fit)
         comm_mem = comm_fit + cmax if cross_in > 0.0 or cmax > 0.0 else 0.0
 
-        est = max(resource, precedence, task_mem, comm_mem)
-        eft = est + self.graph.w(task, memory) if math.isfinite(est) else math.inf
+        resource, est, duration, proc = self._resource_choice(
+            memory, precedence, task_mem, comm_mem, self.graph.w(task, memory))
+        eft = est + duration if math.isfinite(est) else math.inf
         return ESTBreakdown(task, memory, resource, precedence, task_mem,
-                            comm_mem, cmax, est, eft, comm_fit)
+                            comm_mem, cmax, est, eft, comm_fit,
+                            duration, proc)
 
     def _est_fresh(self, task: Task, memory: Memory) -> ESTBreakdown:
         """From-scratch EST evaluation (the pre-incremental reference path,
         kept for cross-checks and the kernel benchmark)."""
         if not self.is_ready(task) or self.platform.n_procs_of(memory) == 0:
             return self._infeasible(task, memory)
-
-        resource = min(self.avail[p] for p in self.platform.procs(memory))
 
         precedence = 0.0
         cmax = 0.0
@@ -301,10 +367,12 @@ class SchedulerState:
         else:
             comm_mem = 0.0
 
-        est = max(resource, precedence, task_mem, comm_mem)
-        eft = est + self.graph.w(task, memory) if math.isfinite(est) else math.inf
+        resource, est, duration, proc = self._resource_choice(
+            memory, precedence, task_mem, comm_mem, self.graph.w(task, memory))
+        eft = est + duration if math.isfinite(est) else math.inf
         return ESTBreakdown(task, memory, resource, precedence, task_mem,
-                            comm_mem, cmax, est, eft, comm_fit)
+                            comm_mem, cmax, est, eft, comm_fit,
+                            duration, proc)
 
     def class_resources(self) -> list[float]:
         """Min processor avail per memory class (``inf`` for classes without
@@ -319,16 +387,28 @@ class SchedulerState:
 
     def est_lower_bound_parts(
             self, task: Task) -> tuple[Optional[tuple[float, float]], ...]:
-        """Static ``(W^(c), precedence_c + W^(c))`` pair per class for a
-        *ready* task (``None`` for classes without processors) — immutable
-        for the rest of the run, so callers may cache the tuple and combine
-        it with live resources via :func:`lower_bound_from_parts`."""
+        """Static ``(Wmin^(c), precedence_c + Wmin^(c))`` pair per class
+        for a *ready* task (``None`` for classes without processors) —
+        immutable for the rest of the run, so callers may cache the tuple
+        and combine it with live resources via
+        :func:`lower_bound_from_parts`.
+
+        ``Wmin^(c) = W^(c) / max_speed(c)`` is keyed on the *fastest*
+        processor of the class: every real assignment runs at least that
+        long, so the bound stays sound on heterogeneous classes (and
+        reduces to ``W^(c)`` bit-for-bit on speed-1.0 platforms)."""
         parts = self._precedence_parts(task)
         times = self.graph.times(task)
         counts = self.platform.proc_counts
-        return tuple(
-            (times[ci], parts[ci][0] + times[ci]) if counts[ci] else None
-            for ci in range(len(times)))
+        fastest = self.platform.max_class_speeds
+        out = []
+        for ci in range(len(times)):
+            if not counts[ci]:
+                out.append(None)
+                continue
+            wmin = times[ci] / fastest[ci]
+            out.append((wmin, parts[ci][0] + wmin))
+        return tuple(out)
 
     def est_lower_bound(self, task: Task,
                         resources: Optional[list[float]] = None) -> float:
@@ -364,7 +444,12 @@ class SchedulerState:
     # ------------------------------------------------------------------
     def choose_proc(self, memory: Memory, est: float) -> int:
         """Processor of ``memory`` minimising idle time ``est - avail[p]``
-        among those already free at ``est`` (ties: lowest index)."""
+        among those already free at ``est`` (ties: lowest index).
+
+        Only meaningful on *uniform-speed* classes, where every free
+        processor finishes the task at the same time; heterogeneous
+        breakdowns pre-select their processor in :meth:`est`
+        (``breakdown.proc``) and bypass this method at commit time."""
         best_proc = -1
         best_avail = -math.inf
         for p in self.platform.procs(memory):
@@ -384,8 +469,9 @@ class SchedulerState:
         task, memory, est = breakdown.task, breakdown.memory, breakdown.est
         if not math.isfinite(est):
             raise ValueError(f"cannot commit infeasible candidate for {task!r}")
-        finish = est + self.graph.w(task, memory)
-        proc = self.choose_proc(memory, est)
+        finish = est + breakdown.duration
+        proc = (breakdown.proc if breakdown.proc >= 0
+                else self.choose_proc(memory, est))
         placement = Placement(task=task, proc=proc, memory=memory,
                               start=est, finish=finish)
         self.schedule.add(placement)
@@ -458,6 +544,7 @@ class SchedulerState:
         clone.comm_policy = self.comm_policy
         clone.incremental = self.incremental
         clone.memories = self.memories
+        clone._uniform = self._uniform
         clone.schedule = self.schedule.copy()
         clone.avail = list(self.avail)
         clone.mem = {m: p.copy() for m, p in self.mem.items()}

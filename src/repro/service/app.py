@@ -31,6 +31,7 @@ import json
 import threading
 import time
 from collections import OrderedDict
+from pathlib import Path
 from typing import Optional
 
 from concurrent.futures import ProcessPoolExecutor
@@ -39,6 +40,7 @@ from concurrent.futures.process import BrokenProcessPool
 from ..core.validation import ScheduleError, validate_schedule
 from ..experiments.engine import _call_cell, _init_worker, default_chunk_size
 from ..io.json_io import (
+    DIGEST_SCHEMA_VERSION,
     canonical_digest,
     canonical_json,
     graph_from_dict,
@@ -220,9 +222,30 @@ def _batch_worker(payload: object, cache: dict, cell: tuple) -> tuple:
 
 
 class ScheduleCache:
-    """Thread-safe content-addressed LRU over serialized response bodies."""
+    """Thread-safe content-addressed LRU over serialized response bodies.
 
-    def __init__(self, capacity: int = 1024) -> None:
+    With ``cache_dir`` the cache survives restarts: every mutation is
+    appended to a JSONL journal (``put`` lines carry the body, ``touch``
+    lines record recency boosts from hits), and a fresh instance replays
+    the journal through the same LRU logic — the reloaded eviction order
+    is exactly the live one, then the journal is compacted.  The digest
+    scheme is restart-stable by design (sha256 of canonical JSON), so
+    reloaded entries keep answering byte-identically.
+
+    Durability/throughput trade-offs: ``put`` lines are flushed (a served
+    cold response is never lost), ``touch`` lines are buffered (a crash
+    loses at most some recency boosts, never entries), and the journal is
+    compacted in place whenever it outgrows ``8 x capacity`` lines, so a
+    hit-heavy service cannot grow it without bound.  The directory is
+    guarded by an advisory ``flock`` so two services cannot corrupt one
+    journal.
+    """
+
+    _JOURNAL = "cache.jsonl"
+    _LOCKFILE = "cache.lock"
+
+    def __init__(self, capacity: int = 1024,
+                 cache_dir: Optional[str] = None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
@@ -231,6 +254,96 @@ class ScheduleCache:
         self.evictions = 0
         self._data: "OrderedDict[str, bytes]" = OrderedDict()
         self._lock = threading.Lock()
+        self._journal = None
+        self._journal_path: Optional[Path] = None
+        self._journal_lines = 0
+        self._lockfile = None
+        if cache_dir is not None:
+            path = Path(cache_dir)
+            path.mkdir(parents=True, exist_ok=True)
+            self._acquire_dir_lock(path)
+            self._journal_path = path / self._JOURNAL
+            self._replay(self._journal_path)
+            self._compact(self._journal_path)
+            self._journal_lines = len(self._data)
+            self._journal = self._journal_path.open("a", encoding="utf-8")
+
+    def _acquire_dir_lock(self, path: Path) -> None:
+        """Advisory single-writer lock on the cache directory: a second
+        live service pointing at the same ``--cache-dir`` would compact
+        the journal out from under this one's append handle.  The lock is
+        released automatically when the process dies, so a crashed
+        service never blocks the next start."""
+        try:
+            import fcntl
+        except ImportError:      # pragma: no cover - non-POSIX fallback
+            return
+        self._lockfile = (path / self._LOCKFILE).open("a")
+        try:
+            fcntl.flock(self._lockfile, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            self._lockfile.close()
+            self._lockfile = None
+            raise ValueError(
+                f"cache dir {path} is already in use by another running "
+                f"service (flock on {self._LOCKFILE} held)") from None
+
+    def _replay(self, journal_path: Path) -> None:
+        """Rebuild the LRU from a journal; unparsable lines (a crash mid
+        append) are skipped, order of the surviving ops is preserved."""
+        if not journal_path.exists():
+            return
+        with journal_path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    row = json.loads(line)
+                    op = row["op"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue
+                if op == "put":
+                    self._data[row["digest"]] = row["body"].encode("utf-8")
+                    self._data.move_to_end(row["digest"])
+                elif op == "touch":
+                    if row.get("digest") in self._data:
+                        self._data.move_to_end(row["digest"])
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def _compact(self, journal_path: Path) -> None:
+        """Rewrite the journal as one put per live entry, LRU order."""
+        tmp = journal_path.with_suffix(".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for digest, body in self._data.items():
+                fh.write(json.dumps({"op": "put", "digest": digest,
+                                     "body": body.decode("utf-8")}) + "\n")
+        tmp.replace(journal_path)
+
+    def _append(self, row: dict, flush: bool) -> None:
+        # Callers hold self._lock, which also serialises journal writes.
+        if self._journal is None:
+            return
+        self._journal.write(json.dumps(row) + "\n")
+        if flush:
+            self._journal.flush()
+        self._journal_lines += 1
+        if self._journal_lines > max(1024, 8 * self.capacity):
+            # Hit-heavy workloads append one touch line per request;
+            # rewrite the journal in place before it grows without bound.
+            self._journal.close()
+            self._compact(self._journal_path)
+            self._journal_lines = len(self._data)
+            self._journal = self._journal_path.open("a", encoding="utf-8")
+
+    def close(self) -> None:
+        """Release the journal handle and directory lock (idempotent;
+        no-op when in-memory)."""
+        with self._lock:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
+            if self._lockfile is not None:
+                self._lockfile.close()
+                self._lockfile = None
 
     def __len__(self) -> int:
         return len(self._data)
@@ -242,6 +355,8 @@ class ScheduleCache:
                 self.misses += 1
                 return None
             self._data.move_to_end(digest)
+            # Unflushed: losing a recency boost in a crash is harmless.
+            self._append({"op": "touch", "digest": digest}, flush=False)
             self.hits += 1
             return body
 
@@ -249,8 +364,11 @@ class ScheduleCache:
         with self._lock:
             if digest in self._data:
                 self._data.move_to_end(digest)
+                self._append({"op": "touch", "digest": digest}, flush=False)
                 return  # identical by construction: same digest, same bytes
             self._data[digest] = body
+            self._append({"op": "put", "digest": digest,
+                          "body": body.decode("utf-8")}, flush=True)
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
                 self.evictions += 1
@@ -263,6 +381,7 @@ class ScheduleCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "persistent": self._journal is not None,
             }
 
 
@@ -272,9 +391,10 @@ _JSON_HEADERS = {"Content-Type": "application/json"}
 class ServiceApp:
     """Routes service requests; owns the cache and the worker count."""
 
-    def __init__(self, workers: int = 1, cache_size: int = 1024) -> None:
+    def __init__(self, workers: int = 1, cache_size: int = 1024,
+                 cache_dir: Optional[str] = None) -> None:
         self.workers = max(1, int(workers))
-        self.cache = ScheduleCache(cache_size)
+        self.cache = ScheduleCache(cache_size, cache_dir=cache_dir)
         self.started_at = time.monotonic()
         self.n_requests = 0
         self._count_lock = threading.Lock()
@@ -292,11 +412,13 @@ class ServiceApp:
         self._pool_lock = threading.Lock()
 
     def close(self) -> None:
-        """Shut down the batch worker pool (idempotent)."""
+        """Shut down the batch worker pool and the cache journal
+        (idempotent)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+        self.cache.close()
 
     def _batch_pool(self) -> ProcessPoolExecutor:
         """The persistent /batch pool, initialised with the same
@@ -480,6 +602,7 @@ class ServiceApp:
         body = canonical_json({
             "status": "ok",
             "protocol": PROTOCOL_VERSION,
+            "digest_schema": DIGEST_SCHEMA_VERSION,
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "n_requests": self.n_requests,
             "workers": self.workers,

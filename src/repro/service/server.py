@@ -37,6 +37,7 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -61,13 +62,36 @@ def _render(status: int, headers: dict, body: bytes,
 
 
 class ServiceServer:
-    """The asyncio server; binds lazily so ``port=0`` (ephemeral) works."""
+    """The asyncio server; binds lazily so ``port=0`` (ephemeral) works.
+
+    Two hardening knobs for real traffic:
+
+    * ``max_connections`` — concurrent-connection cap.  A connection
+      accepted beyond the cap is answered with a single ``503`` JSON error
+      and closed, instead of letting unbounded keep-alive sockets pile up
+      behind a slow executor.
+    * ``idle_timeout`` — seconds a keep-alive connection may sit between
+      requests.  An idle socket is closed silently (the standard server
+      behaviour clients' retry-on-reused-socket logic expects — the
+      bundled :class:`~repro.service.client.ServiceClient` reconnects
+      transparently).
+    """
 
     def __init__(self, app: Optional[ServiceApp] = None,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 max_connections: Optional[int] = None,
+                 idle_timeout: Optional[float] = None) -> None:
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be > 0 seconds")
         self.app = app if app is not None else ServiceApp()
         self.host = host
         self.port = port
+        self.max_connections = max_connections
+        self.idle_timeout = idle_timeout
+        #: Connections answered 503 because the cap was hit (diagnostics).
+        self.n_rejected = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: set[asyncio.Task] = set()
 
@@ -107,9 +131,34 @@ class ServiceServer:
         loop = asyncio.get_running_loop()
         self._conn_tasks.add(asyncio.current_task())
         try:
+            if (self.max_connections is not None
+                    and len(self._conn_tasks) > self.max_connections):
+                # Saturated: answer one structured 503 and close, so the
+                # client sees a retryable condition instead of a hang.
+                self.n_rejected += 1
+                err = json.dumps({"error": {
+                    "status": 503, "type": "saturated",
+                    "message": f"connection limit ({self.max_connections}) "
+                               f"reached; retry later"}})
+                writer.write(_render(503, {}, err.encode("utf-8"),
+                                     keep_alive=False))
+                await writer.drain()
+                return
             while True:
                 try:
-                    parsed = await self._read_request(reader)
+                    if self.idle_timeout is None:
+                        parsed = await self._read_request(reader)
+                    else:
+                        # Bound the wait for the *next request head/body*
+                        # (idle keep-alive sockets and slow-loris writers);
+                        # request *handling* runs outside the timeout and
+                        # is never interrupted.
+                        try:
+                            parsed = await asyncio.wait_for(
+                                self._read_request(reader),
+                                timeout=self.idle_timeout)
+                        except asyncio.TimeoutError:
+                            break
                 except _BadRequest as exc:
                     err = json.dumps({"error": {"type": "bad_request",
                                                 "message": str(exc)}})
@@ -189,8 +238,12 @@ class ThreadedServer:
     """
 
     def __init__(self, app: Optional[ServiceApp] = None,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
-        self.server = ServiceServer(app, host, port)
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 max_connections: Optional[int] = None,
+                 idle_timeout: Optional[float] = None) -> None:
+        self.server = ServiceServer(app, host, port,
+                                    max_connections=max_connections,
+                                    idle_timeout=idle_timeout)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -242,16 +295,23 @@ class ThreadedServer:
 
 
 def serve(host: str = "127.0.0.1", port: int = 8123, *,
-          workers: int = 1, cache_size: int = 1024) -> int:
+          workers: int = 1, cache_size: int = 1024,
+          cache_dir: Optional[str] = None,
+          max_connections: Optional[int] = None,
+          idle_timeout: Optional[float] = None) -> int:
     """Blocking entry point behind ``memsched serve``."""
-    app = ServiceApp(workers=workers, cache_size=cache_size)
-    server = ServiceServer(app, host, port)
+    app = ServiceApp(workers=workers, cache_size=cache_size,
+                     cache_dir=cache_dir)
+    server = ServiceServer(app, host, port,
+                           max_connections=max_connections,
+                           idle_timeout=idle_timeout)
 
     async def run() -> None:
         await server.start()
+        persisted = (f", cache_dir={cache_dir}" if cache_dir else "")
         print(f"memsched service listening on http://{server.host}:"
               f"{server.port} (workers={app.workers}, "
-              f"cache={app.cache.capacity})", flush=True)
+              f"cache={app.cache.capacity}{persisted})", flush=True)
         await server.serve_forever()
 
     try:

@@ -96,3 +96,65 @@ class TestPlatformValidation:
         p = Platform(1, 1)
         with pytest.raises(AttributeError):
             p.n_blue = 5
+
+
+class TestPlatformSpeeds:
+    def test_default_is_homogeneous(self):
+        plat = Platform(2, 1)
+        assert plat.speeds == (1.0, 1.0, 1.0)
+        assert not plat.is_heterogeneous
+        assert plat.uniform_classes == (True, True)
+        assert plat.max_class_speeds == (1.0, 1.0)
+
+    def test_speeds_accessors(self):
+        plat = Platform(2, 1, 40.0, 40.0, speeds=[1.0, 0.5, 2.0])
+        assert plat.is_heterogeneous
+        assert plat.speed(1) == 0.5
+        assert plat.class_speeds(0) == (1.0, 0.5)
+        assert plat.class_speeds(1) == (2.0,)
+        assert plat.max_class_speed(0) == 1.0
+        assert not plat.is_uniform_class(0)
+        assert plat.is_uniform_class(1)   # single proc => uniform
+        assert plat.duration(10.0, 2) == 5.0
+
+    def test_generic_constructor_takes_speeds(self):
+        plat = Platform([1, 1, 2], [1.0, 2.0, 3.0],
+                        speeds=[2.0, 1.0, 0.5, 0.5])
+        assert plat.speeds == (2.0, 1.0, 0.5, 0.5)
+        assert plat.uniform_classes == (True, True, True)
+        assert plat.max_class_speeds == (2.0, 1.0, 0.5)
+
+    def test_speeds_length_validated(self):
+        with pytest.raises(ValueError):
+            Platform(2, 1, speeds=[1.0, 1.0])
+
+    def test_speeds_values_validated(self):
+        for bad in ([0.0, 1.0], [-1.0, 1.0], [math.inf, 1.0],
+                    [math.nan, 1.0]):
+            with pytest.raises(ValueError):
+                Platform(1, 1, speeds=bad)
+
+    def test_equality_and_hash_include_speeds(self):
+        a = Platform(1, 1, speeds=[1.0, 2.0])
+        b = Platform(1, 1, speeds=[1.0, 2.0])
+        c = Platform(1, 1)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_with_capacities_preserves_speeds(self):
+        plat = Platform(1, 1, speeds=[1.0, 2.0])
+        assert plat.with_uniform_bound(5.0).speeds == (1.0, 2.0)
+        assert plat.unbounded().speeds == (1.0, 2.0)
+        assert plat.with_bounds(1.0, 2.0).speeds == (1.0, 2.0)
+
+    def test_with_speeds_resets_and_replaces(self):
+        plat = Platform(1, 1, 3.0, 4.0, speeds=[1.0, 2.0])
+        reset = plat.with_speeds(None)
+        assert not reset.is_heterogeneous
+        assert reset.capacities == plat.capacities
+        assert plat.with_speeds([0.5, 0.5]).speeds == (0.5, 0.5)
+
+    def test_pickle_roundtrip_keeps_speeds(self):
+        import pickle
+        plat = Platform([2, 1], [10.0, math.inf], speeds=[1.0, 0.5, 2.0])
+        assert pickle.loads(pickle.dumps(plat)) == plat

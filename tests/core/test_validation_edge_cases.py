@@ -127,3 +127,24 @@ class TestCorruptedStateDetection:
         s.meta["peak_red"] = -1  # corrupt the self-reported value
         peaks = memory_peaks(g, plat, s)
         assert peaks[Memory.RED] == 5  # replay does not trust meta
+
+
+class TestSpeedAwareCompleteness:
+    def test_wrong_class_processor_rejected_even_with_matching_duration(self):
+        # On a heterogeneous platform a placement on the wrong class's
+        # processor must fail the membership check, not silently validate
+        # against that processor's speed.
+        from repro.core.graph import TaskGraph
+        from repro.core.platform import Memory, Platform
+        from repro.core.schedule import Placement, Schedule
+
+        g = TaskGraph("one", n_classes=2)
+        g.add_task("t", times=(4.0, 8.0))
+        plat = Platform(1, 1, speeds=[1.0, 2.0])
+        sched = Schedule(plat.unbounded())
+        # Blue-memory task placed on proc 1 (red), duration = W_blue/2:
+        # the duration matches proc 1's speed but the class is wrong.
+        sched._placements["t"] = Placement(
+            task="t", proc=1, memory=Memory.BLUE, start=0.0, finish=2.0)
+        with pytest.raises(ScheduleError, match="not attached"):
+            validate_schedule(g, plat, sched)

@@ -27,6 +27,7 @@ class TestFigureDrivers:
     def test_registry_covers_every_figure(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "hetero",
         }
 
     @pytest.mark.parametrize("fid", ["fig11", "fig12", "fig13"])
@@ -94,3 +95,12 @@ class TestFig10:
                         and h.mean_norm_makespan is not None
                         and o.n_success == h.n_success):
                     assert o.mean_norm_makespan <= h.mean_norm_makespan + 1e-6
+
+
+class TestHeteroDriver:
+    def test_hetero_runs_at_ci_scale(self):
+        res = EXPERIMENTS["hetero"](CI, check=True)
+        assert res.figure_id == "hetero"
+        assert "spread" in res.text
+        baseline = res.data.cell(0.0, "memheft")
+        assert baseline.mean_ratio_to_homogeneous == 1.0

@@ -3,10 +3,11 @@
 import pytest
 
 from repro import Platform
-from repro.dags import dex, small_rand_set
+from repro.dags import dex, random_dag, small_rand_set
 from repro.experiments import (
     absolute_sweep,
     default_alphas,
+    heterogeneity_sweep,
     normalized_sweep,
     reference_run,
 )
@@ -105,3 +106,36 @@ class TestAbsoluteSweep:
             # between the tightest and loosest feasible bounds.
             if len(spans) >= 2:
                 assert spans[-1] <= spans[0] + 1e-9
+
+
+class TestHeterogeneitySweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        graphs = [random_dag(size=12, rng=s) for s in (0, 1)]
+        return heterogeneity_sweep(
+            graphs, Platform(2, 2), spreads=(0.0, 0.4, 0.8), check=True)
+
+    def test_grid_complete(self, result):
+        assert len(result.cells) == 3 * len(result.algorithms)
+        assert all(c.n_success == c.n_graphs for c in result.cells)
+
+    def test_zero_spread_is_the_homogeneous_baseline(self, result):
+        for algo in result.algorithms:
+            cell = result.cell(0.0, algo)
+            assert cell.mean_ratio_to_homogeneous == pytest.approx(1.0)
+
+    def test_series_sorted_by_spread(self, result):
+        for algo in result.algorithms:
+            spreads = [c.spread for c in result.series(algo)]
+            assert spreads == sorted(spreads)
+
+    def test_parallel_identical_to_serial(self, result):
+        graphs = [random_dag(size=12, rng=s) for s in (0, 1)]
+        parallel = heterogeneity_sweep(
+            graphs, Platform(2, 2), spreads=(0.0, 0.4, 0.8), check=True,
+            jobs=2)
+        assert parallel.cells == result.cells
+
+    def test_unknown_cell_raises(self, result):
+        with pytest.raises(KeyError):
+            result.cell(0.123, "memheft")

@@ -45,7 +45,7 @@ class TestScheduleCache:
         cache.get("zz")
         stats = cache.stats()
         assert stats == {"size": 1, "capacity": 3, "hits": 1,
-                         "misses": 1, "evictions": 0}
+                         "misses": 1, "evictions": 0, "persistent": False}
 
     def test_concurrent_access_keeps_accounting_consistent(self):
         cache = ScheduleCache(capacity=8)
@@ -68,3 +68,101 @@ class TestScheduleCache:
         # Every stored body still matches its digest.
         for digest in list(cache._data):
             assert cache._data[digest] == digest.encode()
+
+
+class TestCachePersistence:
+    """``cache_dir``: the LRU round-trips across restarts, eviction order
+    included (the ``--cache-dir`` satellite of PR 4)."""
+
+    def test_entries_survive_restart(self, tmp_path):
+        cache = ScheduleCache(capacity=4, cache_dir=tmp_path)
+        cache.put("a", b"A")
+        cache.put("b", b'{"makespan": 12.5}')
+        cache.close()
+        back = ScheduleCache(capacity=4, cache_dir=tmp_path)
+        assert back.get("a") == b"A"
+        assert back.get("b") == b'{"makespan": 12.5}'
+        back.close()
+
+    def test_eviction_order_preserved_across_restart(self, tmp_path):
+        cache = ScheduleCache(capacity=3, cache_dir=tmp_path)
+        cache.put("a", b"A")
+        cache.put("b", b"B")
+        cache.put("c", b"C")
+        assert cache.get("a") == b"A"   # boost a above b and c
+        cache.close()
+
+        back = ScheduleCache(capacity=3, cache_dir=tmp_path)
+        back.put("d", b"D")             # must evict b (oldest), not a
+        assert back.get("b") is None
+        assert back.get("a") == b"A"
+        assert back.get("c") == b"C"
+        assert back.get("d") == b"D"
+        back.close()
+
+    def test_reload_respects_smaller_capacity(self, tmp_path):
+        cache = ScheduleCache(capacity=4, cache_dir=tmp_path)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, key.encode())
+        cache.close()
+        back = ScheduleCache(capacity=2, cache_dir=tmp_path)
+        assert len(back) == 2
+        assert back.get("a") is None and back.get("b") is None
+        assert back.get("c") == b"c" and back.get("d") == b"d"
+        back.close()
+
+    def test_journal_compacted_on_load(self, tmp_path):
+        cache = ScheduleCache(capacity=2, cache_dir=tmp_path)
+        for key in ("a", "b", "c", "d"):   # two evictions
+            cache.put(key, key.encode())
+            cache.get(key)                 # touch lines too
+        cache.close()
+        ScheduleCache(capacity=2, cache_dir=tmp_path).close()
+        lines = (tmp_path / "cache.jsonl").read_text().splitlines()
+        assert len(lines) == 2             # one put per live entry
+
+    def test_corrupt_journal_lines_skipped(self, tmp_path):
+        cache = ScheduleCache(capacity=4, cache_dir=tmp_path)
+        cache.put("a", b"A")
+        cache.close()
+        with (tmp_path / "cache.jsonl").open("a") as fh:
+            fh.write('{"op": "put", "digest": "trunc')  # crash mid-append
+        back = ScheduleCache(capacity=4, cache_dir=tmp_path)
+        assert back.get("a") == b"A"
+        assert len(back) == 1
+        back.close()
+
+    def test_in_memory_cache_writes_nothing(self, tmp_path):
+        cache = ScheduleCache(capacity=2)
+        cache.put("a", b"A")
+        cache.close()
+        assert list(tmp_path.iterdir()) == []
+        assert cache.stats()["persistent"] is False
+
+    def test_journal_bounded_by_in_place_compaction(self, tmp_path):
+        cache = ScheduleCache(capacity=2, cache_dir=tmp_path)
+        cache.put("a", b"A")
+        cache.put("b", b"B")
+        for _ in range(3000):          # hit-heavy workload: touch lines
+            cache.get("a")
+        cache._journal.flush()
+        lines = (tmp_path / "cache.jsonl").read_text().splitlines()
+        assert len(lines) <= 1024 + 2  # compacted in place, not unbounded
+        cache.close()
+        back = ScheduleCache(capacity=2, cache_dir=tmp_path)
+        back.put("c", b"C")            # "a" was touched last: evict "b"
+        assert back.get("b") is None and back.get("a") == b"A"
+        back.close()
+
+    def test_second_instance_on_same_dir_rejected(self, tmp_path):
+        import sys
+        if sys.platform.startswith("win"):
+            pytest.skip("flock is POSIX-only")
+        cache = ScheduleCache(capacity=2, cache_dir=tmp_path)
+        try:
+            with pytest.raises(ValueError):
+                ScheduleCache(capacity=2, cache_dir=tmp_path)
+        finally:
+            cache.close()
+        # Released on close: a restart can reacquire.
+        ScheduleCache(capacity=2, cache_dir=tmp_path).close()

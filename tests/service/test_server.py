@@ -284,3 +284,122 @@ class TestConnectionClose:
         head = b"".join(chunks)
         assert b"Connection: close" in head
         raw.close()
+
+
+class TestHardening:
+    """Connection cap (503 on saturation) and per-connection idle timeout
+    — the service-hardening satellite of PR 4."""
+
+    def test_saturated_server_answers_503(self):
+        import socket as socket_mod
+        with ThreadedServer(ServiceApp(), max_connections=1) as srv:
+            ServiceClient(srv.host, srv.port).wait_until_ready()
+            # Hold one keep-alive connection open...
+            first = ServiceClient(srv.host, srv.port)
+            first.healthz()
+            try:
+                # ...then a second connection must be rejected with 503.
+                raw = socket_mod.create_connection((srv.host, srv.port),
+                                                   timeout=5)
+                raw.sendall(b"GET /healthz HTTP/1.1\r\n\r\n")
+                data = raw.recv(65536)
+                assert b"503" in data.split(b"\r\n", 1)[0]
+                assert b"saturated" in data
+                raw.close()
+                assert srv.server.n_rejected == 1
+            finally:
+                first.close()
+
+    def test_rejected_client_sees_structured_error(self):
+        with ThreadedServer(ServiceApp(), max_connections=1) as srv:
+            holder = ServiceClient(srv.host, srv.port)
+            holder.wait_until_ready()
+            try:
+                with pytest.raises(ServiceClientError) as exc_info:
+                    ServiceClient(srv.host, srv.port).healthz()
+                assert exc_info.value.status == 503
+                assert exc_info.value.err_type == "saturated"
+            finally:
+                holder.close()
+
+    def test_connections_below_cap_are_served(self):
+        with ThreadedServer(ServiceApp(), max_connections=4) as srv:
+            clients = [ServiceClient(srv.host, srv.port) for _ in range(3)]
+            try:
+                clients[0].wait_until_ready()
+                for c in clients:
+                    assert c.healthz()["status"] == "ok"
+                assert srv.server.n_rejected == 0
+            finally:
+                for c in clients:
+                    c.close()
+
+    def test_idle_connection_is_closed_after_timeout(self):
+        import socket as socket_mod
+        import time as time_mod
+        with ThreadedServer(ServiceApp(), idle_timeout=0.2) as srv:
+            ServiceClient(srv.host, srv.port).wait_until_ready()
+            raw = socket_mod.create_connection((srv.host, srv.port),
+                                               timeout=5)
+            raw.sendall(b"GET /healthz HTTP/1.1\r\n\r\n")
+            assert b"200" in raw.recv(65536).split(b"\r\n", 1)[0]
+            time_mod.sleep(0.6)            # exceed the idle timeout
+            # The server closed the idle socket: reading yields EOF.
+            raw.settimeout(5)
+            leftover = raw.recv(65536)
+            assert leftover == b""
+            raw.close()
+
+    def test_client_survives_idle_timeout_via_reconnect(self):
+        import time as time_mod
+        with ThreadedServer(ServiceApp(), idle_timeout=0.2) as srv:
+            client = ServiceClient(srv.host, srv.port)
+            try:
+                client.wait_until_ready()
+                time_mod.sleep(0.6)
+                # Keep-alive socket was idled out; the client's
+                # retry-on-reused-socket policy reconnects transparently.
+                assert client.healthz()["status"] == "ok"
+            finally:
+                client.close()
+
+    def test_invalid_hardening_knobs_rejected(self):
+        from repro.service.server import ServiceServer
+        with pytest.raises(ValueError):
+            ServiceServer(max_connections=0)
+        with pytest.raises(ValueError):
+            ServiceServer(idle_timeout=0.0)
+
+
+class TestHeterogeneousService:
+    """Schema v2 end to end: ``speeds`` accepted, digests split, responses
+    carry per-proc durations that the speed-aware validator accepts."""
+
+    def test_heterogeneous_submit_roundtrip(self, client):
+        g = random_dag(size=15, rng=77)
+        het = Platform(2, 1, speeds=[1.0, 2.0, 1.0])
+        resp = client.schedule(g, het, "memheft")
+        direct = get_scheduler("memheft")(g, het)
+        assert resp.schedule == schedule_to_dict(direct)
+        assert resp.makespan == direct.makespan
+        validate_schedule(g, het, resp.to_schedule())
+
+    def test_speeds_split_the_cache(self, client):
+        g = random_dag(size=12, rng=78)
+        hom = Platform(2, 1)
+        het = Platform(2, 1, speeds=[1.0, 2.0, 1.0])
+        a = client.schedule(g, hom)
+        b = client.schedule(g, het)
+        assert a.digest != b.digest
+        assert client.schedule(g, het).cached is True
+
+    def test_unit_speeds_hit_the_homogeneous_cache_entry(self, client):
+        g = random_dag(size=12, rng=79)
+        cold = client.schedule(g, Platform(2, 1))
+        explicit = client.schedule(g, Platform(2, 1, speeds=[1.0] * 3))
+        assert explicit.digest == cold.digest
+        assert explicit.cached is True
+        assert explicit.raw == cold.raw
+
+    def test_healthz_reports_digest_schema(self, client):
+        assert client.healthz()["digest_schema"] == 2

@@ -183,3 +183,52 @@ class TestSubmit:
                    "--wait", "0.2", "--timeout", "1"])
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestSpeedsFlag:
+    def test_schedule_with_speeds(self, dex_file, capsys):
+        rc = main(["schedule", str(dex_file), "--algo", "memheft",
+                   "--blue", "1", "--red", "1", "--speeds", "1,2"])
+        assert rc == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_speeds_written_into_schedule_json(self, dex_file, tmp_path,
+                                               capsys):
+        out = tmp_path / "sched.json"
+        rc = main(["schedule", str(dex_file), "--algo", "memheft",
+                   "--blue", "1", "--red", "1", "--speeds", "1,2",
+                   "-o", str(out)])
+        assert rc == 0
+        import json as json_mod
+        data = json_mod.loads(out.read_text())
+        assert data["platform"]["speeds"] == [1.0, 2.0]
+        # And the saved schedule revalidates against the saved platform.
+        assert main(["validate", str(dex_file), str(out)]) == 0
+
+    def test_speeds_with_generic_procs(self, dex_file, capsys):
+        rc = main(["schedule", str(dex_file), "--algo", "memminmin",
+                   "--procs", "1,1", "--mems", "inf,inf",
+                   "--speeds", "2,0.5"])
+        assert rc == 0
+
+    def test_bad_speeds_rejected(self, dex_file):
+        import pytest as pytest_mod
+        with pytest_mod.raises(SystemExit):
+            main(["schedule", str(dex_file), "--speeds", "1,banana"])
+        with pytest_mod.raises(SystemExit):
+            main(["schedule", str(dex_file), "--speeds", "1,2,3"])
+
+    def test_ilp_rejects_heterogeneous_platform(self, dex_file, capsys):
+        rc = main(["ilp", str(dex_file), "--blue", "1", "--red", "1",
+                   "--speeds", "1,2"])
+        assert rc == 2
+        assert "homogeneous" in capsys.readouterr().err
+
+    def test_bounds_speed_aware(self, dex_file, capsys):
+        assert main(["bounds", str(dex_file), "--blue", "1", "--red", "1",
+                     "--speeds", "4,4"]) == 0
+        fast = capsys.readouterr().out
+        assert main(["bounds", str(dex_file), "--blue", "1", "--red",
+                     "1"]) == 0
+        plain = capsys.readouterr().out
+        assert fast != plain

@@ -63,3 +63,29 @@ def test_unified_engine_reproduces_golden_schedule(case):
         assert p.finish == finish
     assert schedule.meta["peak_blue"] == case["peaks"][0]
     assert schedule.meta["peak_red"] == case["peaks"][1]
+
+
+@pytest.mark.parametrize("case", GOLDEN["cases"],
+                         ids=[f"{c['name']}-{c['algo']}-unitspeeds"
+                              for c in GOLDEN["cases"]])
+def test_explicit_unit_speeds_reproduce_golden_schedule(case):
+    """PR 4 re-pin: the per-processor cost model at speeds=1.0 must stay
+    bit-identical to the seed engine — the uniform-class fast path is the
+    homogeneous arithmetic, not an approximation of it."""
+    graph = _graph_for(case["name"])
+    platform = _platform_for(case)
+    platform = platform.with_speeds([1.0] * platform.n_procs)
+    algo = ALGOS[case["algo"]]
+    if case["infeasible"]:
+        with pytest.raises(InfeasibleScheduleError):
+            algo(graph, platform)
+        return
+    schedule = algo(graph, platform)
+    assert schedule.makespan == case["makespan"]
+    for task_key, (proc, memory, start, finish) in case["placements"].items():
+        task = int(task_key) if task_key.isdigit() else task_key
+        p = schedule.placement(task)
+        assert (p.proc, p.memory.value, p.start, p.finish) == \
+            (proc, memory, start, finish)
+    assert schedule.meta["peak_blue"] == case["peaks"][0]
+    assert schedule.meta["peak_red"] == case["peaks"][1]
