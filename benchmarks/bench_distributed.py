@@ -1,0 +1,168 @@
+"""Distributed-sweep benchmark: one coordinator, N local service hosts.
+
+Spins up ``--hosts`` in-process service hosts (:class:`ThreadedServer`,
+each with its own ``--workers-per-host`` process pool) and runs a
+Figure-12-style normalised sweep twice — serially and sharded over the
+hosts through :class:`repro.experiments.remote.RemoteExecutor` — emitting
+a machine-readable ``BENCH_distributed.json`` (schema in
+``benchmarks/README.md``).  The distributed cells are asserted equal to
+the serial ones on every run; the wall-clock comparison is the number
+that needs a multi-core machine (CI's speedup gate reads this JSON).
+
+A second section does the same for the feasibility frontier
+(:func:`frontier_sweep`), whose cells are far coarser (one binary search
+per (graph, algorithm)) — the regime where per-request overhead is
+negligible and host weighting dominates.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py --json BENCH_distributed.json
+    PYTHONPATH=src python benchmarks/bench_distributed.py \
+        --hosts 2 --workers-per-host 2 --graphs 6 --size 200 --alphas 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform as platform_mod
+import sys
+import time
+from contextlib import ExitStack
+
+from repro.dags.datasets import large_rand_set
+from repro.experiments.figures import RAND_PLATFORM
+from repro.experiments.remote import RemoteExecutor, remote_hosts
+from repro.experiments.sweep import default_alphas, normalized_sweep
+from repro.experiments.engine import frontier_sweep
+from repro.service import ServiceApp, ThreadedServer
+
+
+def _start_hosts(stack: ExitStack, n_hosts: int, workers: int) -> list[str]:
+    addresses = []
+    for _ in range(n_hosts):
+        srv = stack.enter_context(ThreadedServer(ServiceApp(workers=workers)))
+        addresses.append(f"{srv.host}:{srv.port}")
+    return addresses
+
+
+def bench_sweep(args: argparse.Namespace) -> tuple[dict, dict]:
+    graphs = large_rand_set(args.graphs, args.size)
+    alphas = default_alphas(args.alphas)
+
+    t0 = time.perf_counter()
+    serial = normalized_sweep(graphs, RAND_PLATFORM, alphas=alphas)
+    serial_s = time.perf_counter() - t0
+
+    with ExitStack() as stack:
+        addresses = _start_hosts(stack, args.hosts, args.workers_per_host)
+        executor = RemoteExecutor(addresses)
+        t0 = time.perf_counter()
+        with remote_hosts(executor):
+            dist = normalized_sweep(graphs, RAND_PLATFORM, alphas=alphas)
+        dist_s = time.perf_counter() - t0
+        stats = executor.stats()
+
+    identical = (serial.cells == dist.cells
+                 and serial.alphas == dist.alphas
+                 and serial.algorithms == dist.algorithms)
+    assert identical, "distributed sweep diverged from the serial reference"
+    result = {
+        "n_graphs": args.graphs,
+        "graph_size": args.size,
+        "n_alphas": args.alphas,
+        "n_cells": args.graphs * args.alphas,
+        "serial_s": round(serial_s, 4),
+        "distributed_s": round(dist_s, 4),
+        "speedup": round(serial_s / dist_s, 2),
+        "identical_cells": identical,
+    }
+    print(f"[sweep]    {args.graphs} graphs x {args.size} tasks x "
+          f"{args.alphas} alphas: serial={serial_s:.2f}s "
+          f"distributed({args.hosts} hosts x {args.workers_per_host} "
+          f"workers)={dist_s:.2f}s speedup={result['speedup']:g}x "
+          f"identical={identical} (cpu_count={os.cpu_count()})")
+    return result, stats
+
+
+def bench_frontier(args: argparse.Namespace) -> tuple[dict, dict]:
+    graphs = large_rand_set(args.graphs, args.size)
+
+    t0 = time.perf_counter()
+    serial = frontier_sweep(graphs, RAND_PLATFORM, rel_tol=0.05)
+    serial_s = time.perf_counter() - t0
+
+    with ExitStack() as stack:
+        addresses = _start_hosts(stack, args.hosts, args.workers_per_host)
+        executor = RemoteExecutor(addresses)
+        t0 = time.perf_counter()
+        with remote_hosts(executor):
+            dist = frontier_sweep(graphs, RAND_PLATFORM, rel_tol=0.05)
+        dist_s = time.perf_counter() - t0
+        stats = executor.stats()
+
+    identical = serial == dist
+    assert identical, "distributed frontier diverged from serial"
+    result = {
+        "n_graphs": args.graphs,
+        "graph_size": args.size,
+        "n_cells": len(serial),
+        "serial_s": round(serial_s, 4),
+        "distributed_s": round(dist_s, 4),
+        "speedup": round(serial_s / dist_s, 2),
+        "identical_cells": identical,
+    }
+    print(f"[frontier] {len(serial)} (graph, algo) cells: "
+          f"serial={serial_s:.2f}s distributed={dist_s:.2f}s "
+          f"speedup={result['speedup']:g}x identical={identical}")
+    return result, stats
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--hosts", type=int, default=2,
+                        help="local service hosts to start")
+    parser.add_argument("--workers-per-host", type=int, default=2,
+                        help="process-pool size per host (/healthz weight)")
+    parser.add_argument("--graphs", type=int, default=8,
+                        help="LargeRandSet graphs in the sweep")
+    parser.add_argument("--size", type=int, default=300,
+                        help="tasks per graph")
+    parser.add_argument("--alphas", type=int, default=8,
+                        help="alpha grid points")
+    parser.add_argument("--skip-frontier", action="store_true")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write BENCH_distributed.json here")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    sweep, sweep_stats = bench_sweep(args)
+    report = {
+        "bench": "distributed",
+        "schema_version": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform_mod.python_version(),
+        "machine": platform_mod.platform(),
+        "cpu_count": os.cpu_count(),
+        "n_hosts": args.hosts,
+        "workers_per_host": args.workers_per_host,
+        "sweep": sweep,
+        "sweep_hosts": sweep_stats,
+    }
+    if not args.skip_frontier:
+        frontier, frontier_stats = bench_frontier(args)
+        report["frontier"] = frontier
+        report["frontier_hosts"] = frontier_stats
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ Run:  python examples/random_workflow.py [n_tasks] [seed]
 
 import sys
 
-from repro import InfeasibleScheduleError, Platform
+from repro import Platform
 from repro.core.bounds import lower_bound
 from repro.dags import random_dag
 from repro.experiments import absolute_sweep, reference_run, render_absolute_sweep

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""CI speedup gate: assert the parallel paths actually beat serial.
+
+Reads the ``BENCH_*.json`` reports the benchmarks emit and enforces the
+targets that a single-core dev container can never demonstrate (the
+ROADMAP's long-open "needs a multi-core runner" item):
+
+* ``BENCH_scaling.json`` — the ``--jobs N`` sweep must be at least
+  ``--min-speedup`` times faster than serial, with identical cells.
+* ``BENCH_service.json`` — the ``/batch`` workers path must beat the
+  serial batch by the same factor, with identical results.
+* ``BENCH_distributed.json`` (optional) — the multi-host sweep must at
+  least beat ``--min-distributed`` (HTTP + wire encoding overhead makes
+  this gate softer) and be cell-identical.
+
+Exit status 0 only when every present report passes; failures list every
+violated gate.  Usage::
+
+    python scripts/check_speedup.py --scaling BENCH_scaling.json \
+        --service BENCH_service.json --distributed BENCH_distributed.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+#: One gate per report kind: which section of the JSON to read, which
+#: identity flag must hold, how to label the OK/failure lines, and how to
+#: describe the parallel configuration from the report's fields.
+GATES = {
+    "scaling": {
+        "section": "sweep",
+        "identical_key": "identical_cells",
+        "label": "scaling  sweep   ",
+        "identity_problem": "parallel sweep cells differ from serial",
+        "config": lambda rep, sec: (f"jobs={sec['jobs']} on "
+                                    f"{rep.get('cpu_count')} CPUs"),
+        "hint": " — run bench_scaling.py with --jobs N",
+    },
+    "service": {
+        "section": "batch",
+        "identical_key": "identical_results",
+        "label": "service  /batch  ",
+        "identity_problem": "workers batch differs from serial batch",
+        "config": lambda rep, sec: (f"workers={sec['workers']} on "
+                                    f"{rep.get('cpu_count')} CPUs"),
+        "hint": "",
+    },
+    "distributed": {
+        "section": "sweep",
+        "identical_key": "identical_cells",
+        "label": "distributed sweep",
+        "identity_problem": "distributed cells differ from serial",
+        "config": lambda rep, sec: (f"{rep.get('n_hosts')} hosts x "
+                                    f"{rep.get('workers_per_host')} "
+                                    f"workers"),
+        "hint": "",
+    },
+}
+
+
+def check_report(kind: str, path: str, min_speedup: float) -> list[str]:
+    """Apply one gate; returns the violated-gate messages (empty = pass,
+    with the OK line printed — only when *every* check of the gate held)."""
+    gate = GATES[kind]
+    report = json.loads(Path(path).read_text())
+    section = report.get(gate["section"])
+    if section is None:
+        return [f"{path}: no {gate['section']!r} section{gate['hint']}"]
+    problems = []
+    if not section.get(gate["identical_key"]):
+        problems.append(f"{path}: {gate['identity_problem']}")
+    config = gate["config"](report, section)
+    if section["speedup"] < min_speedup:
+        problems.append(
+            f"{path}: {gate['label'].strip()} speedup "
+            f"{section['speedup']:.2f}x < required {min_speedup:g}x "
+            f"({config})")
+    if not problems:
+        print(f"{gate['label']}: {section['speedup']:.2f}x >= "
+              f"{min_speedup:g}x with {config} OK")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n\n")[0])
+    parser.add_argument("--scaling", metavar="PATH",
+                        help="BENCH_scaling.json to gate")
+    parser.add_argument("--service", metavar="PATH",
+                        help="BENCH_service.json to gate")
+    parser.add_argument("--distributed", metavar="PATH",
+                        help="BENCH_distributed.json to gate")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required parallel-vs-serial factor for the "
+                             "in-process paths (default: 1.5)")
+    parser.add_argument("--min-distributed", type=float, default=1.2,
+                        help="required factor for the multi-host sweep "
+                             "(softer: pays HTTP + wire overhead)")
+    args = parser.parse_args(argv)
+    if not (args.scaling or args.service or args.distributed):
+        parser.error("nothing to check: pass --scaling/--service/"
+                     "--distributed")
+
+    problems: list[str] = []
+    if args.scaling:
+        problems += check_report("scaling", args.scaling, args.min_speedup)
+    if args.service:
+        problems += check_report("service", args.service, args.min_speedup)
+    if args.distributed:
+        problems += check_report("distributed", args.distributed,
+                                 args.min_distributed)
+    for p in problems:
+        print(f"SPEEDUP GATE FAILED: {p}", file=sys.stderr)
+    if not problems:
+        print("all speedup gates passed")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ Subcommands::
     memsched bounds    graph.json --blue 2 --red 1
     memsched ilp       graph.json --blue 1 --red 1 --mem-blue 5 --mem-red 5
     memsched experiment fig10 --scale ci
+    memsched experiment fig12 --hosts 10.0.0.1:8123,10.0.0.2:8123
     memsched serve     --port 8123 --workers 4
     memsched submit    graph.json --algo memheft --port 8123 -o sched.json
 """
@@ -209,8 +210,25 @@ def cmd_ilp(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
-    result = EXPERIMENTS[args.figure](scale, jobs=args.jobs)
+    executor = None
+    if args.hosts:
+        from .experiments.remote import RemoteExecutor, remote_hosts
+        hosts = [h for h in args.hosts.split(",") if h.strip()]
+        try:
+            executor = RemoteExecutor(hosts)
+        except ValueError as exc:
+            raise SystemExit(f"error: invalid --hosts: {exc}") from None
+        with remote_hosts(executor):
+            result = EXPERIMENTS[args.figure](scale, jobs=args.jobs)
+    else:
+        result = EXPERIMENTS[args.figure](scale, jobs=args.jobs)
     print(result)
+    if executor is not None:
+        # Dispatch accounting to stderr: stdout stays byte-identical to
+        # the serial run (the CI distributed smoke relies on that).
+        from .experiments.remote import format_host_stats
+        for line in format_host_stats(executor.stats()):
+            print(line, file=sys.stderr)
     if args.csv:
         from pathlib import Path
 
@@ -367,6 +385,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-j", "--jobs", type=int, default=1,
                    help="shard the sweep grid over N worker processes "
                         "(0 = one per CPU; identical results for any N)")
+    p.add_argument("--hosts", default=None, metavar="H1:P1,H2:P2",
+                   help="shard the sweep grid over running 'memsched "
+                        "serve' hosts instead of local processes "
+                        "(weighted by each host's --workers; identical "
+                        "results, asserted by tests/CI)")
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("serve", help="run the async scheduling service")

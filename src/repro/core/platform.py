@@ -25,7 +25,7 @@ homogeneous platforms behave (and hash) exactly as before.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 
 class Memory:

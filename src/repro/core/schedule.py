@@ -8,7 +8,7 @@ their transfer is instantaneous in the model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable, Iterator, Optional
 
 from .platform import Memory, Platform

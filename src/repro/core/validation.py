@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable
 
-from .._util import EPS
 from .graph import TaskGraph
 from .memory_profile import MemoryProfile
 from .platform import Memory, Platform

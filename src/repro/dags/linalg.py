@@ -222,7 +222,7 @@ def cholesky_dag(
             # TRSM(i,k) feeds its SYRK, the GEMMs of row i and of column i.
             fan = [("syrk", k, i)]
             fan += [("gemm", k, i, j) for j in range(k + 1, i)]
-            fan += [("gemm", k, l, i) for l in range(i + 1, t)]
+            fan += [("gemm", k, r, i) for r in range(i + 1, t)]
             _broadcast(g, ("trsm", i, k), fan, size=tile_size, comm=comm_ms)
             # SYRK chain on the diagonal tile (i, i) -> next step or POTRF.
             nxt: Task = ("syrk", k + 1, i) if k + 1 < i else ("potrf", i)

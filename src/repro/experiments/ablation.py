@@ -23,10 +23,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.graph import TaskGraph
+from ..io.json_io import register_wire_dataclass
 from ..core.platform import Platform
 from ..scheduling.memheft import memheft
 from ..scheduling.state import InfeasibleScheduleError
-from .engine import cached_reference, cell_seed, map_cells
+from .engine import cached_reference, cell_seed, map_cells, remote_worker
 
 
 @dataclass
@@ -42,6 +43,7 @@ class CommPolicyRow:
 _POLICIES = ("late", "eager")
 
 
+@remote_worker("ablation.comm_policy")
 def _comm_policy_cell(payload: tuple, cache: dict,
                       cell: tuple) -> list[Optional[float]]:
     """One (graph, alpha) cell: normalised MemHEFT makespan per transfer
@@ -93,6 +95,7 @@ def comm_policy_ablation(
     return out
 
 
+@register_wire_dataclass
 @dataclass
 class TiebreakRow:
     graph_name: str
@@ -102,6 +105,7 @@ class TiebreakRow:
     seeded_max: float
 
 
+@remote_worker("ablation.tiebreak")
 def _tiebreak_cell(payload: tuple, cache: dict, graph_idx: int) -> TiebreakRow:
     """All repetitions of one graph (the deterministic run plus the seeded
     spread; seeds derived per cell, stable under sharding)."""

@@ -41,11 +41,78 @@ from typing import Callable, Optional, Sequence
 
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
+from ..io.json_io import register_wire_dataclass
 from ..scheduling.registry import get_scheduler
 from ..scheduling.state import InfeasibleScheduleError
 
 #: Per-process worker context: (worker function, payload, cache dict).
 _WORKER: dict = {}
+
+#: Cell workers invocable by name over the wire (``POST /cells``), filled
+#: by the :func:`remote_worker` decorator.  Execution on a service host is
+#: restricted to this registry — the wire carries *names*, never code.
+_REMOTE_WORKERS: dict = {}
+
+#: Ambient host list (or executor) consulted by :func:`map_cells` when no
+#: explicit ``hosts`` argument is given; set via
+#: :func:`repro.experiments.remote.remote_hosts`.
+_DEFAULT_HOSTS = None
+
+
+def remote_worker(name: str) -> Callable:
+    """Decorator registering a top-level cell worker for remote execution.
+
+    The registered name is what travels in a ``POST /cells`` request; the
+    function itself must stay importable on every host (same package
+    version).  The decorator stamps the function with ``_remote_name`` so
+    :func:`map_cells` can route it to hosts transparently.
+    """
+    def register(fn: Callable) -> Callable:
+        if name in _REMOTE_WORKERS and _REMOTE_WORKERS[name] is not fn:
+            raise ValueError(f"remote worker {name!r} already registered")
+        _REMOTE_WORKERS[name] = fn
+        fn._remote_name = name
+        return fn
+    return register
+
+
+def _ensure_builtin_workers() -> None:
+    """Import the modules whose import registers the built-in cell
+    workers (idempotent; safe in server processes and pool workers)."""
+    from . import ablation, sweep  # noqa: F401  (import == registration)
+
+
+def get_remote_worker(name: str) -> Callable:
+    """Resolve a registered cell worker; raises ``ValueError`` with the
+    known names when unknown."""
+    _ensure_builtin_workers()
+    fn = _REMOTE_WORKERS.get(name)
+    if fn is None:
+        raise ValueError(f"unknown remote cell worker {name!r} "
+                         f"(known: {sorted(_REMOTE_WORKERS)})")
+    return fn
+
+
+def remote_worker_names() -> list:
+    """Registered cell-worker names (after importing the built-ins)."""
+    _ensure_builtin_workers()
+    return sorted(_REMOTE_WORKERS)
+
+
+def set_default_hosts(hosts):
+    """Install the ambient host list/executor used when ``map_cells`` is
+    called without an explicit ``hosts``; returns the previous value (the
+    :func:`repro.experiments.remote.remote_hosts` context manager restores
+    it)."""
+    global _DEFAULT_HOSTS
+    previous = _DEFAULT_HOSTS
+    _DEFAULT_HOSTS = hosts
+    return previous
+
+
+def default_hosts():
+    """The ambient host list/executor (``None`` = run locally)."""
+    return _DEFAULT_HOSTS
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -111,6 +178,7 @@ def map_cells(
     *,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
+    hosts=None,
 ) -> list:
     """Map ``worker(payload, cache, cell)`` over ``cells``, returning
     results in cell order.
@@ -121,8 +189,24 @@ def map_cells(
     With ``jobs > 1`` the cells are fanned out over a process pool in
     chunks; exceptions raised by any cell propagate to the caller in both
     modes.
+
+    ``hosts`` — a list of ``"host:port"`` addresses of running ``memsched
+    serve`` instances (or a prepared
+    :class:`repro.experiments.remote.RemoteExecutor`) — shards the cells
+    *across machines* instead: ``worker`` must then be registered with
+    :func:`remote_worker`.  When ``hosts`` is omitted the ambient value
+    installed by :func:`repro.experiments.remote.remote_hosts` applies, so
+    every sweep gains multi-host mode without touching its driver.  All
+    three modes run the same cell functions and aggregate in the same
+    order — serial ≡ ``jobs=N`` ≡ distributed, by construction.
     """
     cells = list(cells)
+    if hosts is None:
+        hosts = _DEFAULT_HOSTS
+    if hosts is not None and cells:
+        from .remote import run_remote  # deferred: remote imports engine
+        return run_remote(worker, payload, cells, hosts,
+                          chunk_size=chunk_size)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(cells) <= 1:
         cache: dict = {}
@@ -140,6 +224,7 @@ def map_cells(
 # ----------------------------------------------------------------------
 # feasibility frontier (binary search over the uniform memory bound)
 # ----------------------------------------------------------------------
+@register_wire_dataclass
 @dataclass(frozen=True)
 class FrontierPoint:
     """Smallest feasible uniform memory bound found for one
@@ -237,6 +322,7 @@ def feasibility_frontier(
     )
 
 
+@remote_worker("engine.frontier")
 def _frontier_cell(payload: tuple, cache: dict, cell: tuple) -> FrontierPoint:
     graphs, platform, rel_tol, verify_samples = payload
     graph_idx, algorithm = cell

@@ -34,8 +34,6 @@ from .report import (
     render_table,
 )
 from .sweep import (
-    AbsoluteSweepResult,
-    SweepResult,
     absolute_sweep,
     default_alphas,
     default_spreads,

@@ -10,7 +10,6 @@ intervals).
 
 from __future__ import annotations
 
-import math
 from typing import Hashable
 
 import numpy as np

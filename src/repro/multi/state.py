@@ -22,7 +22,7 @@ from ..scheduling.state import (
     SchedulerState,
 )
 from .graph import MultiTaskGraph
-from .platform import MultiPlatform, as_core_platform
+from .platform import as_core_platform
 
 Task = Hashable
 

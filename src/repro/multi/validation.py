@@ -12,7 +12,7 @@ from typing import Hashable
 
 from ..core.graph import TaskGraph
 from ..core.memory_profile import MemoryProfile
-from ..core.validation import ScheduleError, memory_usage, validate_schedule
+from ..core.validation import memory_usage, validate_schedule
 from ..core.schedule import Schedule
 from .platform import as_core_platform
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 import math
 from typing import Hashable
 
-from .._util import EPS
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..core.schedule import Schedule

@@ -22,6 +22,14 @@ the :func:`repro.experiments.engine.map_cells` worker/payload pattern
 (same ``_init_worker``/``_call_cell`` machinery, worker spawn paid once
 per service lifetime, not per request), so serial (``workers=1``) and
 parallel batches produce identical bytes by construction.
+
+**Cell execution.**  ``POST /cells`` is the distributed half of the
+experiment engine: it runs a chunk of *registered* top-level cell
+functions (:func:`repro.experiments.engine.remote_worker` — the wire
+carries worker names, never code) against a wire-encoded payload,
+streaming one NDJSON row per cell over the same persistent pool.  A
+:class:`repro.experiments.remote.RemoteExecutor` shards a sweep's grid
+over many such hosts.
 """
 
 from __future__ import annotations
@@ -40,12 +48,15 @@ from concurrent.futures.process import BrokenProcessPool
 from ..core.validation import ScheduleError, validate_schedule
 from ..experiments.engine import _call_cell, _init_worker, default_chunk_size
 from ..io.json_io import (
+    CELL_WIRE_VERSION,
     DIGEST_SCHEMA_VERSION,
     canonical_digest,
     canonical_json,
+    from_cell_wire,
     graph_from_dict,
     platform_from_dict,
     schedule_to_dict,
+    to_cell_wire,
 )
 from ..scheduling.registry import (
     ENGINE_OPTIONED,
@@ -54,8 +65,9 @@ from ..scheduling.registry import (
 )
 from ..scheduling.state import InfeasibleScheduleError
 
-#: Protocol revision, reported by ``GET /healthz``.
-PROTOCOL_VERSION = 1
+#: Protocol revision, reported by ``GET /healthz``.  v2 added the
+#: ``POST /cells`` distributed-experiment endpoint (additive).
+PROTOCOL_VERSION = 2
 
 #: Algorithms accepting the ``comm_policy`` / ``lazy`` engine options (the
 #: memory-oblivious heuristics run on fixed unbounded settings).
@@ -219,6 +231,79 @@ def _batch_worker(payload: object, cache: dict, cell: tuple) -> tuple:
                                       options, digest))
     except ServiceError as exc:
         return ("error", exc.status, exc.err_type, exc.message)
+
+
+#: Decoded cell payloads cached per worker process, keyed by payload
+#: digest; bounded so a long-lived service cannot accumulate every sweep's
+#: graphs forever.
+_MAX_CACHED_PAYLOADS = 16
+
+
+def _run_one_cell(fn, payload_obj, worker_cache: dict, cell_wire: object,
+                  index: int) -> dict:
+    """Execute one wire-encoded cell; never raises — worker bugs become
+    structured per-cell error rows, so one bad cell cannot take down the
+    stream (the distributed analogue of ``/batch``'s per-instance
+    errors)."""
+    try:
+        cell = from_cell_wire(cell_wire)
+        result = fn(payload_obj, worker_cache, cell)
+        return {"i": index, "r": to_cell_wire(result)}
+    except Exception as exc:  # noqa: BLE001 — must answer, not crash
+        return {"i": index,
+                "error": {"type": "cell_error",
+                          "message": f"{type(exc).__name__}: {exc}"}}
+
+
+def _cells_unit(cache: dict, unit: tuple) -> list:
+    """Execute one chunk of a ``/cells`` request (in-process or in a pool
+    worker).  ``unit`` is ``("cells", worker_name, payload_digest,
+    payload_wire, cell_wires, base_index)``.
+
+    The decoded payload and the worker's cell cache are memoised per
+    process under the payload digest, so a sweep's graphs are decoded once
+    per worker process — the remote analogue of shipping ``initargs`` once
+    — and reference-run caching keeps working across chunks.
+    """
+    _, worker_name, pdigest, payload_wire, cell_wires, base = unit
+    try:
+        from ..experiments.engine import get_remote_worker
+        fn = get_remote_worker(worker_name)
+        pkey = ("cells_payload", pdigest)
+        try:
+            payload_obj = cache[pkey]
+        except KeyError:
+            # The cache dict is shared between executor threads on a
+            # workers<=1 host, so eviction uses pop() and the decoded
+            # value is kept in a local — a concurrent evictor can only
+            # cost a re-decode, never a crash.
+            while sum(1 for k in cache if k[0] == "cells_payload") \
+                    >= _MAX_CACHED_PAYLOADS:
+                for k in list(cache):
+                    if k[0] in ("cells_payload", "cells_cache"):
+                        cache.pop(k, None)
+                        break
+            payload_obj = from_cell_wire(payload_wire)
+            cache[pkey] = payload_obj
+        worker_cache = cache.setdefault(("cells_cache", pdigest), {})
+    except Exception as exc:  # noqa: BLE001 — per-cell structured errors
+        err = {"type": "cell_error",
+               "message": f"{type(exc).__name__}: {exc}"}
+        return [{"i": base + k, "error": dict(err)}
+                for k in range(len(cell_wires))]
+    return [_run_one_cell(fn, payload_obj, worker_cache, cw, base + k)
+            for k, cw in enumerate(cell_wires)]
+
+
+def _service_worker(payload: object, cache: dict, unit: tuple):
+    """The persistent pool's single entry point: dispatches ``/batch``
+    instances and ``/cells`` chunks through one initializer, so both
+    endpoints share the same warm worker processes."""
+    if unit[0] == "batch":
+        return _batch_worker(payload, cache, unit[1])
+    if unit[0] == "cells":
+        return _cells_unit(cache, unit)
+    raise ValueError(f"unknown pool unit kind {unit[0]!r}")
 
 
 class ScheduleCache:
@@ -397,6 +482,8 @@ class ServiceApp:
         self.cache = ScheduleCache(cache_size, cache_dir=cache_dir)
         self.started_at = time.monotonic()
         self.n_requests = 0
+        self.n_cell_requests = 0
+        self.n_cells = 0
         self._count_lock = threading.Lock()
         # Raw-body fast path: sha256 of the exact request bytes -> canonical
         # digest.  A byte-identical resubmission skips JSON parsing and
@@ -410,6 +497,10 @@ class ServiceApp:
         # worker spawn + package import per /batch request.
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        # The workers<=1 /cells path's analogue of a pool worker's
+        # per-process cache: decoded payloads + worker cell caches, keyed
+        # by payload digest (see _cells_unit; bounded there).
+        self._cells_local_cache: dict = {}
 
     def close(self) -> None:
         """Shut down the batch worker pool and the cache journal
@@ -421,16 +512,17 @@ class ServiceApp:
         self.cache.close()
 
     def _batch_pool(self) -> ProcessPoolExecutor:
-        """The persistent /batch pool, initialised with the same
+        """The persistent worker pool, initialised with the same
         worker/payload pattern :func:`repro.experiments.engine.map_cells`
-        uses — the worker and payload never change, so one initializer
-        call per worker process serves every batch."""
+        uses — the dispatcher and payload never change, so one initializer
+        call per worker process serves every ``/batch`` *and* ``/cells``
+        request for the service's lifetime."""
         with self._pool_lock:
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_init_worker,
-                    initargs=(_batch_worker, None))
+                    initargs=(_service_worker, None))
             return self._pool
 
     def _run_cells(self, cells: list) -> list:
@@ -438,10 +530,11 @@ class ServiceApp:
         if self.workers <= 1 or len(cells) <= 1:
             cache: dict = {}
             return [_batch_worker(None, cache, cell) for cell in cells]
+        units = [("batch", cell) for cell in cells]
         try:
             return list(self._batch_pool().map(
-                _call_cell, cells,
-                chunksize=default_chunk_size(len(cells), self.workers)))
+                _call_cell, units,
+                chunksize=default_chunk_size(len(units), self.workers)))
         except BrokenProcessPool as exc:
             self.close()   # discard the broken pool; next batch rebuilds it
             raise ServiceError(
@@ -469,6 +562,9 @@ class ServiceApp:
             if path == "/batch":
                 self._require(method, "POST", path)
                 return self._handle_batch(body)
+            if path == "/cells":
+                self._require(method, "POST", path)
+                return self._handle_cells(body)
             if path == "/algorithms":
                 self._require(method, "GET", path)
                 return self._handle_algorithms()
@@ -585,6 +681,97 @@ class ServiceApp:
                     + b',"results":[' + joined + b"]}")
         return 200, dict(_JSON_HEADERS), out_body
 
+    def _handle_cells(self, body: bytes):
+        """``POST /cells`` — execute a chunk of registered experiment cell
+        functions, streaming one NDJSON row per cell.
+
+        The request is ``{"worker": name, "payload": wire, "cells":
+        [wire, ...]}`` (see :func:`repro.io.json_io.to_cell_wire`); the
+        response body is ``application/x-ndjson``: per cell either
+        ``{"i": k, "r": wire}`` or ``{"i": k, "error": {...}}``, closed by
+        a ``{"done": n}`` sentinel.  Rows are produced lazily — chunked
+        transfer on the wire — so a coordinator sees results as they
+        complete, and a host crash mid-request truncates the stream
+        (detectably: no sentinel) instead of hanging the caller.
+
+        Validation (unknown worker, malformed wire values) happens
+        eagerly, *before* the 200 status is committed; per-cell worker
+        exceptions travel as structured error rows.  With ``workers > 1``
+        the cells are fanned over the same persistent process pool as
+        ``/batch``.
+        """
+        payload = self._parse_body(body)
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "bad_request",
+                               "cells body must be a JSON object")
+        worker_name = payload.get("worker")
+        if not isinstance(worker_name, str):
+            raise ServiceError(400, "bad_request",
+                               "'worker' must be a registered worker name")
+        cell_wires = payload.get("cells")
+        if not isinstance(cell_wires, list):
+            raise ServiceError(400, "bad_request",
+                               "'cells' must be an array of wire values")
+        from ..experiments.engine import get_remote_worker
+        try:
+            fn = get_remote_worker(worker_name)
+        except ValueError as exc:
+            raise ServiceError(404, "unknown_worker", str(exc)) from exc
+        payload_wire = payload.get("payload")
+        pdigest = hashlib.sha256(
+            canonical_json(payload_wire).encode("utf-8")).hexdigest()
+        try:   # reject malformed wire values before committing a 200
+            payload_obj = from_cell_wire(payload_wire)
+            for cw in cell_wires:
+                from_cell_wire(cw)
+        except (ValueError, TypeError, KeyError) as exc:
+            raise ServiceError(400, "bad_request",
+                               f"malformed cell wire value: {exc}") from exc
+        if self.workers <= 1:
+            # Seed the in-process unit cache with the payload we just
+            # decoded for validation, so the serial path never decodes
+            # it twice — and, like a pool worker's cache, keeps it (plus
+            # the worker's cell cache) warm across requests: a 1-worker
+            # fleet host serves many small chunks per sweep.
+            self._cells_local_cache.setdefault(
+                ("cells_payload", pdigest), payload_obj)
+        with self._count_lock:
+            self.n_cell_requests += 1
+            self.n_cells += len(cell_wires)
+        headers = {"Content-Type": "application/x-ndjson",
+                   "X-Cells": str(len(cell_wires))}
+        return 200, headers, self._cells_stream(
+            worker_name, payload_wire, pdigest, cell_wires)
+
+    def _cells_stream(self, worker_name: str, payload_wire: object,
+                      pdigest: str, cell_wires: list):
+        """Generator of NDJSON lines for one ``/cells`` request (consumed
+        by the transport's chunked writer).  Both branches run the same
+        :func:`_cells_unit` chunks — in-process against the app-held
+        cache, or over the persistent pool against each worker's."""
+        def encode(row: dict) -> bytes:
+            return json.dumps(row, sort_keys=True).encode("utf-8") + b"\n"
+
+        n = len(cell_wires)
+        size = default_chunk_size(n, max(1, self.workers))
+        units = [("cells", worker_name, pdigest, payload_wire,
+                  cell_wires[k:k + size], k) for k in range(0, n, size)]
+        if self.workers <= 1 or n <= 1:
+            for unit in units:
+                for row in _cells_unit(self._cells_local_cache, unit):
+                    yield encode(row)
+            yield encode({"done": n})
+            return
+        try:
+            for rows in self._batch_pool().map(_call_cell, units,
+                                               chunksize=1):
+                for row in rows:
+                    yield encode(row)
+        except BrokenProcessPool:
+            self.close()   # discard the broken pool; next request rebuilds
+            raise           # transport aborts the stream (no sentinel)
+        yield encode({"done": n})
+
     def _handle_algorithms(self) -> tuple[int, dict, bytes]:
         algos = [
             {
@@ -603,9 +790,12 @@ class ServiceApp:
             "status": "ok",
             "protocol": PROTOCOL_VERSION,
             "digest_schema": DIGEST_SCHEMA_VERSION,
+            "cell_wire": CELL_WIRE_VERSION,
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "n_requests": self.n_requests,
             "workers": self.workers,
+            "cells": {"requests": self.n_cell_requests,
+                      "executed": self.n_cells},
             "cache": self.cache.stats(),
         }).encode("utf-8")
         return 200, dict(_JSON_HEADERS), body

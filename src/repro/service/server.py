@@ -2,11 +2,13 @@
 
 Deliberately dependency-free: a small hand-rolled HTTP server over
 ``asyncio.start_server`` (the container ships no web framework, and the
-protocol needs exactly four routes).  Connections are keep-alive;
+protocol needs only a handful of routes).  Connections are keep-alive;
 scheduling work runs in the event loop's default thread-pool executor so
 slow cold paths never block health checks or other clients, and ``/batch``
 additionally fans cache misses out over a process pool (see
-:mod:`repro.service.app`).
+:mod:`repro.service.app`).  Responses are written with a Content-Length,
+except bodies the app produces lazily (``POST /cells`` NDJSON rows) which
+go out with chunked transfer encoding as each cell completes.
 
 Three ways to run it::
 
@@ -49,16 +51,26 @@ class _BadRequest(Exception):
         self.status = status
 
 
-def _render(status: int, headers: dict, body: bytes,
-            keep_alive: bool) -> bytes:
+def _render_head(status: int, headers: dict, keep_alive: bool, *,
+                 length: Optional[int] = None) -> bytes:
+    """The status line + headers; ``length=None`` means a chunked
+    (streamed) body."""
     lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}"]
     out_headers = dict(headers)
     out_headers.setdefault("Content-Type", "application/json")
-    out_headers["Content-Length"] = str(len(body))
+    if length is None:
+        out_headers["Transfer-Encoding"] = "chunked"
+    else:
+        out_headers["Content-Length"] = str(length)
     out_headers["Connection"] = "keep-alive" if keep_alive else "close"
     lines.extend(f"{k}: {v}" for k, v in out_headers.items())
-    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-    return head + body
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def _render(status: int, headers: dict, body: bytes,
+            keep_alive: bool) -> bytes:
+    return _render_head(status, headers, keep_alive,
+                        length=len(body)) + body
 
 
 class ServiceServer:
@@ -172,8 +184,23 @@ class ServiceServer:
                 status, out_headers, out_body = await loop.run_in_executor(
                     None, self.app.handle, method, path, body)
                 keep_alive = headers.get("connection", "").lower() != "close"
-                writer.write(_render(status, out_headers, out_body, keep_alive))
-                await writer.drain()
+                if isinstance(out_body, (bytes, bytearray)):
+                    writer.write(_render(status, out_headers,
+                                         bytes(out_body), keep_alive))
+                    await writer.drain()
+                else:
+                    # Streamed body (an iterator of byte chunks, e.g.
+                    # /cells NDJSON rows): chunked transfer encoding,
+                    # produced lazily off-loop.
+                    completed = await self._write_stream(
+                        writer, status, out_headers, out_body, keep_alive,
+                        loop)
+                    if not completed:
+                        # The producer failed after the head was already
+                        # on the wire; the only honest signal left is an
+                        # aborted connection (no terminal chunk), which
+                        # clients detect as a truncated stream.
+                        break
                 if not keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError,
@@ -186,6 +213,38 @@ class ServiceServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    @staticmethod
+    async def _write_stream(writer: asyncio.StreamWriter, status: int,
+                            headers: dict, body_iter, keep_alive: bool,
+                            loop) -> bool:
+        """Write a lazily-produced body with chunked transfer encoding.
+
+        Each chunk is pulled from ``body_iter`` in the default executor so
+        slow cell computations never block the event loop.  Returns
+        ``False`` when the producer raised mid-stream — the caller must
+        then drop the connection (the terminal ``0`` chunk is deliberately
+        withheld so the truncation is detectable)."""
+        writer.write(_render_head(status, headers, keep_alive))
+        await writer.drain()
+        it = iter(body_iter)
+        sentinel = object()
+        while True:
+            try:
+                chunk = await loop.run_in_executor(None, next, it, sentinel)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 — producer bug/pool death
+                return False
+            if chunk is sentinel:
+                break
+            if not chunk:
+                continue
+            writer.write(b"%x\r\n" % len(chunk) + bytes(chunk) + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return True
 
     @staticmethod
     async def _read_request(reader: asyncio.StreamReader):

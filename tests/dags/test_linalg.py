@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Memory, Platform, memheft, validate_schedule
+from repro import Platform, memheft, validate_schedule
 from repro.dags.linalg import (
     DEFAULT_GPU_SPEEDUP,
     KERNEL_TIMES_MS,

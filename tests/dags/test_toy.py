@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import Memory
 from repro.dags import chain, dex, diamond, fork_join, random_weights_graph
 
 

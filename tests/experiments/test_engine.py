@@ -12,7 +12,6 @@ from repro.experiments import (
     absolute_sweep,
     cell_seed,
     comm_policy_ablation,
-    default_alphas,
     feasibility_frontier,
     frontier_sweep,
     map_cells,

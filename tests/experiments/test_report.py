@@ -17,7 +17,7 @@ class TestRenderTable:
         lines = text.splitlines()
         assert len(lines) == 4
         assert set(lines[1]) <= {"-", "+"}
-        widths = {len(l) for l in lines}
+        widths = {len(line) for line in lines}
         assert len(widths) == 1  # all rows padded to equal width
 
     def test_none_rendered_as_dash(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Memory, Platform, validate_schedule
+from repro import Platform, validate_schedule
 from repro.dags import dex, fork_join
 from repro.ilp import build_model, extract_schedule, solve_branch_and_bound
 

@@ -1,9 +1,5 @@
 """ILP model construction: sizes, fixings, consistency with known schedules."""
 
-import math
-
-import pytest
-
 from repro import Platform
 from repro.dags import chain, dex
 from repro.ilp.model import build_model
@@ -22,9 +18,9 @@ class TestModelShape:
         free = build_model(dex(), Platform(1, 1))
         bounded = build_model(dex(), Platform(1, 1, 5, 5))
         assert bounded.n_constraints > free.n_constraints
-        assert any(l.startswith("c26") for l in bounded.labels)
-        assert any(l.startswith("c27") for l in bounded.labels)
-        assert not any(l.startswith("c26") for l in free.labels)
+        assert any(lab.startswith("c26") for lab in bounded.labels)
+        assert any(lab.startswith("c27") for lab in bounded.labels)
+        assert not any(lab.startswith("c26") for lab in free.labels)
 
     def test_makespan_ub_tightens_bound(self):
         m1 = build_model(dex(), Platform(1, 1))

@@ -5,8 +5,6 @@ Small enough that the full sandwich holds within milliseconds per case:
 extracted ILP schedule always validates.
 """
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

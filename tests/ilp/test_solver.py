@@ -1,7 +1,5 @@
 """Branch-and-bound solver: paper-example optima, statuses, limits."""
 
-import math
-
 import pytest
 
 from repro import Platform, validate_schedule

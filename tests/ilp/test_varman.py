@@ -1,6 +1,5 @@
 """Variable manager / row builder plumbing."""
 
-import numpy as np
 import pytest
 
 from repro.ilp.varman import RowBuilder, VariableManager

@@ -1,0 +1,116 @@
+"""Cell wire format: exact round-trips for everything a sweep ships."""
+
+import json
+import math
+
+import pytest
+
+from repro import Platform
+from repro.dags import dex, random_dag
+from repro.experiments.engine import FrontierPoint
+from repro.experiments.sweep import ReferenceRun, reference_run
+from repro.io.json_io import from_cell_wire, to_cell_wire
+
+
+def roundtrip(value):
+    wire = to_cell_wire(value)
+    # The wire form must survive real JSON transport, not just in-memory.
+    return from_cell_wire(json.loads(json.dumps(wire)))
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -17, 2 ** 62, "", "blue", 0.0, -1.5,
+        0.1 + 0.2, 1e-308, 1.7976931348623157e308,
+    ])
+    def test_exact(self, value):
+        out = roundtrip(value)
+        assert out == value and type(out) is type(value)
+
+    def test_floats_bit_exact(self):
+        for x in [3.141592653589793, 1 / 3, 2 ** -1074]:
+            assert roundtrip(x).hex() == x.hex()
+
+    def test_non_finite_floats(self):
+        assert roundtrip(math.inf) == math.inf
+        assert roundtrip(-math.inf) == -math.inf
+        assert math.isnan(roundtrip(math.nan))
+
+
+class TestContainers:
+    def test_tuples_stay_tuples(self):
+        value = (1, "memheft", (0.5, None), [1, 2, (3,)])
+        out = roundtrip(value)
+        assert out == value
+        assert isinstance(out, tuple) and isinstance(out[2], tuple)
+        assert isinstance(out[3], list) and isinstance(out[3][2], tuple)
+
+    def test_lists_stay_lists(self):
+        out = roundtrip([None, [0.25, "x"], ()])
+        assert out == [None, [0.25, "x"], ()]
+        assert isinstance(out[2], tuple)
+
+    def test_dicts(self):
+        value = {"a": 1, "b": {"c": (2.5, None)}}
+        out = roundtrip(value)
+        assert out == value and isinstance(out["b"]["c"], tuple)
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(TypeError):
+            to_cell_wire({1: "x"})
+
+
+class TestModels:
+    def test_graph_roundtrip(self):
+        g = random_dag(size=12, rng=3)
+        out = roundtrip(g)
+        assert out.name == g.name
+        assert sorted(out.tasks()) == sorted(g.tasks())
+        assert out.n_edges == g.n_edges
+        for t in g.tasks():
+            assert out.times(t) == g.times(t)
+
+    def test_platform_roundtrip_including_inf_and_speeds(self):
+        p = Platform(n_blue=2, n_red=1, mem_blue=math.inf, mem_red=40.0,
+                     speeds=[1.0, 0.5, 2.0])
+        out = roundtrip(p)
+        assert out.proc_counts == p.proc_counts
+        assert out.capacities == p.capacities
+        assert out.speeds == p.speeds
+
+    def test_reference_run_dataclass(self):
+        ref = reference_run(dex(), Platform(1, 1))
+        out = roundtrip(ref)
+        assert isinstance(out, ReferenceRun)
+        assert out.makespan == ref.makespan
+        assert out.peaks == ref.peaks
+        assert sorted(out.graph.tasks()) == sorted(ref.graph.tasks())
+
+    def test_frontier_point_dataclass(self):
+        p = FrontierPoint(graph_name="g", algorithm="memheft",
+                          feasible_bound=4.25, infeasible_bound=4.0,
+                          n_evals=9, verified=None)
+        assert roundtrip(p) == p
+
+
+class TestErrors:
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_cell_wire(object())
+        with pytest.raises(TypeError):
+            to_cell_wire({"x": {1, 2}})
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            from_cell_wire({"__wire__": "rocket", "v": 1})
+
+    def test_unknown_dataclass_rejected(self):
+        with pytest.raises(ValueError):
+            from_cell_wire({"__wire__": "dataclass", "t": "NotAThing",
+                            "v": {}})
+
+    def test_untagged_dict_rejected(self):
+        # Plain dicts are always wrapped on the wire; a bare one is a
+        # malformed message, not a value.
+        with pytest.raises(ValueError):
+            from_cell_wire({"a": 1})

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro import Memory, Platform, memheft
+from repro import Platform, memheft
 from repro.dags import dex, lu_dag, random_dag
 from repro.io import (
     canonical_digest,

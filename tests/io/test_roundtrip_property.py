@@ -1,6 +1,5 @@
 """Property-based JSON round-trips over generated graphs and schedules."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

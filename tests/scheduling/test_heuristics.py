@@ -1,7 +1,5 @@
 """Cross-cutting behaviour of all four heuristics (DESIGN.md invariants 1-6)."""
 
-import math
-
 import pytest
 
 from repro import (

@@ -123,7 +123,6 @@ class TestProfileCompaction:
         assert p.used_at(123.25) == 0.0
 
     def test_earliest_fit_matches_bruteforce(self):
-        import itertools
         p = MemoryProfile(10.0)
         p.add(8.0, 2.0, 5.0)
         p.add(4.0, 7.0, None)

@@ -4,7 +4,6 @@ import pytest
 
 from repro import (
     InfeasibleScheduleError,
-    Memory,
     Platform,
     TaskGraph,
     memheft,

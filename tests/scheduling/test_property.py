@@ -1,10 +1,8 @@
 """Property-based tests: every heuristic, on arbitrary generated instances,
 produces schedules satisfying all model constraints (DESIGN.md §7)."""
 
-import math
-
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro import (
@@ -16,7 +14,7 @@ from repro import (
 )
 from repro.core.bounds import lower_bound
 from repro.dags import random_dag
-from repro.dags.daggen import daggen, assign_uniform_weights
+from repro.dags.daggen import daggen
 
 graph_params = st.fixed_dictionaries({
     "size": st.integers(min_value=1, max_value=24),

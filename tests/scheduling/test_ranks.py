@@ -1,7 +1,5 @@
 """Upward ranks (§5.1): hand-computed values and ordering properties."""
 
-import pytest
-
 from repro import rank_order, upward_ranks
 from repro.dags import chain, dex, fork_join
 

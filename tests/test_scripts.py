@@ -38,6 +38,16 @@ def test_runner_writes_results(tmp_path):
     assert "scale=ci" in fig11
 
 
+def test_runner_rejects_bad_hosts_cleanly():
+    out = subprocess.run(
+        [sys.executable, str(SCRIPT), "ci", "table1", "--hosts", "nocolon"],
+        capture_output=True, text=True, timeout=60, env=_env_with_repro(),
+    )
+    assert out.returncode != 0
+    assert "invalid --hosts" in out.stderr
+    assert "Traceback" not in out.stderr
+
+
 def test_runner_help_smoke():
     out = subprocess.run(
         [sys.executable, str(SCRIPT), "--help"],
@@ -45,3 +55,67 @@ def test_runner_help_smoke():
     )
     assert out.returncode == 0, out.stderr
     assert "usage" in out.stdout.lower()
+    assert "--hosts" in out.stdout
+
+
+# ----------------------------------------------------------------------
+# the CI speedup gate (scripts/check_speedup.py)
+# ----------------------------------------------------------------------
+def _write_reports(tmp_path, sweep_speedup=2.0, batch_speedup=2.0,
+                   dist_speedup=2.0, identical=True):
+    import json
+    scaling = tmp_path / "BENCH_scaling.json"
+    scaling.write_text(json.dumps({
+        "cpu_count": 4,
+        "sweep": {"jobs": 4, "serial_s": 10.0,
+                  "parallel_s": 10.0 / sweep_speedup,
+                  "speedup": sweep_speedup, "identical_cells": identical},
+    }))
+    service = tmp_path / "BENCH_service.json"
+    service.write_text(json.dumps({
+        "cpu_count": 4,
+        "batch": {"workers": 4, "serial_s": 8.0,
+                  "workers_s": 8.0 / batch_speedup,
+                  "speedup": batch_speedup, "identical_results": identical},
+    }))
+    dist = tmp_path / "BENCH_distributed.json"
+    dist.write_text(json.dumps({
+        "cpu_count": 4, "n_hosts": 2, "workers_per_host": 2,
+        "sweep": {"serial_s": 6.0, "distributed_s": 6.0 / dist_speedup,
+                  "speedup": dist_speedup, "identical_cells": identical},
+    }))
+    return scaling, service, dist
+
+
+def _gate(argv):
+    sys.path.insert(0, str(REPO / "scripts"))
+    try:
+        import check_speedup
+        return check_speedup.main(argv)
+    finally:
+        sys.path.pop(0)
+
+
+def test_speedup_gate_passes(tmp_path):
+    scaling, service, dist = _write_reports(tmp_path)
+    assert _gate(["--scaling", str(scaling), "--service", str(service),
+                  "--distributed", str(dist)]) == 0
+
+
+def test_speedup_gate_fails_below_threshold(tmp_path, capsys):
+    scaling, service, dist = _write_reports(tmp_path, batch_speedup=1.1)
+    assert _gate(["--scaling", str(scaling), "--service", str(service),
+                  "--distributed", str(dist)]) == 1
+    assert "SPEEDUP GATE FAILED" in capsys.readouterr().err
+
+
+def test_speedup_gate_fails_on_divergent_cells(tmp_path):
+    scaling, service, dist = _write_reports(tmp_path, identical=False)
+    assert _gate(["--scaling", str(scaling)]) == 1
+
+
+def test_speedup_gate_threshold_flag(tmp_path):
+    scaling, service, dist = _write_reports(tmp_path, sweep_speedup=1.3,
+                                            batch_speedup=1.3)
+    assert _gate(["--scaling", str(scaling), "--service", str(service),
+                  "--min-speedup", "1.25"]) == 0

@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro._util import EPS, as_rng, feq, fle, fmt_num
 
