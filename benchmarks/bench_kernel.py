@@ -1,0 +1,440 @@
+"""EST kernel backends: vectorized numpy batch vs scalar vs seed kernel.
+
+Script-mode benchmark for the pluggable EST kernel
+(:mod:`repro.scheduling.kernel`) and the DAG-scoped candidate
+invalidation, emitted into a machine-readable ``BENCH_kernel.json``
+(schema in ``benchmarks/README.md``, gated in CI by
+``scripts/check_speedup.py --kernel``)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py [--json PATH] \
+        [--n N] [--rounds R]
+
+Four sections, all on the frontier workload that motivates batching — a
+two-layer graph whose scheduled producer half feeds an ``n/2``-wide ready
+frontier, the candidate storm a selector faces after a profile-touching
+commit:
+
+* **vs_seed** — the numpy batch kernel against the *seed* incremental
+  kernel (frozen-dataclass breakdowns, ``(task, class)`` tuple-key fit
+  memo, per-evaluation ``min()`` over class processors — reproduced here
+  by :class:`SeedKernel` the way ``bench_scaling.py`` reproduces
+  ``LegacySuffixMaxProfile``).  This is the headline number: >= 5x at
+  n=2000 single-thread, gated >= 3x in CI.
+* **batch** — numpy vs the *current* optimized scalar kernel on the same
+  ``evaluate_class_batch`` entry point (the production batch path used by
+  the selectors' deferred full-evaluation flush).
+* **end_to_end** — the three memory-aware heuristics run whole on the
+  frontier graph, scalar vs numpy backend.
+* **invalidation** — DAG-scoped candidate invalidation vs the coarse
+  per-class dirty rule: full kernel re-evaluations counted by
+  ``SelectorStats`` on wide DAGs (>= 2x fewer on unbounded profiles);
+  the bounded row is reported too, where every commit really does touch
+  the profile and the ratio is honestly ~1.0.
+
+Every compared pair is asserted bit-identical (breakdown-for-breakdown
+or placement-for-placement) before a single timing is recorded.
+Timings are interleaved best-of-``--rounds`` minima, so machine noise
+hits both sides alike.
+"""
+
+import argparse
+import json
+import math
+import os
+import platform as platform_mod
+import random
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.core.graph import TaskGraph
+from repro.core.platform import Platform
+from repro.dags.daggen import random_dag
+from repro.scheduling.candidates import MinEFTSelector, SufferageSelector
+from repro.scheduling.heft import heft
+from repro.scheduling.kernel import NumpyKernel, ScalarKernel, available_backends
+from repro.scheduling.memheft import memheft
+from repro.scheduling.memminmin import memminmin
+from repro.scheduling.state import SchedulerState
+from repro.scheduling.sufferage import memsufferage
+
+HEURISTICS = (memheft, memminmin, memsufferage)
+
+#: Heterogeneous per-processor speeds (seeded, reproducible).
+def _speeds(n_procs: int, seed: int = 7) -> list:
+    rnd = random.Random(seed)
+    return [round(rnd.uniform(0.5, 4.0), 2) for _ in range(n_procs)]
+
+
+# ----------------------------------------------------------------------
+# the frontier workload
+# ----------------------------------------------------------------------
+def two_layer(n: int, rng: int = 0) -> TaskGraph:
+    """``n/2`` producers feeding an ``n/2``-wide consumer frontier."""
+    rnd = random.Random(rng)
+    g = TaskGraph(f"frontier{n}")
+    half = n // 2
+    for t in range(n):
+        g.add_task(t, w_blue=rnd.uniform(1, 100), w_red=rnd.uniform(1, 100))
+    for child in range(half, n):
+        for parent in rnd.sample(range(half), k=rnd.randint(1, 3)):
+            g.add_dependency(parent, child, size=rnd.uniform(1, 50),
+                             comm=rnd.uniform(1, 50))
+    return g
+
+
+#: (label, (n_blue, n_red), heterogeneous?, bounded?)
+CONFIGS = (
+    ("uniform-2+2-bounded", (2, 2), False, True),
+    ("hetero-6+6-bounded", (6, 6), True, True),
+    ("uniform-2+2-unbounded", (2, 2), False, False),
+)
+
+
+def _make_platform(procs, hetero, bounded, graph):
+    nb, nr = procs
+    speeds = _speeds(nb + nr) if hetero else None
+    if not bounded:
+        return Platform(nb, nr, speeds=speeds)
+    base = heft(graph, Platform(nb, nr))
+    cap = 1.1 * max(base.meta["peak_blue"], base.meta["peak_red"])
+    return Platform(nb, nr, cap, cap, speeds=speeds)
+
+
+def _frontier_state(graph, platform):
+    """Schedule the producer half; return (state, ready frontier)."""
+    state = SchedulerState(graph, platform)
+    topo = {t: i for i, t in enumerate(graph.topological_order())}
+    ready = sorted(state.ready_roots(), key=topo.__getitem__)
+    half = graph.n_tasks // 2
+    while any(t < half for t in ready):
+        bd = None
+        for t in ready:
+            if t >= half:
+                continue
+            bd = state.best_est(t)
+            if bd is not None:
+                break
+        if bd is None:
+            break
+        state.commit(bd)
+        ready = sorted([t for t in ready if t != bd.task]
+                       + state.pop_newly_ready(), key=topo.__getitem__)
+    return state, ready
+
+
+def _clear_memos(state):
+    """Reset the EST memos so every round re-pays the full candidate
+    storm (frontier unchanged, caches cold — the post-commit worst case)."""
+    for slot in state._fit:
+        slot[0] = -1
+        slot[1].clear()
+    for key in list(state._kernel_scratch):
+        if isinstance(key, tuple) and key[0] == "sfx":
+            del state._kernel_scratch[key]
+
+
+# ----------------------------------------------------------------------
+# the seed kernel, reproduced
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SeedBreakdown:
+    """The seed's frozen-dataclass EST breakdown (construction cost and
+    all), field-compatible with :class:`repro.scheduling.kernel.ESTBreakdown`."""
+
+    task: object
+    memory: object
+    resource: float
+    precedence: float
+    task_mem: float
+    comm_mem: float
+    cmax: float
+    est: float
+    eft: float
+    comm_fit: float = 0.0
+    duration: float = math.inf
+    proc: int = -1
+
+
+class SeedKernel:
+    """The seed repo's incremental EST kernel, verbatim: per-(task, class)
+    evaluation with a ``(task, idx)`` tuple-key fit memo, a per-evaluation
+    ``min()`` generator over the class processors, the Python
+    finish-choice loop for heterogeneous classes, and frozen-dataclass
+    breakdown construction.  Shares the state's ``_precedence_parts``
+    memo (which the seed had too) so the comparison isolates the kernel."""
+
+    def __init__(self, state):
+        self._fit = {}
+        self._uniform = [len(set(state.platform.class_speeds(m))) <= 1
+                         for m in state.memories]
+
+    def evaluate(self, state, task, memory):
+        platform = state.platform
+        if not state.is_ready(task) or platform.n_procs_of(memory) == 0:
+            inf = math.inf
+            return SeedBreakdown(task, memory, inf, inf, inf, inf, 0.0,
+                                 inf, inf)
+        idx = memory.index
+        precedence, cmax, cross_in, need_task = \
+            state._precedence_parts(task)[idx]
+        profile = state.mem[memory]
+        key = (task, idx)
+        cached = self._fit.get(key)
+        if cached is not None and cached[0] == profile.version:
+            task_mem, comm_fit = cached[1], cached[2]
+        else:
+            task_mem = profile.earliest_fit(need_task)
+            comm_fit = (profile.earliest_fit(cross_in)
+                        if cross_in > 0.0 or cmax > 0.0 else 0.0)
+            self._fit[key] = (profile.version, task_mem, comm_fit)
+        comm_mem = comm_fit + cmax if cross_in > 0.0 or cmax > 0.0 else 0.0
+        w = state.graph.w(task, memory)
+        avail = state.avail
+        if self._uniform[idx]:
+            resource = min(avail[p] for p in platform.procs(memory))
+            est = max(resource, precedence, task_mem, comm_mem)
+            duration = w / platform.max_class_speeds[idx]
+            proc = -1
+        else:
+            floor = max(precedence, task_mem, comm_mem)
+            speeds = platform.speeds
+            proc = -1
+            best_finish = math.inf
+            resource = -math.inf
+            duration = math.inf
+            for p in platform.procs(memory):
+                a = avail[p]
+                dur = w / speeds[p]
+                finish = (a if a > floor else floor) + dur
+                if finish < best_finish or (finish == best_finish
+                                            and a > resource):
+                    proc, best_finish, resource, duration = p, finish, a, dur
+            est = max(floor, resource)
+        eft = est + duration if math.isfinite(est) else math.inf
+        return SeedBreakdown(task, memory, resource, precedence, task_mem,
+                             comm_mem, cmax, est, eft, comm_fit,
+                             duration, proc)
+
+
+_FIELDS = ("task", "resource", "precedence", "task_mem", "comm_mem", "cmax",
+           "est", "eft", "comm_fit", "duration", "proc")
+
+
+def _snap_bd(bd):
+    return tuple(getattr(bd, f) for f in _FIELDS)
+
+
+# ----------------------------------------------------------------------
+# sections
+# ----------------------------------------------------------------------
+def _duel(run_a, run_b, rounds):
+    """Interleaved best-of-``rounds``: (best_a, best_b) wall seconds."""
+    best_a = best_b = math.inf
+    for _ in range(rounds):
+        best_a = min(best_a, run_a())
+        best_b = min(best_b, run_b())
+    return best_a, best_b
+
+
+def bench_vs_seed(n, rounds):
+    rows = []
+    for label, procs, hetero, bounded in CONFIGS:
+        graph = two_layer(n)
+        platform = _make_platform(procs, hetero, bounded, graph)
+        state, ready = _frontier_state(graph, platform)
+        seed = SeedKernel(state)
+        vec = NumpyKernel()
+        memories = state.memories
+
+        def run_seed():
+            seed._fit.clear()
+            _clear_memos(state)
+            t0 = time.perf_counter()
+            out = [[seed.evaluate(state, t, m) for t in ready]
+                   for m in memories]
+            dt = time.perf_counter() - t0
+            run_seed.out = out
+            return dt
+
+        def run_numpy():
+            _clear_memos(state)
+            t0 = time.perf_counter()
+            out = [vec.evaluate_class_batch(state, ready, m)
+                   for m in memories]
+            dt = time.perf_counter() - t0
+            run_numpy.out = out
+            return dt
+
+        run_seed(), run_numpy()
+        assert ([[_snap_bd(b) for b in cls] for cls in run_seed.out]
+                == [[_snap_bd(b) for b in cls] for cls in run_numpy.out])
+        ds, dn = _duel(run_seed, run_numpy, rounds)
+        rows.append({"config": label, "n": n, "batch_size": len(ready),
+                     "seed_ms": round(ds * 1e3, 3),
+                     "numpy_ms": round(dn * 1e3, 3),
+                     "speedup": round(ds / dn, 2), "identical": True})
+        print(f"  vs_seed {label}: seed={ds*1e3:.2f}ms numpy={dn*1e3:.2f}ms "
+              f"speedup={ds/dn:.2f}x (B={len(ready)})")
+    return rows
+
+
+def bench_batch(n, rounds):
+    rows = []
+    for label, procs, hetero, bounded in CONFIGS:
+        graph = two_layer(n)
+        platform = _make_platform(procs, hetero, bounded, graph)
+        state, ready = _frontier_state(graph, platform)
+        scalar, vec = ScalarKernel(), NumpyKernel()
+        memories = state.memories
+
+        def run(kernel):
+            _clear_memos(state)
+            t0 = time.perf_counter()
+            out = [kernel.evaluate_class_batch(state, ready, m)
+                   for m in memories]
+            return time.perf_counter() - t0, out
+
+        (_, out_s), (_, out_n) = run(scalar), run(vec)
+        assert out_s == out_n
+        ds, dn = _duel(lambda: run(scalar)[0], lambda: run(vec)[0], rounds)
+        rows.append({"config": label, "n": n, "batch_size": len(ready),
+                     "scalar_ms": round(ds * 1e3, 3),
+                     "numpy_ms": round(dn * 1e3, 3),
+                     "speedup": round(ds / dn, 2), "identical": True})
+        print(f"  batch {label}: scalar={ds*1e3:.2f}ms numpy={dn*1e3:.2f}ms "
+              f"speedup={ds/dn:.2f}x (B={len(ready)})")
+    return rows
+
+
+def bench_end_to_end(n):
+    rows = []
+    graph = two_layer(n)
+    platform = _make_platform((2, 2), False, True, graph)
+
+    def snap(schedule):
+        return [(t, p.proc, p.memory.index, p.start, p.finish)
+                for t in graph.tasks()
+                for p in (schedule.placement(t),)]
+
+    for fn in HEURISTICS:
+        ds = dn = math.inf
+        a = b = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            a = fn(graph, platform, backend="scalar")
+            ds = min(ds, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            b = fn(graph, platform, backend="numpy")
+            dn = min(dn, time.perf_counter() - t0)
+        assert snap(a) == snap(b)
+        rows.append({"heuristic": fn.__name__, "n": n,
+                     "scalar_ms": round(ds * 1e3, 1),
+                     "numpy_ms": round(dn * 1e3, 1),
+                     "speedup": round(ds / dn, 2), "identical": True})
+        print(f"  end_to_end {fn.__name__}: scalar={ds*1e3:.1f}ms "
+              f"numpy={dn*1e3:.1f}ms speedup={ds/dn:.2f}x")
+    return rows
+
+
+def _drive_counting(graph, platform, selector_cls, dag_scoped):
+    state = SchedulerState(graph, platform, backend="scalar")
+    order = {t: i for i, t in enumerate(graph.topological_order())}
+    selector = selector_cls(state, order, dag_scoped=dag_scoped)
+    for task in graph.roots():
+        selector.push(task)
+    while len(selector):
+        best = selector.select()
+        if best is None:
+            break
+        state.commit(best)
+        selector.remove(best.task)
+        for task in state.pop_newly_ready():
+            selector.push(task)
+    snap = {t: (p.proc, p.memory.index, p.start, p.finish)
+            for t in graph.tasks() if state.is_scheduled(t)
+            for p in (state.schedule.placement(t),)}
+    return snap, selector.stats
+
+
+def bench_invalidation(n):
+    rows = []
+    graph = random_dag(size=n, width=0.8, rng=1)
+    for bound_label, platform in (
+            ("unbounded", Platform(2, 2)),
+            ("bounded-1.1x", None)):
+        if platform is None:
+            base = heft(graph, Platform(2, 2))
+            cap = 1.1 * max(base.meta["peak_blue"], base.meta["peak_red"])
+            platform = Platform(2, 2, cap, cap)
+        for selector_cls in (MinEFTSelector, SufferageSelector):
+            scoped_snap, scoped = _drive_counting(graph, platform,
+                                                  selector_cls, True)
+            coarse_snap, coarse = _drive_counting(graph, platform,
+                                                  selector_cls, False)
+            assert scoped_snap == coarse_snap
+            ratio = (coarse.n_full_evals / scoped.n_full_evals
+                     if scoped.n_full_evals else math.inf)
+            rows.append({"selector": selector_cls.__name__,
+                         "bound": bound_label, "n": n, "width": 0.8,
+                         "scoped_full_evals": scoped.n_full_evals,
+                         "coarse_full_evals": coarse.n_full_evals,
+                         "scoped_refreshes": scoped.n_refreshes,
+                         "eval_ratio": round(ratio, 2), "identical": True})
+            print(f"  invalidation {selector_cls.__name__} {bound_label}: "
+                  f"scoped={scoped.n_full_evals} coarse={coarse.n_full_evals}"
+                  f" ratio={ratio:.2f}x")
+    return rows
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="EST kernel backend benchmarks; emits BENCH_kernel.json")
+    parser.add_argument("--n", type=int, default=2000,
+                        help="graph size for the frontier workload "
+                             "(default 2000, the acceptance point)")
+    parser.add_argument("--rounds", type=int, default=12,
+                        help="interleaved timing rounds (minima reported)")
+    parser.add_argument("--inval-n", type=int, default=400,
+                        help="graph size for the invalidation section")
+    parser.add_argument("--json", default="BENCH_kernel.json",
+                        help="output path ('' disables)")
+    args = parser.parse_args(argv)
+
+    if "numpy" not in available_backends():
+        print("numpy not installed; kernel benchmark needs both backends",
+              file=sys.stderr)
+        return 1
+
+    report = {
+        "bench": "kernel",
+        "schema_version": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "machine": platform_mod.platform(),
+        "cpu_count": os.cpu_count(),
+        "n": args.n,
+    }
+    print("numpy batch kernel vs seed incremental kernel "
+          "(bit-identical breakdowns asserted)")
+    report["vs_seed"] = bench_vs_seed(args.n, args.rounds)
+    print("numpy batch kernel vs current scalar kernel")
+    report["batch"] = bench_batch(args.n, args.rounds)
+    print("end-to-end heuristics, scalar vs numpy backend "
+          "(bit-identical schedules asserted)")
+    report["end_to_end"] = bench_end_to_end(args.n)
+    print("DAG-scoped invalidation vs coarse per-class rule "
+          "(identical schedules asserted)")
+    report["invalidation"] = bench_invalidation(args.inval_n)
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,12 +12,18 @@ ROADMAP's long-open "needs a multi-core runner" item):
 * ``BENCH_distributed.json`` (optional) — the multi-host sweep must at
   least beat ``--min-distributed`` (HTTP + wire encoding overhead makes
   this gate softer) and be cell-identical.
+* ``BENCH_kernel.json`` — the vectorized numpy EST kernel must beat the
+  seed incremental kernel by ``--min-kernel`` on every frontier config
+  (a single-thread gate, so it holds on one-core runners too), with
+  bit-identical breakdowns, and the batch/end-to-end sections must all
+  be marked identical.
 
 Exit status 0 only when every present report passes; failures list every
 violated gate.  Usage::
 
     python scripts/check_speedup.py --scaling BENCH_scaling.json \
-        --service BENCH_service.json --distributed BENCH_distributed.json
+        --service BENCH_service.json --distributed BENCH_distributed.json \
+        --kernel BENCH_kernel.json
 """
 
 from __future__ import annotations
@@ -86,6 +92,37 @@ def check_report(kind: str, path: str, min_speedup: float) -> list[str]:
     return problems
 
 
+def check_kernel_report(path: str, min_speedup: float) -> list[str]:
+    """Gate ``BENCH_kernel.json``: every ``vs_seed`` row (numpy batch
+    kernel vs the seed incremental kernel) must clear ``min_speedup``
+    with bit-identical breakdowns, and every other compared section must
+    be flagged identical."""
+    report = json.loads(Path(path).read_text())
+    rows = report.get("vs_seed")
+    if not rows:
+        return [f"{path}: no 'vs_seed' section — run bench_kernel.py"]
+    problems = []
+    for row in rows:
+        if not row.get("identical"):
+            problems.append(f"{path}: vs_seed[{row.get('config')}] "
+                            "breakdowns differ between kernels")
+        if row["speedup"] < min_speedup:
+            problems.append(
+                f"{path}: kernel vs_seed[{row['config']}] speedup "
+                f"{row['speedup']:.2f}x < required {min_speedup:g}x "
+                f"(batch={row.get('batch_size')}, n={row.get('n')})")
+    for section in ("batch", "end_to_end", "invalidation"):
+        for row in report.get(section, ()):
+            if not row.get("identical"):
+                problems.append(f"{path}: {section} row {row} not marked "
+                                "identical")
+    if not problems:
+        worst = min(row["speedup"] for row in rows)
+        print(f"kernel   vs_seed : {worst:.2f}x >= {min_speedup:g}x "
+              f"across {len(rows)} configs (single-thread) OK")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.split("\n\n")[0])
@@ -95,16 +132,23 @@ def main(argv=None) -> int:
                         help="BENCH_service.json to gate")
     parser.add_argument("--distributed", metavar="PATH",
                         help="BENCH_distributed.json to gate")
+    parser.add_argument("--kernel", metavar="PATH",
+                        help="BENCH_kernel.json to gate")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required parallel-vs-serial factor for the "
                              "in-process paths (default: 1.5)")
     parser.add_argument("--min-distributed", type=float, default=1.2,
                         help="required factor for the multi-host sweep "
                              "(softer: pays HTTP + wire overhead)")
+    parser.add_argument("--min-kernel", type=float, default=3.0,
+                        help="required numpy-vs-seed kernel factor "
+                             "(bench target is 5x; CI gates the noise-"
+                             "tolerant 3x)")
     args = parser.parse_args(argv)
-    if not (args.scaling or args.service or args.distributed):
+    if not (args.scaling or args.service or args.distributed
+            or args.kernel):
         parser.error("nothing to check: pass --scaling/--service/"
-                     "--distributed")
+                     "--distributed/--kernel")
 
     problems: list[str] = []
     if args.scaling:
@@ -114,6 +158,8 @@ def main(argv=None) -> int:
     if args.distributed:
         problems += check_report("distributed", args.distributed,
                                  args.min_distributed)
+    if args.kernel:
+        problems += check_kernel_report(args.kernel, args.min_kernel)
     for p in problems:
         print(f"SPEEDUP GATE FAILED: {p}", file=sys.stderr)
     if not problems:

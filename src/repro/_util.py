@@ -1,10 +1,25 @@
-"""Small shared helpers (tolerances, RNG coercion)."""
+"""Small shared helpers (tolerances, RNG coercion).
+
+``numpy`` is an *optional* dependency of the core library: the scheduling
+engine runs on the pure-Python scalar kernel without it (the vectorized
+kernel backend and the RNG-driven DAG generators are the only consumers).
+The import is guarded here once; everything else checks :data:`HAS_NUMPY`
+or calls :func:`require_numpy` at the point of use.
+"""
 
 from __future__ import annotations
 
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
-import numpy as np
+try:
+    import numpy as np
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy  # noqa: F401
 
 #: Absolute tolerance used for every floating-point comparison of times and
 #: memory amounts throughout the library.  Task times and file sizes in the
@@ -12,14 +27,25 @@ import numpy as np
 #: difference while absorbing accumulated rounding error.
 EPS: float = 1e-9
 
-RngLike = Union[None, int, np.random.Generator]
+RngLike = Union[None, int, "numpy.random.Generator"]
 
 
-def as_rng(rng: RngLike) -> np.random.Generator:
+def require_numpy(feature: str):
+    """Return the ``numpy`` module, or raise a helpful error when the
+    optional dependency is missing."""
+    if not HAS_NUMPY:
+        raise ModuleNotFoundError(
+            f"{feature} requires numpy, which is not installed; "
+            f"the scalar scheduling kernel works without it")
+    return np
+
+
+def as_rng(rng: RngLike) -> "numpy.random.Generator":
     """Coerce ``None`` / seed / Generator into a :class:`numpy.random.Generator`."""
-    if isinstance(rng, np.random.Generator):
+    _np = require_numpy("RNG coercion (as_rng)")
+    if isinstance(rng, _np.random.Generator):
         return rng
-    return np.random.default_rng(rng)
+    return _np.random.default_rng(rng)
 
 
 def feq(a: float, b: float, eps: float = EPS) -> bool:

@@ -138,7 +138,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     if not _check_classes(graph, platform):
         return 2
     try:
-        schedule = scheduler(graph, platform)
+        schedule = scheduler(graph, platform, backend=args.kernel)
     except InfeasibleScheduleError as exc:
         print(f"INFEASIBLE: {exc}", file=sys.stderr)
         return 2
@@ -351,6 +351,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("schedule", help="schedule a graph with a heuristic")
     p.add_argument("graph", help="graph JSON file")
     p.add_argument("--algo", choices=sorted(SCHEDULERS), default="memheft")
+    p.add_argument("--kernel", choices=("auto", "scalar", "numpy"),
+                   default=None,
+                   help="EST kernel backend (default: MEMSCHED_KERNEL env "
+                        "or auto-detect; results are bit-identical)")
     _add_platform_args(p)
     p.add_argument("--gantt", action="store_true",
                    help="ASCII Gantt chart + memory sparklines")

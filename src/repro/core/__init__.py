@@ -1,13 +1,13 @@
-"""Core model: platform, task graph, schedules, memory profiles, validation."""
+"""Core model: platform, task graph, schedules, memory profiles, validation.
 
-from .bounds import (
-    critical_path_lower_bound,
-    lower_bound,
-    memory_lower_bound,
-    schedulable_memory,
-    split_work_lower_bound,
-    work_lower_bound,
-)
+The makespan lower bounds (:mod:`repro.core.bounds`) depend on
+``numpy``/``scipy`` (the LP of the split-work bound), which are *optional*
+dependencies of the core library — they are re-exported lazily (PEP 562)
+so ``import repro`` works on a numpy-less interpreter and only touching a
+bound symbol raises the helpful :func:`repro._util.require_numpy` style
+error.
+"""
+
 from .graph import TaskGraph
 from .memory_profile import MemoryProfile
 from .platform import MEMORIES, Memory, Platform
@@ -21,6 +21,16 @@ from .validation import (
     memory_peaks,
     memory_usage,
     validate_schedule,
+)
+
+#: Symbols served lazily from :mod:`repro.core.bounds` (numpy/scipy).
+_BOUNDS_EXPORTS = (
+    "critical_path_lower_bound",
+    "lower_bound",
+    "memory_lower_bound",
+    "schedulable_memory",
+    "split_work_lower_bound",
+    "work_lower_bound",
 )
 
 __all__ = [
@@ -50,3 +60,14 @@ __all__ = [
     "format_trace",
     "memory_timeline",
 ]
+
+
+def __getattr__(name: str):
+    if name in _BOUNDS_EXPORTS:
+        from . import bounds
+        return getattr(bounds, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(globals()))

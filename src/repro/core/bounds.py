@@ -25,8 +25,11 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-from scipy.optimize import linprog
+try:  # the LP bound is optional: numpy + scipy may be absent
+    import numpy as np
+    from scipy.optimize import linprog
+except ModuleNotFoundError:  # pragma: no cover - exercised in the
+    np = linprog = None      # no-numpy CI leg (tests/test_no_numpy.py)
 
 from typing import Optional
 
@@ -87,6 +90,11 @@ def split_work_lower_bound(graph: TaskGraph, platform: Platform) -> float:
     Degenerates gracefully when one resource class is empty, and
     generalises to k classes with per-class fractions ``x_{i,c}``.
     """
+    if linprog is None:
+        raise ImportError(
+            "split_work_lower_bound needs numpy and scipy (the LP bound); "
+            "install them or use critical_path_lower_bound / "
+            "work_lower_bound / lower_bound, which degrade gracefully")
     tasks = list(graph.tasks())
     n = len(tasks)
     if n == 0:
@@ -154,12 +162,15 @@ def _split_work_k_classes(graph: TaskGraph, platform: Platform,
 
 
 def lower_bound(graph: TaskGraph, platform: Platform) -> float:
-    """Best available makespan lower bound (max of all bounds)."""
-    return max(
-        critical_path_lower_bound(graph, platform),
-        work_lower_bound(graph, platform),
-        split_work_lower_bound(graph, platform),
-    )
+    """Best available makespan lower bound (max of all bounds).
+
+    Without numpy/scipy the LP split-work term is skipped — the result is
+    still a valid (just possibly looser) lower bound."""
+    best = max(critical_path_lower_bound(graph, platform),
+               work_lower_bound(graph, platform))
+    if linprog is not None:
+        best = max(best, split_work_lower_bound(graph, platform))
+    return best
 
 
 def memory_lower_bound(graph: TaskGraph) -> float:

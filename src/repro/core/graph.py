@@ -36,6 +36,64 @@ ATTR_SIZE = "size"
 ATTR_COMM = "comm"
 
 
+class FlatGraph:
+    """Contiguous array-of-structs view of a :class:`TaskGraph`.
+
+    Rows are tasks in topological order; adjacency is CSR-encoded with the
+    *exact* edge iteration order of :meth:`TaskGraph.parents` /
+    :meth:`TaskGraph.children`, so a kernel walking the flat arrays
+    accumulates floating-point sums in the same order — and hence to the
+    same bits — as one walking the networkx adjacency.  Built once per
+    :class:`~repro.scheduling.state.SchedulerState` via
+    :meth:`TaskGraph.flatten` (cached on the graph, invalidated by
+    mutation); everything here is immutable plain-Python data, shared
+    freely between states and kernel backends.
+    """
+
+    __slots__ = ("order", "index", "parent_ptr", "parent_row", "parent_comm",
+                 "parent_size", "child_ptr", "child_row", "out_size", "times")
+
+    def __init__(self, graph: "TaskGraph") -> None:
+        order = graph.topological_order()
+        index = {t: i for i, t in enumerate(order)}
+        n = len(order)
+        parent_ptr = [0] * (n + 1)
+        parent_row: list[int] = []
+        parent_comm: list[float] = []
+        parent_size: list[float] = []
+        child_ptr = [0] * (n + 1)
+        child_row: list[int] = []
+        out_size = [0.0] * n
+        times: list[tuple[float, ...]] = [()] * n
+        for i, task in enumerate(order):
+            times[i] = graph.times(task)
+            for parent in graph.parents(task):
+                parent_row.append(index[parent])
+                parent_comm.append(graph.comm(parent, task))
+                parent_size.append(graph.size(parent, task))
+            parent_ptr[i + 1] = len(parent_row)
+            total = 0.0
+            for child in graph.children(task):
+                child_row.append(index[child])
+                total += graph.size(task, child)
+            child_ptr[i + 1] = len(child_row)
+            out_size[i] = total
+        self.order = order
+        self.index = index
+        self.parent_ptr = parent_ptr
+        self.parent_row = parent_row
+        self.parent_comm = parent_comm
+        self.parent_size = parent_size
+        self.child_ptr = child_ptr
+        self.child_row = child_row
+        self.out_size = out_size
+        self.times = times
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.order)
+
+
 class TaskGraph:
     """Directed acyclic task graph with per-class processing times and
     file edges."""
@@ -47,6 +105,7 @@ class TaskGraph:
         self.n_classes = n_classes
         self._g = nx.DiGraph()
         self._topo_cache: Optional[tuple[Task, ...]] = None
+        self._flat_cache: Optional[FlatGraph] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -81,6 +140,7 @@ class TaskGraph:
             raise ValueError(f"processing times of {task!r} must be finite and >= 0")
         self._g.add_node(task, **{ATTR_TIMES: times})
         self._topo_cache = None
+        self._flat_cache = None
         return task
 
     def add_dependency(self, u: Task, v: Task, size: float = 0.0, comm: float = 0.0) -> None:
@@ -97,6 +157,7 @@ class TaskGraph:
         # a per-edge reachability test would make graph construction quadratic.
         self._g.add_edge(u, v, **{ATTR_SIZE: float(size), ATTR_COMM: float(comm)})
         self._topo_cache = None
+        self._flat_cache = None
 
     # ------------------------------------------------------------------
     # basic queries
@@ -208,6 +269,16 @@ class TaskGraph:
             except nx.NetworkXUnfeasible as exc:
                 raise ValueError("task graph contains a cycle") from exc
         return self._topo_cache
+
+    def flatten(self) -> FlatGraph:
+        """The (cached) :class:`FlatGraph` array view of this graph.
+
+        Rebuilt lazily after any mutation; raises ``ValueError`` on cyclic
+        graphs (the flattening is row-ordered by :meth:`topological_order`).
+        """
+        if self._flat_cache is None:
+            self._flat_cache = FlatGraph(self)
+        return self._flat_cache
 
     def ancestors(self, task: Task) -> set[Task]:
         return nx.ancestors(self._g, task)

@@ -136,7 +136,7 @@ class Platform:
     """
 
     __slots__ = ("proc_counts", "capacities", "speeds", "_proc_ranges",
-                 "uniform_classes", "max_class_speeds")
+                 "uniform_classes", "max_class_speeds", "proc_classes")
 
     def __init__(self,
                  n_blue: Union[int, Sequence[int]] = 1,
@@ -173,6 +173,11 @@ class Platform:
             ranges.append(range(start, start + n))
             start += n
         object.__setattr__(self, "_proc_ranges", tuple(ranges))
+        # Inverse map: global processor index -> memory-class index (the
+        # flat layout the scheduling kernel and avail structures index by).
+        object.__setattr__(self, "proc_classes",
+                           tuple(c for c, n in enumerate(counts)
+                                 for _ in range(n)))
 
         n_procs = sum(counts)
         if speeds is None:
@@ -280,12 +285,7 @@ class Platform:
         """Memory a global processor index operates on."""
         if not 0 <= proc < self.n_procs:
             raise ValueError(f"processor index {proc} out of range [0, {self.n_procs})")
-        acc = 0
-        for c, n in enumerate(self.proc_counts):
-            acc += n
-            if proc < acc:
-                return Memory(c)
-        raise AssertionError("unreachable")  # pragma: no cover
+        return Memory(self.proc_classes[proc])
 
     def class_of(self, proc: int) -> int:
         """Memory-class index of a global processor index."""

@@ -27,20 +27,50 @@ the wrong task.  :class:`MinEFTSelector` is built on two observations:
   ones, where a per-processor finish argmin decides the breakdown — fully
   determines a candidate's per-class breakdown; the touch serial comes
   from the commit-side dirty tracking of :meth:`SchedulerState.commit`,
-  which records exactly which classes each commit mutated.  An evaluation
-  stamped with those values is reused verbatim until one of them moves,
-  and a re-evaluation only touches the classes that actually changed.
+  which records exactly which classes each commit mutated.
+
+**Scoped invalidation.**  A moved stamp component does not necessarily
+demand a full kernel re-evaluation.  Per (candidate, class) the selectors
+distinguish three cases:
+
+* *reuse* — the stamp component is unchanged: the cached
+  :class:`ESTBreakdown` is returned outright;
+* *refresh* — the class's touch serial is unchanged (only processor avail
+  moved) **or** its capacity is infinite (the staircase queries of an
+  unbounded profile are identically zero, so profile mutations cannot
+  affect the breakdown): the memory components are reused verbatim and
+  only the O(procs) resource half is recomputed — bit-identical to a full
+  evaluation because the kernel itself computes
+  ``est = max(resource, floor)`` from exactly these parts;
+* *full* — the class's finite-capacity profile was mutated since the last
+  evaluation: only then does the candidate go back through the EST kernel
+  (and for a vectorized backend, all such candidates of a class go through
+  it as **one batch**).
+
+A commit therefore invalidates a candidate's class only when it touched
+that class's *finite* memory profile — commits in unrelated regions of the
+DAG (or any commit at all on unbounded classes) cost at most an O(1)
+resource refresh, replacing the former coarse rule that re-evaluated every
+candidate of every touched class.  ``dag_scoped=False`` keeps the coarse
+rule for A/B benchmarks; :class:`SelectorStats` counts the three outcomes
+either way.
 
 Selection pops candidates in lower-bound order, re-evaluates each exactly
 (through the incremental kernel, which serves untouched classes from its
 version-keyed memo), and stops once the heap top's bound exceeds the best
-exact EFT ``m`` by more than ``2*EPS``.  The naive scan's order-dependent
-EPS-chain tie-break (``cand.eft < best.eft - EPS``) is reproduced exactly:
-its winner provably has ``eft <= m + EPS``, and when no candidate's EFT
-falls in ``(m + EPS, m + 2*EPS]`` the chain provably settles on the
-lowest-index candidate of the ``<= m + EPS`` band — with the paper's
-integer-valued task times the window case essentially never occurs, and
-when it does the selector falls back to replaying the exact chain.
+exact EFT ``m`` by more than ``2*EPS``.  With a vectorized kernel the
+stale entries popped on the way are accumulated and flushed through the
+batch kernel in chunks of ``batch_cutoff``; the chunking may pop a few
+entries beyond the scalar stopping frontier, which is harmless — heap keys
+are popped in nondecreasing order, so any extra entry has
+``value >= key > m + 2*EPS`` and can affect neither the minimum, the band,
+nor the window test below.  The naive scan's order-dependent EPS-chain
+tie-break (``cand.eft < best.eft - EPS``) is reproduced exactly: its
+winner provably has ``eft <= m + EPS``, and when no candidate's EFT falls
+in ``(m + EPS, m + 2*EPS]`` the chain provably settles on the lowest-index
+candidate of the ``<= m + EPS`` band — with the paper's integer-valued
+task times the window case essentially never occurs, and when it does the
+selector falls back to replaying the exact chain.
 
 MemHEFT needs no EFT ordering at all — its selection is "first ready task
 in rank order with a feasible assignment" — so :class:`RankSelector` is a
@@ -49,10 +79,10 @@ list's not-yet-ready prefix walks entirely.
 
 MemSufferage's key (best minus second-best EFT) has no usable lower bound
 — it can move in either direction after a commit — so
-:class:`SufferageSelector` keeps version stamps only: candidates untouched
-since their last evaluation are reused verbatim and the arg-max is a single
-linear pass, replacing the naive loop's full re-evaluation plus
-O(R log R) sort per step.
+:class:`SufferageSelector` keeps per-class stamps only: candidate classes
+untouched since their last evaluation are reused (or refreshed) and the
+arg-max is a single linear pass, replacing the naive loop's full
+re-evaluation plus O(R log R) sort per step.
 """
 
 from __future__ import annotations
@@ -67,6 +97,23 @@ from .state import ESTBreakdown, SchedulerState, lower_bound_from_parts
 Task = Hashable
 
 
+class SelectorStats:
+    """Per-(candidate, class) outcome counters of the scoped invalidation
+    (diagnostics; the invalidation benchmark reads them)."""
+
+    __slots__ = ("n_full_evals", "n_refreshes", "n_reused")
+
+    def __init__(self) -> None:
+        self.n_full_evals = 0
+        self.n_refreshes = 0
+        self.n_reused = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"n_full_evals": self.n_full_evals,
+                "n_refreshes": self.n_refreshes,
+                "n_reused": self.n_reused}
+
+
 class _Entry:
     """Cached evaluation of one ready task."""
 
@@ -77,16 +124,17 @@ class _Entry:
         self.task = task
         self.tie = tie
         self.alive = True
-        #: (class touch serial, resource) per memory class at last evaluation.
+        #: Full stamp tuple at last evaluation (all classes clean marker).
         self.stamps: Optional[tuple] = None
         self.value: float = math.inf
         self.key: object = None  # SufferageSelector's ordering tuple
         self.breakdown: Optional[ESTBreakdown] = None
-        #: Static ``(W^(c), precedence_c + W^(c))`` pair per class (``None``
-        #: for classes without processors) — the memory-free lower bound of
-        #: the EFT on class ``c`` is ``max(resource_c + W, prec + W)``.
+        #: Static ``(Wmin^(c), precedence_c + Wmin^(c))`` pair per class
+        #: (``None`` for classes without processors) — the memory-free
+        #: lower bound of the class-c EFT is ``max(resource_c + W, prec + W)``.
         self.lbparts: Optional[tuple] = None
-        #: Per-class breakdown cache (SufferageSelector).
+        #: Per-class breakdown cache + the stamp component each was
+        #: evaluated under.
         self.bds: Optional[list] = None
         self.cstamps: Optional[list] = None
 
@@ -124,17 +172,97 @@ def _state_stamp(state: SchedulerState, resources: list[float]) -> tuple:
     return tuple(out)
 
 
+def _refresh_breakdown(state: SchedulerState, bd: ESTBreakdown,
+                       memory) -> ESTBreakdown:
+    """Re-derive a cached breakdown after a resource-only change: the
+    memory and precedence components are unchanged by assumption (profile
+    serial unmoved, or infinite capacity), so only the resource/processor
+    half re-runs — the exact arithmetic the kernel itself would perform
+    with identical parts, hence bit-identical to a full evaluation."""
+    w = state._flat.times[state._row[bd.task]][memory.index]
+    resource, est, duration, proc = state._resource_choice(
+        memory, bd.precedence, bd.task_mem, bd.comm_mem, w)
+    eft = est + duration if math.isfinite(est) else math.inf
+    return ESTBreakdown(bd.task, memory, resource, bd.precedence,
+                        bd.task_mem, bd.comm_mem, bd.cmax, est, eft,
+                        bd.comm_fit, duration, proc)
+
+
+def _update_entries(state: SchedulerState, entries: list[_Entry],
+                    stamp: tuple, stats: SelectorStats,
+                    dag_scoped: bool, inf_cap: tuple) -> None:
+    """Bring every entry's per-class breakdown cache up to ``stamp``,
+    classifying each (entry, class) pair as reuse / refresh / full and
+    routing the full evaluations of one class through the kernel's batch
+    entry point (one vectorized pass on array backends)."""
+    memories = state.memories
+    kernel = state.kernel
+    for e in entries:
+        if e.bds is None:
+            e.bds = [None] * len(memories)
+            e.cstamps = [None] * len(memories)
+    for ci, memory in enumerate(memories):
+        comp = stamp[ci]
+        serial = comp[0]
+        full: list[_Entry] = []
+        for e in entries:
+            old = e.cstamps[ci]
+            if old == comp:
+                stats.n_reused += 1
+                continue
+            if (dag_scoped and old is not None
+                    and (old[0] == serial or inf_cap[ci])):
+                e.bds[ci] = _refresh_breakdown(state, e.bds[ci], memory)
+                e.cstamps[ci] = comp
+                stats.n_refreshes += 1
+            else:
+                full.append(e)
+        if not full:
+            continue
+        stats.n_full_evals += len(full)
+        if kernel.vectorized and len(full) >= kernel.batch_cutoff:
+            bds = kernel.evaluate_class_batch(
+                state, [e.task for e in full], memory)
+            for e, bd in zip(full, bds):
+                e.bds[ci] = bd
+                e.cstamps[ci] = comp
+        else:
+            for e in full:
+                e.bds[ci] = state.est(e.task, memory)
+                e.cstamps[ci] = comp
+
+
+def _best_of(entry: _Entry) -> Optional[ESTBreakdown]:
+    """The §5.1 memory-selection EPS-chain of
+    :meth:`SchedulerState.best_est`, replayed over the entry's per-class
+    breakdown cache in class order — bit-identical choice."""
+    best: Optional[ESTBreakdown] = None
+    for bd in entry.bds:
+        if not bd.feasible:
+            continue
+        if best is None or bd.eft < best.eft - EPS:
+            best = bd
+    return best
+
+
 class MinEFTSelector:
     """Lazy heap returning the MemMinMin winner: the available task whose
     best-class EFT survives the naive scan's EPS-chain, bit-identically.
 
     ``order`` maps each task to its stable tie-break index (the topological
-    position the naive scan sorts by).
+    position the naive scan sorts by).  ``dag_scoped=False`` reverts to the
+    coarse invalidation rule (every touched class fully re-evaluated) for
+    A/B comparisons.
     """
 
-    def __init__(self, state: SchedulerState, order: dict[Task, int]) -> None:
+    def __init__(self, state: SchedulerState, order: dict[Task, int],
+                 dag_scoped: bool = True) -> None:
         self.state = state
         self.order = order
+        self.dag_scoped = dag_scoped
+        self.stats = SelectorStats()
+        self._inf_cap = tuple(math.isinf(c)
+                              for c in state.platform.capacities)
         self._heap: list[tuple[float, int, _Entry]] = []
         self._live: dict[Task, _Entry] = {}
 
@@ -164,32 +292,6 @@ class MinEFTSelector:
                 self.state.est_lower_bound_parts(entry.task)
         return lower_bound_from_parts(parts, resources)
 
-    def _best_cached(self, entry: _Entry, stamp: tuple) -> Optional[ESTBreakdown]:
-        """:meth:`SchedulerState.best_est`, but re-evaluating only the
-        classes whose stamp component moved since the entry's last
-        evaluation (commit-side dirty tracking): clean classes reuse their
-        cached :class:`ESTBreakdown` object outright.  Same iteration
-        order and EPS comparison as ``best_est``, so the choice is
-        bit-identical."""
-        state = self.state
-        memories = state.memories
-        bds = entry.bds
-        if bds is None:
-            bds = entry.bds = [None] * len(memories)
-            entry.cstamps = [None] * len(memories)
-        cstamps = entry.cstamps
-        best: Optional[ESTBreakdown] = None
-        for ci, memory in enumerate(memories):
-            if cstamps[ci] != stamp[ci]:
-                bds[ci] = state.est(entry.task, memory)
-                cstamps[ci] = stamp[ci]
-            bd = bds[ci]
-            if not bd.feasible:
-                continue
-            if best is None or bd.eft < best.eft - EPS:
-                best = bd
-        return best
-
     def _chain_fallback(self) -> Optional[ESTBreakdown]:
         """Replay the naive scan's exact EPS-chain over all ready tasks
         (only reached when an EFT lands in the ``(m+EPS, m+2*EPS]``
@@ -212,24 +314,48 @@ class MinEFTSelector:
         resources = state.class_resources()
         stamp = _state_stamp(state, resources)
         window = 2.0 * EPS
+        kernel = state.kernel
+        cutoff = kernel.batch_cutoff if kernel.vectorized else 1
         m = math.inf
         popped: list[_Entry] = []
+        pending: list[_Entry] = []
+
+        def flush() -> None:
+            nonlocal m
+            _update_entries(state, pending, stamp, self.stats,
+                            self.dag_scoped, self._inf_cap)
+            for entry in pending:
+                bd = _best_of(entry)
+                entry.breakdown = bd
+                entry.value = bd.eft if bd is not None else math.inf
+                entry.stamps = stamp
+                popped.append(entry)
+                if entry.value < m:
+                    m = entry.value
+            pending.clear()
+
         while heap:
             key, _tie, entry = heap[0]
             if not entry.alive:
                 heappop(heap)
                 continue
             if key > m + window:
+                if pending:
+                    # m may drop once the chunk lands; re-test afterwards.
+                    flush()
+                    continue
                 break
             heappop(heap)
-            if entry.stamps != stamp:
-                bd = self._best_cached(entry, stamp)
-                entry.breakdown = bd
-                entry.value = bd.eft if bd is not None else math.inf
-                entry.stamps = stamp
-            popped.append(entry)
-            if entry.value < m:
-                m = entry.value
+            if entry.stamps == stamp:
+                popped.append(entry)
+                if entry.value < m:
+                    m = entry.value
+            else:
+                pending.append(entry)
+                if len(pending) >= cutoff:
+                    flush()
+        if pending:
+            flush()
 
         if math.isinf(m):
             for entry in popped:
@@ -299,18 +425,25 @@ class RankSelector:
 
 
 class SufferageSelector:
-    """MemSufferage's selection with per-candidate dirty stamps.
+    """MemSufferage's selection with per-candidate scoped invalidation.
 
-    Candidates whose stamp — (class touch serial, class resource) for every
-    memory class — is unchanged since their last evaluation are reused
-    verbatim; the rest are re-evaluated with the exact naive logic.  The
-    arg-max over ``(-sufferage, preferred_eft, index)`` keys is one linear
-    pass (the key embeds the stable task index, so iteration order cannot
-    leak into the result)."""
+    Candidate classes whose stamp component — (class touch serial, class
+    resource) — is unchanged since their last evaluation are reused
+    verbatim, resource-only changes are refreshed in O(1), and only
+    finite-capacity profile mutations trigger kernel re-evaluations
+    (batched per class on vectorized backends).  The arg-max over
+    ``(-sufferage, preferred_eft, index)`` keys is one linear pass (the
+    key embeds the stable task index, so iteration order cannot leak into
+    the result)."""
 
-    def __init__(self, state: SchedulerState, order: dict[Task, int]) -> None:
+    def __init__(self, state: SchedulerState, order: dict[Task, int],
+                 dag_scoped: bool = True) -> None:
         self.state = state
         self.order = order
+        self.dag_scoped = dag_scoped
+        self.stats = SelectorStats()
+        self._inf_cap = tuple(math.isinf(c)
+                              for c in state.platform.capacities)
         self._live: dict[Task, _Entry] = {}
 
     def __len__(self) -> int:
@@ -322,20 +455,10 @@ class SufferageSelector:
     def remove(self, task: Task) -> None:
         self._live.pop(task, None)
 
-    def _evaluate(self, entry: _Entry, stamp: tuple) -> None:
-        """Refresh the entry's per-class breakdowns (only the classes whose
-        stamp moved) and rebuild its key exactly as the naive scan does."""
-        state = self.state
-        memories = state.memories
-        if entry.bds is None:
-            entry.bds = [None] * len(memories)
-            entry.cstamps = [None] * len(memories)
-        bds, cstamps = entry.bds, entry.cstamps
-        for ci, memory in enumerate(memories):
-            if cstamps[ci] != stamp[ci]:
-                bds[ci] = state.est(entry.task, memory)
-                cstamps[ci] = stamp[ci]
-        feasible = [bd for bd in bds if bd.feasible]
+    def _rebuild_key(self, entry: _Entry) -> None:
+        """Rebuild the entry's ordering key from its (fresh) per-class
+        breakdowns, exactly as the naive scan does."""
+        feasible = [bd for bd in entry.bds if bd.feasible]
         if not feasible:
             entry.key = None
             entry.breakdown = None
@@ -352,12 +475,16 @@ class SufferageSelector:
     def select(self) -> Optional[ESTBreakdown]:
         state = self.state
         stamp = _state_stamp(state, state.class_resources())
+        stale = [e for e in self._live.values() if e.stamps != stamp]
+        if stale:
+            _update_entries(state, stale, stamp, self.stats,
+                            self.dag_scoped, self._inf_cap)
+            for entry in stale:
+                self._rebuild_key(entry)
+                entry.stamps = stamp
         best_key = None
         best_bd: Optional[ESTBreakdown] = None
         for entry in self._live.values():
-            if entry.stamps != stamp:
-                self._evaluate(entry, stamp)
-                entry.stamps = stamp
             key = entry.key
             if key is None:
                 continue

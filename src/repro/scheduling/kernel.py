@@ -1,0 +1,499 @@
+"""Pluggable EST kernel backends: the numeric core of the §5.1 machinery.
+
+The list-scheduling heuristics spend almost all of their time evaluating
+:class:`ESTBreakdown` candidates — ``EST = max(resource, precedence,
+task_mem, comm_mem + Cmax)``, ``EFT = EST + W/speed`` — against the partial
+schedule.  This module packages that arithmetic behind one interface with
+two interchangeable backends:
+
+* :class:`ScalarKernel` — the reference pure-Python path (the historical
+  ``SchedulerState.est`` logic, extracted verbatim).  Always available.
+* :class:`NumpyKernel` — evaluates a whole candidate batch per memory
+  class in one vectorized pass: the per-profile ``earliest_fit`` staircase
+  query becomes a suffix-max + ``searchsorted`` over the whole batch, and
+  the per-processor finish-time argmin of heterogeneous classes becomes an
+  elementwise comparison chain.  Requires the *optional* ``numpy``
+  dependency (import-guarded in :mod:`repro._util`).
+
+Both backends are **bit-identical** by construction, which the golden
+schedules and the hypothesis equivalence suite pin:
+
+* the precedence parts contain an order-dependent sequential sum
+  (``cross_in += size``), so they are computed by the *shared scalar code*
+  (:meth:`SchedulerState._precedence_parts` over the
+  :class:`~repro.core.graph.FlatGraph` CSR arrays) in both backends —
+  numpy's pairwise summation would round differently;
+* the vectorized parts are restricted to elementwise ``max``/``+``/``/``
+  and comparisons (IEEE-identical to the scalar operators) plus
+  ``searchsorted`` (pure comparisons); order-dependent EPS tie-break
+  chains are replicated as masked update loops over the k classes /
+  processors, never as ``argmin``;
+* the ``earliest_fit`` results of a batch are written back into the same
+  per-``(task, class)`` memo (keyed on the profile ``version``) the scalar
+  path reads, so mixing batched and scalar evaluations stays coherent.
+
+Backend selection (:func:`resolve_backend`): an explicit ``backend=``
+argument (name or instance) wins, then the ``MEMSCHED_KERNEL`` environment
+variable (``scalar`` / ``numpy`` / ``auto``), then auto-detection — numpy
+when importable, scalar otherwise.  Kernel instances are stateless; all
+per-state scratch (the per-class suffix-max arrays) lives on the
+``SchedulerState`` so one kernel object can serve any number of states.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from itertools import repeat
+from typing import TYPE_CHECKING, Hashable, NamedTuple, Optional, Sequence, Union
+
+from .._util import EPS, HAS_NUMPY, require_numpy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.platform import Memory
+    from .state import SchedulerState
+
+Task = Hashable
+
+#: Environment variable consulted when no explicit backend is passed.
+ENV_VAR = "MEMSCHED_KERNEL"
+
+
+class ESTBreakdown(NamedTuple):
+    """All EST components for one (task, memory) candidate.
+
+    A ``NamedTuple`` rather than a dataclass: the kernels construct one per
+    evaluated candidate on the hot path, and tuple construction is several
+    times cheaper than a frozen dataclass ``__init__``.
+    """
+
+    task: Task
+    memory: "Memory"
+    resource: float
+    precedence: float
+    task_mem: float
+    comm_mem: float  # already includes the +Cmax term; 0.0 when no cross input
+    cmax: float
+    est: float
+    eft: float
+    #: Raw ``earliest_fit(cross inputs)`` value (no +Cmax); the eager
+    #: transfer policy re-uses it at commit time.
+    comm_fit: float = 0.0
+    #: Execution time on the chosen resource (``W^(mu) / speed``); equals
+    #: ``W^(mu)`` bit-for-bit on speed-1.0 processors.
+    duration: float = math.inf
+    #: Pre-chosen processor for heterogeneous classes (honoured by
+    #: :meth:`SchedulerState.commit`); ``-1`` on uniform classes, where the
+    #: processor is picked at commit time by ``choose_proc`` exactly as in
+    #: the homogeneous engine.
+    proc: int = -1
+
+    @property
+    def cls(self) -> int:
+        """Memory-class index (generic alias for ``memory.index``)."""
+        return self.memory.index
+
+    @property
+    def feasible(self) -> bool:
+        return math.isfinite(self.eft)
+
+
+def infeasible_breakdown(task: Task, memory: "Memory") -> ESTBreakdown:
+    inf = math.inf
+    return ESTBreakdown(task, memory, inf, inf, inf, inf, 0.0, inf, inf)
+
+
+#: ``tuple.__new__`` bound once: constructing a NamedTuple through it skips
+#: the generated ``__new__``'s Python frame — the batch paths build tens of
+#: thousands of breakdowns per run.
+_tuple_new = tuple.__new__
+
+
+class ScalarKernel:
+    """Reference backend: one candidate at a time, pure Python.
+
+    This *is* the historical incremental EST kernel — the arithmetic every
+    other backend must reproduce bit-for-bit.
+    """
+
+    name = "scalar"
+    #: Whether :meth:`evaluate_class_batch` ever leaves the scalar loop
+    #: (selectors only assemble batches for vectorized backends).
+    vectorized = False
+
+    # -- single candidate ------------------------------------------------
+    def evaluate(self, state: "SchedulerState", task: Task,
+                 memory: "Memory") -> ESTBreakdown:
+        """Incremental EST/EFT breakdown of a candidate: precedence parts
+        cached per task, ``earliest_fit`` memoised per profile version."""
+        if not state.is_ready(task) or state.platform.n_procs_of(memory) == 0:
+            return infeasible_breakdown(task, memory)
+
+        idx = memory.index
+        precedence, cmax, cross_in, need_task = \
+            state._precedence_parts(task)[idx]
+
+        profile = state.mem[memory]
+        slot = state._fit[idx]
+        if slot[0] != profile.version:
+            slot[0] = profile.version
+            slot[1].clear()
+            cached = None
+        else:
+            cached = slot[1].get(task)
+        if cached is not None:
+            task_mem, comm_fit = cached
+        else:
+            task_mem = profile.earliest_fit(need_task)
+            comm_fit = (profile.earliest_fit(cross_in)
+                        if cross_in > 0.0 or cmax > 0.0 else 0.0)
+            slot[1][task] = (task_mem, comm_fit)
+        comm_mem = comm_fit + cmax if cross_in > 0.0 or cmax > 0.0 else 0.0
+
+        resource, est, duration, proc = state._resource_choice(
+            memory, precedence, task_mem, comm_mem, state.graph.w(task, memory))
+        eft = est + duration if math.isfinite(est) else math.inf
+        return ESTBreakdown(task, memory, resource, precedence, task_mem,
+                            comm_mem, cmax, est, eft, comm_fit,
+                            duration, proc)
+
+    def evaluate_fresh(self, state: "SchedulerState", task: Task,
+                       memory: "Memory") -> ESTBreakdown:
+        """From-scratch evaluation (the pre-incremental reference path,
+        kept for cross-checks and the kernel benchmark): re-walks the
+        parent list and re-queries the staircases, no caches."""
+        if not state.is_ready(task) or state.platform.n_procs_of(memory) == 0:
+            return infeasible_breakdown(task, memory)
+
+        graph = state.graph
+        precedence = 0.0
+        cmax = 0.0
+        cross_in = 0.0
+        for parent in graph.parents(task):
+            pp = state.schedule.placement(parent)
+            if pp.memory is memory:
+                precedence = max(precedence, pp.finish)
+            else:
+                c = graph.comm(parent, task)
+                precedence = max(precedence, pp.finish + c)
+                cmax = max(cmax, c)
+                cross_in += graph.size(parent, task)
+
+        need_task = cross_in + graph.out_size(task)
+        task_mem = state.mem[memory].earliest_fit(need_task)
+
+        comm_fit = 0.0
+        if cross_in > 0.0 or cmax > 0.0:
+            comm_fit = state.mem[memory].earliest_fit(cross_in)
+            comm_mem = comm_fit + cmax
+        else:
+            comm_mem = 0.0
+
+        resource, est, duration, proc = state._resource_choice(
+            memory, precedence, task_mem, comm_mem, graph.w(task, memory))
+        eft = est + duration if math.isfinite(est) else math.inf
+        return ESTBreakdown(task, memory, resource, precedence, task_mem,
+                            comm_mem, cmax, est, eft, comm_fit,
+                            duration, proc)
+
+    # -- batches ---------------------------------------------------------
+    def evaluate_class_batch(self, state: "SchedulerState",
+                             tasks: Sequence[Task],
+                             memory: "Memory") -> list[ESTBreakdown]:
+        """Breakdowns of all ``tasks`` (which must be *ready*) on one
+        memory class.  The scalar backend just loops; vectorized backends
+        overload this with one array pass per batch."""
+        return [self.evaluate(state, task, memory) for task in tasks]
+
+    def best_est_batch(self, state: "SchedulerState",
+                       tasks: Sequence[Task]) -> list[Optional[ESTBreakdown]]:
+        """Per-task best-class choice over a whole candidate batch — the
+        §5.1 memory-selection EPS-chain of :meth:`SchedulerState.best_est`
+        replayed class-by-class over the batched columns."""
+        per_class = [self.evaluate_class_batch(state, tasks, m)
+                     for m in state.memories]
+        out: list[Optional[ESTBreakdown]] = []
+        for b in range(len(tasks)):
+            best: Optional[ESTBreakdown] = None
+            for bds in per_class:
+                bd = bds[b]
+                if not bd.feasible:
+                    continue
+                if best is None or bd.eft < best.eft - EPS:
+                    best = bd
+            out.append(best)
+        return out
+
+
+class NumpyKernel(ScalarKernel):
+    """Vectorized backend: one array pass per (batch, memory class).
+
+    Falls back to the scalar loop below ``batch_cutoff`` candidates, where
+    array setup costs more than it saves — the default sits at the
+    measured crossover on CPython 3.11 (mid-size flush batches pay ~50us
+    of fixed array-setup per class, vs ~1us per scalar evaluation).
+    Construct with ``batch_cutoff=1`` to force the vector path (the
+    equivalence tests do, so tiny fuzzed instances still exercise it).
+    """
+
+    name = "numpy"
+    vectorized = True
+
+    def __init__(self, batch_cutoff: int = 48) -> None:
+        require_numpy("the numpy kernel backend")
+        if batch_cutoff < 1:
+            raise ValueError("batch_cutoff must be >= 1")
+        self.batch_cutoff = batch_cutoff
+
+    # -- vectorized earliest_fit ----------------------------------------
+    def _fit_batch(self, state: "SchedulerState", idx: int, needs):
+        """``earliest_fit(need)`` for an array of needs against one
+        profile: rightmost staircase segment above ``capacity - need`` via
+        a suffix-max array and one ``searchsorted`` (same ``> bound``
+        predicate as the scalar block-max scan, so bit-identical).
+
+        The suffix-max / breakpoint arrays are cached per class on the
+        state's kernel scratch, keyed by the profile ``version`` — the
+        staircase *function* they encode survives :meth:`MemoryProfile.
+        compact` (which is exactly why compaction leaves ``version``
+        alone), so a compact between queries cannot desynchronise them.
+        """
+        np = require_numpy("the numpy kernel backend")
+        profile = state.mem[state.memories[idx]]
+        cap = profile.capacity
+        if math.isinf(cap):
+            return np.zeros(len(needs))
+        key = ("sfx", idx)
+        cached = state._kernel_scratch.get(key)
+        if cached is None or cached[0] != profile.version:
+            vals = np.array(profile._vals, dtype=np.float64)
+            # sm_asc[i] = max(vals[n-1-i:]) — the suffix maxima, ascending.
+            sm_asc = np.maximum.accumulate(vals[::-1])
+            xs = np.array(profile._xs, dtype=np.float64)
+            cached = (profile.version, sm_asc, xs)
+            state._kernel_scratch[key] = cached
+        _, sm_asc, xs = cached
+        n = len(xs)
+        bound = (cap - needs) + EPS
+        # Rightmost segment j with vals[j] > bound == rightmost j with
+        # suffix-max > bound; count elements <= bound in the ascending
+        # suffix-max array, the rest form the exceeding prefix.
+        j = (n - np.searchsorted(sm_asc, bound, side="right")) - 1
+        # j + 1 is always >= 0, so a one-sided minimum replaces np.clip
+        # (whose dtype-limit checks dominate on small batches).
+        res = np.where(j < 0, 0.0,
+                       np.where(j >= n - 1, math.inf,
+                                xs[np.minimum(j + 1, n - 1)]))
+        return np.where(needs <= EPS, 0.0,
+                        np.where(needs > cap + EPS, math.inf, res))
+
+    # -- batch evaluation ------------------------------------------------
+    def _class_columns(self, state: "SchedulerState", tasks: Sequence[Task],
+                       parts_all: list, memory: "Memory"):
+        """All breakdown components of one (batch, class) in one vectorized
+        pass, as ``(eft_array, *columns)`` where the columns are plain
+        Python lists (cheap to index when assembling breakdowns).
+
+        ``parts_all`` is the per-task :meth:`SchedulerState.
+        _precedence_parts` list, computed once per batch by the callers and
+        shared across the k classes."""
+        np = require_numpy("the numpy kernel backend")
+        platform = state.platform
+        idx = memory.index
+        B = len(tasks)
+        parts = [p[idx] for p in parts_all]
+        prec_t, cmax_t, cross_t, need_t = zip(*parts)
+        prec = np.array(prec_t)
+        cmax = np.array(cmax_t)
+        cross = np.array(cross_t)
+
+        # Memory parts through the shared per-class {task: (task_mem,
+        # comm_fit)} memo; only the misses hit the staircase.  A profile
+        # version bump invalidates the class dict wholesale, so the common
+        # post-commit case is fully cold and skips the per-candidate scan.
+        profile = state.mem[memory]
+        version = profile.version
+        slot = state._fit[idx]
+        if slot[0] != version:
+            slot[0] = version
+            slot[1].clear()
+        fitd = slot[1]
+        if not fitd:
+            task_mem = self._fit_batch(state, idx, np.array(need_t))
+            comm_fit = self._fit_batch(state, idx, cross)
+            fitd.update(zip(tasks, zip(task_mem.tolist(),
+                                       comm_fit.tolist())))
+        else:
+            task_mem = np.empty(B)
+            comm_fit = np.empty(B)
+            misses: list[int] = []
+            for b, task in enumerate(tasks):
+                cached = fitd.get(task)
+                if cached is not None:
+                    task_mem[b] = cached[0]
+                    comm_fit[b] = cached[1]
+                else:
+                    misses.append(b)
+            if misses:
+                need_m = np.array([need_t[b] for b in misses])
+                tm = self._fit_batch(state, idx, need_m)
+                cf = self._fit_batch(state, idx, cross[misses])
+                task_mem[misses] = tm
+                comm_fit[misses] = cf
+                tm_l, cf_l = tm.tolist(), cf.tolist()
+                for pos, b in enumerate(misses):
+                    fitd[tasks[b]] = (tm_l[pos], cf_l[pos])
+        has_comm = (cross > 0.0) | (cmax > 0.0)
+        comm_mem = np.where(has_comm, comm_fit + cmax, 0.0)
+
+        row = state._row
+        times_mat = state._kernel_scratch.get("times")
+        if times_mat is None:
+            times_mat = np.array(state._flat.times, dtype=np.float64)
+            state._kernel_scratch["times"] = times_mat
+        w = times_mat[[row[task] for task in tasks], idx]
+
+        if platform.uniform_classes[idx]:
+            resource = state.class_resources()[idx]
+            est = np.maximum(np.maximum(prec, task_mem),
+                             np.maximum(comm_mem, resource))
+            dur = w / platform.max_class_speeds[idx]
+            eft = est + dur
+            res_l = [resource] * B
+            proc_l = [-1] * B
+        else:
+            floor = np.maximum(np.maximum(prec, task_mem), comm_mem)
+            avail = state.avail
+            speeds = platform.speeds
+            best_finish = np.full(B, math.inf)
+            best_avail = np.full(B, -math.inf)
+            best_dur = np.full(B, math.inf)
+            best_proc = np.full(B, -1)
+            # The exact tie chain of _finish_choice, replayed elementwise
+            # in processor-index order (never an argmin).
+            for p in platform.procs(memory):
+                a = avail[p]
+                dur_p = w / speeds[p]
+                finish = np.maximum(floor, a) + dur_p
+                upd = (finish < best_finish) | ((finish == best_finish)
+                                                & (a > best_avail))
+                best_finish = np.where(upd, finish, best_finish)
+                best_dur = np.where(upd, dur_p, best_dur)
+                best_proc = np.where(upd, p, best_proc)
+                best_avail = np.where(upd, a, best_avail)
+            est = np.maximum(floor, best_avail)
+            dur = best_dur
+            eft = est + dur
+            res_l = best_avail.tolist()
+            proc_l = best_proc.tolist()
+
+        # est + finite dur keeps inf lanes at inf, matching the scalar
+        # `eft = est + duration if isfinite(est) else inf` exactly.
+        return (eft, res_l, prec.tolist(), task_mem.tolist(),
+                comm_mem.tolist(), cmax.tolist(), est.tolist(), eft.tolist(),
+                comm_fit.tolist(), dur.tolist(), proc_l)
+
+    def evaluate_class_batch(self, state: "SchedulerState",
+                             tasks: Sequence[Task],
+                             memory: "Memory") -> list[ESTBreakdown]:
+        if (len(tasks) < self.batch_cutoff
+                or state.platform.n_procs_of(memory) == 0):
+            return [self.evaluate(state, task, memory) for task in tasks]
+        static = state._static
+        parts_of = state._precedence_parts
+        parts_all = [static.get(task) or parts_of(task) for task in tasks]
+        (_, res_l, prec_l, tmem_l, cmem_l, cmax_l, est_l, eft_l, cfit_l,
+         dur_l, proc_l) = self._class_columns(state, tasks, parts_all, memory)
+        # zip assembles the rows and ``map(tuple.__new__, ...)`` turns them
+        # into breakdowns, all at C level — no per-candidate Python frame.
+        return list(map(_tuple_new, repeat(ESTBreakdown),
+                        zip(tasks, repeat(memory), res_l, prec_l, tmem_l,
+                            cmem_l, cmax_l, est_l, eft_l, cfit_l, dur_l,
+                            proc_l)))
+
+    def best_est_batch(self, state: "SchedulerState",
+                       tasks: Sequence[Task]) -> list[Optional[ESTBreakdown]]:
+        """Batched §5.1 memory selection without materialising the per-class
+        breakdowns: the per-class columns stay arrays, the class-order EPS
+        chain runs elementwise over the batch, and only the winning
+        (task, class) breakdowns are constructed."""
+        if len(tasks) < self.batch_cutoff:
+            return super().best_est_batch(state, tasks)
+        np = require_numpy("the numpy kernel backend")
+        B = len(tasks)
+        platform = state.platform
+        memories = state.memories
+        static = state._static
+        parts_of = state._precedence_parts
+        parts_all = [static.get(task) or parts_of(task) for task in tasks]
+        best_eft = np.full(B, math.inf)
+        best_cls = np.full(B, -1, dtype=np.intp)
+        cols: list = []
+        for memory in memories:
+            if platform.n_procs_of(memory) == 0:
+                cols.append(None)
+                continue
+            col = self._class_columns(state, tasks, parts_all, memory)
+            cols.append(col)
+            eft = col[0]
+            # The exact EPS chain of ScalarKernel.best_est_batch, replayed
+            # elementwise in class-index order.
+            upd = np.isfinite(eft) & ((best_cls < 0) | (eft < best_eft - EPS))
+            best_eft = np.where(upd, eft, best_eft)
+            best_cls = np.where(upd, memory.index, best_cls)
+        # Assemble each winning class's rows once (C-level zip), then copy
+        # the winning row per task into a breakdown.
+        cls_l = best_cls.tolist()
+        rows: list = [None] * len(cols)
+        tn = _tuple_new
+        bd_cls = ESTBreakdown
+        out: list[Optional[ESTBreakdown]] = []
+        append = out.append
+        for b, task in enumerate(tasks):
+            ci = cls_l[b]
+            if ci < 0:
+                append(None)
+                continue
+            r = rows[ci]
+            if r is None:
+                r = rows[ci] = list(zip(tasks, repeat(memories[ci]),
+                                        *cols[ci][1:]))
+            append(tn(bd_cls, r[b]))
+        return out
+
+
+KernelLike = Union[None, str, ScalarKernel]
+
+_SCALAR = ScalarKernel()
+_NUMPY: Optional[NumpyKernel] = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`resolve_backend` on this interpreter."""
+    return ("scalar", "numpy") if HAS_NUMPY else ("scalar",)
+
+
+def resolve_backend(backend: KernelLike = None) -> ScalarKernel:
+    """Resolve a backend spec to a kernel instance.
+
+    Precedence: explicit ``backend`` (a name or a kernel instance) >
+    ``MEMSCHED_KERNEL`` environment variable > ``auto``.  ``auto`` picks
+    numpy when importable and falls back to scalar otherwise; naming
+    ``numpy`` explicitly without numpy installed is an error.
+    """
+    if isinstance(backend, ScalarKernel):
+        return backend
+    name = backend if backend is not None else os.environ.get(ENV_VAR) or "auto"
+    name = name.strip().lower()
+    if name == "auto":
+        name = "numpy" if HAS_NUMPY else "scalar"
+    if name == "scalar":
+        return _SCALAR
+    if name == "numpy":
+        global _NUMPY
+        if _NUMPY is None:
+            _NUMPY = NumpyKernel()  # raises when numpy is missing
+        return _NUMPY
+    raise ValueError(
+        f"unknown kernel backend {name!r}; expected one of "
+        f"{('auto',) + available_backends()}")

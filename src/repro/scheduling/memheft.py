@@ -27,28 +27,37 @@ from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..core.schedule import Schedule
 from .candidates import RankSelector
+from .kernel import KernelLike
 from .ranks import rank_order
 from .state import InfeasibleScheduleError, SchedulerState
 
 
 def memheft(graph: TaskGraph, platform: Platform, *, rng: RngLike = None,
-            comm_policy: str = "late", lazy: bool = True) -> Schedule:
+            comm_policy: str = "late", lazy: bool = True,
+            backend: KernelLike = None) -> Schedule:
     """Schedule ``graph`` on ``platform`` with MemHEFT.
 
     ``comm_policy`` selects when incoming transfers fire: ``"late"`` (the
     paper's choice) or ``"eager"`` (ablation, see
     :mod:`repro.experiments.ablation`).  ``lazy`` selects the ready-task
-    heap (default) or the naive priority-list walk.
+    heap (default) or the naive priority-list walk.  ``backend`` picks the
+    EST kernel backend (:func:`repro.scheduling.kernel.resolve_backend`).
+
+    The upward ranks are speed-aware: on heterogeneous platforms each
+    class's execution term is normalised by its fastest processor (a no-op
+    on the paper's speed-1.0 platforms).
 
     Raises
     ------
     InfeasibleScheduleError
         When the heuristic cannot fit the graph within the memory bounds.
     """
-    state = SchedulerState(graph, platform, comm_policy=comm_policy)
+    state = SchedulerState(graph, platform, comm_policy=comm_policy,
+                           backend=backend)
 
     if lazy:
-        position = {t: k for k, t in enumerate(rank_order(graph, rng=rng))}
+        position = {t: k for k, t in enumerate(
+            rank_order(graph, rng=rng, platform=platform))}
         selector = RankSelector(state, position)
         for task in graph.roots():
             selector.push(task)
@@ -68,7 +77,7 @@ def memheft(graph: TaskGraph, platform: Platform, *, rng: RngLike = None,
                 selector.push(task)
         return state.finalize("memheft")
 
-    remaining = rank_order(graph, rng=rng)
+    remaining = rank_order(graph, rng=rng, platform=platform)
     while remaining:
         committed = False
         for index, task in enumerate(remaining):

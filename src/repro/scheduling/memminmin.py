@@ -22,25 +22,32 @@ from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..core.schedule import Schedule
 from .candidates import MinEFTSelector
+from .kernel import KernelLike
 from .state import ESTBreakdown, InfeasibleScheduleError, SchedulerState
 
 Task = Hashable
 
 
 def memminmin(graph: TaskGraph, platform: Platform, *,
-              comm_policy: str = "late", lazy: bool = True) -> Schedule:
+              comm_policy: str = "late", lazy: bool = True,
+              backend: KernelLike = None,
+              dag_scoped: bool = True) -> Schedule:
     """Schedule ``graph`` on ``platform`` with MemMinMin.
 
     ``comm_policy``: ``"late"`` (paper) or ``"eager"`` (ablation).
     ``lazy``: serve the per-step argmin from the lazy candidate heap
     (default) or rescan every available task (the reference path).
+    ``backend`` picks the EST kernel backend
+    (:func:`repro.scheduling.kernel.resolve_backend`); ``dag_scoped=False``
+    reverts the selector to coarse per-class invalidation (A/B benchmarks).
     """
-    state = SchedulerState(graph, platform, comm_policy=comm_policy)
+    state = SchedulerState(graph, platform, comm_policy=comm_policy,
+                           backend=backend)
     # Stable task indices make the (unspecified) tie-break deterministic.
     index = {t: k for k, t in enumerate(graph.topological_order())}
 
     if lazy:
-        selector = MinEFTSelector(state, index)
+        selector = MinEFTSelector(state, index, dag_scoped=dag_scoped)
         for task in graph.roots():
             selector.push(task)
         while len(selector):

@@ -9,11 +9,13 @@ from __future__ import annotations
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..core.schedule import Schedule
+from .kernel import KernelLike
 from .memminmin import memminmin
 
 
-def minmin(graph: TaskGraph, platform: Platform) -> Schedule:
+def minmin(graph: TaskGraph, platform: Platform, *,
+           backend: KernelLike = None) -> Schedule:
     """Schedule with classical (memory-oblivious) MinMin."""
-    schedule = memminmin(graph, platform.unbounded())
+    schedule = memminmin(graph, platform.unbounded(), backend=backend)
     schedule.meta["algorithm"] = "minmin"
     return schedule

@@ -7,6 +7,13 @@ an edge is ``C * (k - 1) / k`` — the chance that two uniformly chosen memory
 classes differ — which reduces to the paper's ``C / 2`` on the dual-memory
 platform (``k = 2``).
 
+With a ``platform`` given, the execution term becomes *speed-aware*:
+``mean_c(W^(c) / max_speed(c))`` — each class's time is normalised by its
+fastest processor, the standard HEFT generalisation to heterogeneous
+processors (average computation cost over resources).  On speed-1.0
+platforms ``W / 1.0 == W`` bit-for-bit and the sum runs in the same class
+order, so the ranks — and every schedule derived from them — are unchanged.
+
 The task list of MemHEFT sorts by non-increasing rank; the paper breaks ties
 randomly, which we reproduce with a seeded RNG (``rng=None`` keeps a
 deterministic insertion-order tie-break, used by tests and the tie-breaking
@@ -15,18 +22,40 @@ ablation bench).
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Optional
 
 from .._util import RngLike, as_rng
 from ..core.graph import TaskGraph
+from ..core.platform import Platform
 
 Task = Hashable
 
 
-def upward_ranks(graph: TaskGraph) -> dict[Task, float]:
-    """Upward rank of every task (mean execution + expected communication)."""
+def upward_ranks(graph: TaskGraph,
+                 platform: Optional[Platform] = None) -> dict[Task, float]:
+    """Upward rank of every task (mean execution + expected communication).
+
+    ``platform`` (optional) supplies per-class fastest speeds for the
+    speed-aware execution term (classes without processors carry speed 1.0,
+    keeping the mean aligned with the speed-less formula)."""
     k = graph.n_classes
     comm_weight = (k - 1) / k
+    if platform is not None:
+        # Accept the historical MultiPlatform facade transparently.
+        platform = getattr(platform, "core", platform)
+        if platform.n_classes != k:
+            raise ValueError(
+                f"graph has {k} memory classes, platform "
+                f"{platform.n_classes}")
+        fastest = platform.max_class_speeds
+
+        def mean_w(task: Task) -> float:
+            times = graph.times(task)
+            return sum(times[ci] / fastest[ci]
+                       for ci in range(k)) / k
+    else:
+        mean_w = graph.w_mean
+
     ranks: dict[Task, float] = {}
     for task in reversed(graph.topological_order()):
         best_child = 0.0
@@ -34,17 +63,20 @@ def upward_ranks(graph: TaskGraph) -> dict[Task, float]:
             cand = ranks[child] + graph.comm(task, child) * comm_weight
             if cand > best_child:
                 best_child = cand
-        ranks[task] = graph.w_mean(task) + best_child
+        ranks[task] = mean_w(task) + best_child
     return ranks
 
 
-def rank_order(graph: TaskGraph, rng: RngLike = None) -> list[Task]:
+def rank_order(graph: TaskGraph, rng: RngLike = None,
+               platform: Optional[Platform] = None) -> list[Task]:
     """Tasks sorted by non-increasing upward rank.
 
     With ``rng`` given (seed or Generator), ties are broken uniformly at
     random as in the paper; otherwise ties keep a stable deterministic order.
+    ``platform`` turns on the speed-aware execution term of
+    :func:`upward_ranks` (a no-op on speed-1.0 platforms).
     """
-    ranks = upward_ranks(graph)
+    ranks = upward_ranks(graph, platform)
     order = list(graph.tasks())
     if rng is None:
         index = {t: k for k, t in enumerate(order)}

@@ -46,14 +46,21 @@ breakdown into parts with different lifetimes:
   target :class:`~repro.core.memory_profile.MemoryProfile`'s ``version``
   counter, so candidates whose memory class was untouched by the last
   commit are served from cache;
-* the *resource part* is a min over the class's processor avail times —
-  O(procs) and recomputed on the fly (it must also reflect direct ``avail``
-  mutations made by branching searches).
+* the *resource part* is the head of a per-class sorted avail structure —
+  O(1) per query and maintained through :class:`_AvailVector`, which also
+  reflects direct ``avail`` mutations made by branching searches.
 
-Every cached component is bit-for-bit identical to a fresh evaluation
-(`incremental=False` keeps the from-scratch path for cross-checking and
-benchmarks), so the heuristics take decision-for-decision identical
-schedules in both modes.
+The arithmetic itself lives in :mod:`repro.scheduling.kernel` behind a
+pluggable backend (``backend=`` kwarg / ``MEMSCHED_KERNEL`` env /
+auto-detect): the ``scalar`` reference path, or the optional vectorized
+``numpy`` path that evaluates whole candidate batches per class.  The
+state holds the data layout both backends share — the
+:class:`~repro.core.graph.FlatGraph` CSR adjacency, per-row finish/class
+arrays, the ``(task, class)`` fit memo and the per-class scratch — and
+every cached or vectorized component is bit-for-bit identical to a fresh
+scalar evaluation (``incremental=False`` keeps the from-scratch path for
+cross-checking and benchmarks), so the heuristics take
+decision-for-decision identical schedules in every mode.
 
 On commit the state performs the §3.2 memory bookkeeping:
 
@@ -71,7 +78,8 @@ paper's common window can violate its own flow constraint.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from bisect import bisect_left, bisect_right, insort
+from operator import itemgetter
 from typing import Hashable, Optional
 
 from .._util import EPS
@@ -79,6 +87,12 @@ from ..core.graph import TaskGraph
 from ..core.memory_profile import MemoryProfile
 from ..core.platform import Memory, Platform
 from ..core.schedule import CommEvent, Placement, Schedule
+from .kernel import (  # noqa: F401  (ESTBreakdown re-exported)
+    ESTBreakdown,
+    KernelLike,
+    infeasible_breakdown,
+    resolve_backend,
+)
 
 Task = Hashable
 
@@ -106,50 +120,76 @@ def lower_bound_from_parts(
     return best
 
 
-@dataclass(frozen=True)
-class ESTBreakdown:
-    """All EST components for one (task, memory) candidate."""
+class _AvailVector(list):
+    """Processor avail times with per-class sorted ``(avail, proc)`` views.
 
-    task: Task
-    memory: Memory
-    resource: float
-    precedence: float
-    task_mem: float
-    comm_mem: float  # already includes the +Cmax term; 0.0 when no cross input
-    cmax: float
-    est: float
-    eft: float
-    #: Raw ``earliest_fit(cross inputs)`` value (no +Cmax); the eager
-    #: transfer policy re-uses it at commit time.
-    comm_fit: float = 0.0
-    #: Execution time on the chosen resource (``W^(mu) / speed``); equals
-    #: ``W^(mu)`` bit-for-bit on speed-1.0 processors.
-    duration: float = math.inf
-    #: Pre-chosen processor for heterogeneous classes (honoured by
-    #: :meth:`SchedulerState.commit`); ``-1`` on uniform classes, where the
-    #: processor is picked at commit time by ``choose_proc`` exactly as in
-    #: the homogeneous engine.
-    proc: int = -1
+    Behaves as the historical plain list (the branching searches and tests
+    assign ``state.avail[p] = t`` directly), but every write keeps a
+    per-class sorted structure and bumps a ``version`` counter, which:
 
-    @property
-    def cls(self) -> int:
-        """Memory-class index (generic alias for ``memory.index``)."""
-        return self.memory.index
+    * serves ``min(avail of class)`` in O(1) (the resource part of every
+      uniform-class EST evaluation);
+    * lets :meth:`SchedulerState.choose_proc` bisect the free-at-``est``
+      prefix instead of scanning every processor of the class;
+    * keys the :meth:`SchedulerState.class_resources` cache, so direct
+      mutations invalidate it without any extra bookkeeping protocol.
 
-    @property
-    def feasible(self) -> bool:
-        return math.isfinite(self.eft)
+    Structural list mutations (append/pop/...) are forbidden — the vector
+    is born with one slot per processor and keeps them for life.
+    """
+
+    __slots__ = ("proc_classes", "by_class", "version")
+
+    def __init__(self, values, proc_classes: tuple, n_classes: int) -> None:
+        super().__init__(values)
+        self.proc_classes = proc_classes
+        self.version = 0
+        self.by_class: list[list[tuple[float, int]]] = \
+            [[] for _ in range(n_classes)]
+        for p, a in enumerate(values):
+            self.by_class[proc_classes[p]].append((a, p))
+        for entries in self.by_class:
+            entries.sort()
+
+    def __setitem__(self, proc, value) -> None:
+        if not isinstance(proc, int):
+            raise TypeError("avail only supports single-processor writes")
+        old = list.__getitem__(self, proc)
+        value = float(value)
+        if value == old:
+            return
+        list.__setitem__(self, proc, value)
+        entries = self.by_class[self.proc_classes[proc]]
+        i = bisect_left(entries, (old, proc))
+        del entries[i]
+        insort(entries, (value, proc))
+        self.version += 1
+
+    def class_min(self, ci: int) -> float:
+        """Min avail over the processors of class ``ci`` (inf when none)."""
+        entries = self.by_class[ci]
+        return entries[0][0] if entries else math.inf
+
+    def _blocked(self, *a, **kw):  # pragma: no cover - defensive
+        raise TypeError("avail vector has a fixed processor count")
+
+    append = extend = insert = pop = remove = clear = sort = reverse = _blocked
+    __delitem__ = __iadd__ = __imul__ = _blocked
 
 
 class SchedulerState:
     """Mutable partial schedule shared by every list-scheduling heuristic.
 
     Works for any number of memory classes; the paper's dual-memory
-    platform is simply ``k = 2``.
+    platform is simply ``k = 2``.  ``backend`` selects the EST kernel
+    backend (:func:`repro.scheduling.kernel.resolve_backend`): a name
+    (``"scalar"`` / ``"numpy"`` / ``"auto"``), a kernel instance, or
+    ``None`` to consult ``MEMSCHED_KERNEL`` and auto-detect.
     """
 
     def __init__(self, graph: TaskGraph, platform: Platform,
-                 comm_policy: str = "late", incremental: bool = True) -> None:
+                 comm_policy: str = "late", incremental: bool = True,
+                 backend: KernelLike = None) -> None:
         if comm_policy not in ("late", "eager"):
             raise ValueError(f"comm_policy must be 'late' or 'eager', got {comm_policy!r}")
         if graph.n_classes != platform.n_classes:
@@ -160,26 +200,46 @@ class SchedulerState:
         self.platform = platform
         self.comm_policy = comm_policy
         self.incremental = incremental
+        self.kernel = resolve_backend(backend)
         self.memories = platform.memories()
         # Per class: True when all its processors share one speed (the
         # min(avail) fast path); heterogeneous classes take the
         # per-processor finish-time path.
         self._uniform = platform.uniform_classes
         self.schedule = Schedule(platform)
-        self.avail: list[float] = [0.0] * platform.n_procs
+        self.avail: _AvailVector = _AvailVector(
+            [0.0] * platform.n_procs, platform.proc_classes,
+            platform.n_classes)
         self.mem: dict[Memory, MemoryProfile] = {
             m: MemoryProfile(platform.capacity(m)) for m in self.memories
         }
+        # -- flat array-of-structs layout (shared by the kernel backends) -
+        flat = graph.flatten()
+        self._flat = flat
+        self._row = flat.index
+        #: Per-row finish time / memory-class index of committed tasks
+        #: (-1 = not committed) — the placement view the hot path indexes
+        #: instead of going through Schedule.placement dict lookups.
+        self._finish: list[float] = [0.0] * flat.n_tasks
+        self._memidx: list[int] = [-1] * flat.n_tasks
         self._pending_parents: dict[Task, int] = {
-            t: graph.in_degree(t) for t in graph.tasks()
+            t: flat.parent_ptr[i + 1] - flat.parent_ptr[i]
+            for i, t in enumerate(flat.order)
         }
         self._newly_ready: list[Task] = []
         # -- incremental EST caches ------------------------------------
         # per task: (precedence, cmax, cross_in, need_task) per class —
         # immutable once the task is ready (parents all committed).
         self._static: dict[Task, list[tuple[float, float, float, float]]] = {}
-        # per (task, class index): (profile version, task_mem, comm_fit).
-        self._fit: dict[tuple[Task, int], tuple[int, float, float]] = {}
+        # Per class: ``[profile version, {task: (task_mem, comm_fit)}]``.
+        # A version bump invalidates the whole class dict at once (the
+        # kernels clear it lazily on first access), so the hot path never
+        # filters stale entries; commit additionally evicts the committed
+        # task, bounding the memo to ready-but-uncommitted candidates.
+        self._fit: list[list] = [[-1, {}] for _ in range(platform.n_classes)]
+        #: Backend scratch (e.g. the numpy suffix-max staircase arrays),
+        #: managed by the kernel, reset on copy().
+        self._kernel_scratch: dict = {}
         # -- per-class dirty tracking ----------------------------------
         # Commits record which memory classes they actually mutated: one
         # serial per commit, and per class the serial of the last commit
@@ -191,6 +251,9 @@ class SchedulerState:
         self.class_touch_serial: list[int] = [0] * platform.n_classes
         #: Class indices mutated by the most recent commit (diagnostics).
         self.last_touched_classes: tuple[int, ...] = ()
+        # class_resources() cache, keyed on the avail vector's version.
+        self._resources_cache: Optional[list[float]] = None
+        self._resources_version: int = -1
 
     # ------------------------------------------------------------------
     # readiness
@@ -220,11 +283,10 @@ class SchedulerState:
         return out
 
     # ------------------------------------------------------------------
-    # EST computation (§5.1)
+    # EST computation (§5.1) — arithmetic in repro.scheduling.kernel
     # ------------------------------------------------------------------
     def _infeasible(self, task: Task, memory: Memory) -> ESTBreakdown:
-        inf = math.inf
-        return ESTBreakdown(task, memory, inf, inf, inf, inf, 0.0, inf, inf)
+        return infeasible_breakdown(task, memory)
 
     def _finish_choice(self, memory: Memory, floor: float,
                        w: float) -> tuple[int, float, float]:
@@ -254,15 +316,14 @@ class SchedulerState:
                          task_mem: float, comm_mem: float,
                          w: float) -> tuple[float, float, float, int]:
         """The resource/processor half of one EST evaluation, shared by
-        the incremental and from-scratch kernels: returns
-        ``(resource, est, duration, proc)``.  Uniform-speed classes take
-        the class-wide ``min(avail)`` fast path (bit-identical to the
-        homogeneous arithmetic at speed 1.0; the processor is chosen at
-        commit time); heterogeneous ones minimise per-processor finish
-        times via :meth:`_finish_choice`."""
+        the kernel backends: returns ``(resource, est, duration, proc)``.
+        Uniform-speed classes take the class-wide ``min(avail)`` fast path
+        (bit-identical to the homogeneous arithmetic at speed 1.0; the
+        processor is chosen at commit time); heterogeneous ones minimise
+        per-processor finish times via :meth:`_finish_choice`."""
         idx = memory.index
         if self._uniform[idx]:
-            resource = min(self.avail[p] for p in self.platform.procs(memory))
+            resource = self.avail.class_min(idx)
             est = max(resource, precedence, task_mem, comm_mem)
             return resource, est, w / self.platform.max_class_speeds[idx], -1
         floor = max(precedence, task_mem, comm_mem)
@@ -272,9 +333,12 @@ class SchedulerState:
     def _precedence_parts(self, task: Task) -> list[tuple[float, float, float, float]]:
         """``(precedence, cmax, cross_in, need_task)`` per memory class.
 
-        A single pass over the parents fills all k classes at once; the
-        result is cached until the task itself commits — once a task is
-        ready its parents are all placed, so these values never change.
+        A single pass over the flat CSR parent arrays fills all k classes
+        at once; the result is cached until the task itself commits — once
+        a task is ready its parents are all placed, so these values never
+        change.  The ``cross_in`` accumulation is an order-dependent
+        sequential sum, which is why *both* kernel backends share this
+        scalar code (see :mod:`repro.scheduling.kernel`).
         """
         parts = self._static.get(task)
         if parts is not None:
@@ -283,14 +347,19 @@ class SchedulerState:
         prec = [0.0] * k
         cmax = [0.0] * k
         cross = [0.0] * k
-        graph = self.graph
-        placement = self.schedule.placement
-        for parent in graph.parents(task):
-            pp = placement(parent)
-            finish = pp.finish
-            p_idx = pp.memory.index
-            c = graph.comm(parent, task)
-            size = graph.size(parent, task)
+        flat = self._flat
+        row = self._row[task]
+        finish_of = self._finish
+        memidx_of = self._memidx
+        parent_row = flat.parent_row
+        parent_comm = flat.parent_comm
+        parent_size = flat.parent_size
+        for e in range(flat.parent_ptr[row], flat.parent_ptr[row + 1]):
+            j = parent_row[e]
+            finish = finish_of[j]
+            p_idx = memidx_of[j]
+            c = parent_comm[e]
+            size = parent_size[e]
             late = finish + c
             for ci in range(k):
                 if ci == p_idx:
@@ -302,7 +371,7 @@ class SchedulerState:
                     if c > cmax[ci]:
                         cmax[ci] = c
                     cross[ci] += size
-        out_total = graph.out_size(task)
+        out_total = flat.out_size[row]
         parts = [(prec[ci], cmax[ci], cross[ci], cross[ci] + out_total)
                  for ci in range(k)]
         self._static[task] = parts
@@ -312,78 +381,20 @@ class SchedulerState:
         """EST/EFT breakdown of ``task`` on ``memory`` given the partial
         schedule.  Infeasible candidates get ``est = eft = inf``."""
         if not self.incremental:
-            return self._est_fresh(task, memory)
-        if not self.is_ready(task) or self.platform.n_procs_of(memory) == 0:
-            return self._infeasible(task, memory)
-
-        idx = memory.index
-        precedence, cmax, cross_in, need_task = self._precedence_parts(task)[idx]
-
-        profile = self.mem[memory]
-        key = (task, idx)
-        cached = self._fit.get(key)
-        if cached is not None and cached[0] == profile.version:
-            task_mem, comm_fit = cached[1], cached[2]
-        else:
-            task_mem = profile.earliest_fit(need_task)
-            comm_fit = (profile.earliest_fit(cross_in)
-                        if cross_in > 0.0 or cmax > 0.0 else 0.0)
-            self._fit[key] = (profile.version, task_mem, comm_fit)
-        comm_mem = comm_fit + cmax if cross_in > 0.0 or cmax > 0.0 else 0.0
-
-        resource, est, duration, proc = self._resource_choice(
-            memory, precedence, task_mem, comm_mem, self.graph.w(task, memory))
-        eft = est + duration if math.isfinite(est) else math.inf
-        return ESTBreakdown(task, memory, resource, precedence, task_mem,
-                            comm_mem, cmax, est, eft, comm_fit,
-                            duration, proc)
-
-    def _est_fresh(self, task: Task, memory: Memory) -> ESTBreakdown:
-        """From-scratch EST evaluation (the pre-incremental reference path,
-        kept for cross-checks and the kernel benchmark)."""
-        if not self.is_ready(task) or self.platform.n_procs_of(memory) == 0:
-            return self._infeasible(task, memory)
-
-        precedence = 0.0
-        cmax = 0.0
-        cross_in = 0.0
-        for parent in self.graph.parents(task):
-            pp = self.schedule.placement(parent)
-            if pp.memory is memory:
-                precedence = max(precedence, pp.finish)
-            else:
-                c = self.graph.comm(parent, task)
-                precedence = max(precedence, pp.finish + c)
-                cmax = max(cmax, c)
-                cross_in += self.graph.size(parent, task)
-
-        need_task = cross_in + self.graph.out_size(task)
-        task_mem = self.mem[memory].earliest_fit(need_task)
-
-        comm_fit = 0.0
-        if cross_in > 0.0 or cmax > 0.0:
-            comm_fit = self.mem[memory].earliest_fit(cross_in)
-            comm_mem = comm_fit + cmax
-        else:
-            comm_mem = 0.0
-
-        resource, est, duration, proc = self._resource_choice(
-            memory, precedence, task_mem, comm_mem, self.graph.w(task, memory))
-        eft = est + duration if math.isfinite(est) else math.inf
-        return ESTBreakdown(task, memory, resource, precedence, task_mem,
-                            comm_mem, cmax, est, eft, comm_fit,
-                            duration, proc)
+            return self.kernel.evaluate_fresh(self, task, memory)
+        return self.kernel.evaluate(self, task, memory)
 
     def class_resources(self) -> list[float]:
         """Min processor avail per memory class (``inf`` for classes without
-        processors).  Non-decreasing over the run: commits only push avail
-        times forward."""
+        processors).  Served from a cache keyed on the avail vector's
+        version counter — commits and direct ``avail`` writes both bump it.
+        Callers must treat the returned list as read-only."""
         avail = self.avail
-        out = []
-        for memory in self.memories:
-            procs = self.platform.procs(memory)
-            out.append(min(avail[p] for p in procs) if len(procs) else math.inf)
-        return out
+        if self._resources_version != avail.version:
+            self._resources_cache = [avail.class_min(ci)
+                                     for ci in range(len(self.memories))]
+            self._resources_version = avail.version
+        return self._resources_cache
 
     def est_lower_bound_parts(
             self, task: Task) -> tuple[Optional[tuple[float, float]], ...]:
@@ -398,7 +409,7 @@ class SchedulerState:
         long, so the bound stays sound on heterogeneous classes (and
         reduces to ``W^(c)`` bit-for-bit on speed-1.0 platforms)."""
         parts = self._precedence_parts(task)
-        times = self.graph.times(task)
+        times = self._flat.times[self._row[task]]
         counts = self.platform.proc_counts
         fastest = self.platform.max_class_speeds
         out = []
@@ -446,15 +457,23 @@ class SchedulerState:
         """Processor of ``memory`` minimising idle time ``est - avail[p]``
         among those already free at ``est`` (ties: lowest index).
 
+        Served from the avail vector's per-class sorted view: the
+        free-at-``est`` prefix comes from one bisect and only *its*
+        processors replay the historical index-order EPS-chain, instead of
+        scanning every processor of the class per commit.
+
         Only meaningful on *uniform-speed* classes, where every free
         processor finishes the task at the same time; heterogeneous
         breakdowns pre-select their processor in :meth:`est`
         (``breakdown.proc``) and bypass this method at commit time."""
+        entries = self.avail.by_class[memory.index]
+        # All (a, p) with a <= est + EPS: bisecting with a proc sentinel
+        # above any real index keeps a == est + EPS entries inside.
+        hi = bisect_right(entries, (est + EPS, self.platform.n_procs))
         best_proc = -1
         best_avail = -math.inf
-        for p in self.platform.procs(memory):
-            a = self.avail[p]
-            if a <= est + EPS and a > best_avail + EPS:
+        for a, p in sorted(entries[:hi], key=itemgetter(1)):
+            if a > best_avail + EPS:
                 best_avail = a
                 best_proc = p
         if best_proc < 0:  # pragma: no cover - est >= resource_EST prevents this
@@ -477,19 +496,28 @@ class SchedulerState:
         self.schedule.add(placement)
         self.avail[proc] = finish
 
+        flat = self._flat
+        row = self._row[task]
+        self._finish[row] = finish
+        self._memidx[row] = memory.index
+
         profile = self.mem[memory]
         touched: set[int] = set()
         # Outputs resident in mu from the task start until each consumer is
         # committed (release scheduled then).
-        out_total = self.graph.out_size(task)
+        out_total = flat.out_size[row]
         if out_total > 0.0:
             profile.add(out_total, est, None)
             touched.add(memory.index)
 
-        for parent in self.graph.parents(task):
-            pp = self.schedule.placement(parent)
-            size = self.graph.size(parent, task)
-            if pp.memory is memory:
+        order = flat.order
+        parent_row = flat.parent_row
+        for e in range(flat.parent_ptr[row], flat.parent_ptr[row + 1]):
+            j = parent_row[e]
+            p_finish = self._finish[j]
+            p_idx = self._memidx[j]
+            size = flat.parent_size[e]
+            if p_idx == memory.index:
                 # Same-memory input: freed when this task finishes.
                 if size > 0.0:
                     profile.add(-size, finish, None)
@@ -500,21 +528,22 @@ class SchedulerState:
                 # producer's finish.  "eager" (ablation): fire as soon as the
                 # destination has room, again no earlier than the producer.
                 if self.comm_policy == "late":
-                    comm_start = max(est - breakdown.cmax, pp.finish)
+                    comm_start = max(est - breakdown.cmax, p_finish)
                     comm_end = est
                 else:
-                    comm_start = max(breakdown.comm_fit, pp.finish)
-                    comm_end = comm_start + self.graph.comm(parent, task)
+                    comm_start = max(breakdown.comm_fit, p_finish)
+                    comm_end = comm_start + flat.parent_comm[e]
                 self.schedule.add_comm(
-                    CommEvent(src=parent, dst=task, start=comm_start, finish=comm_end)
+                    CommEvent(src=order[j], dst=task, start=comm_start,
+                              finish=comm_end)
                 )
                 if size > 0.0:
                     # Destination copy lives for transfer + execution.
                     profile.add(size, comm_start, finish)
                     # Source copy freed when the transfer completes.
-                    self.mem[pp.memory].add(-size, comm_end, None)
+                    self.mem[self.memories[p_idx]].add(-size, comm_end, None)
                     touched.add(memory.index)
-                    touched.add(pp.memory.index)
+                    touched.add(p_idx)
 
         # Record which classes this commit actually mutated.
         self.commit_serial += 1
@@ -523,15 +552,19 @@ class SchedulerState:
         self.last_touched_classes = tuple(sorted(touched))
 
         # Drop the committed task's cached EST components (it will never be
-        # a candidate again); profile-version keys invalidate the rest.
+        # a candidate again) — this bounds the _static/_fit memos to the
+        # live candidate set; profile-version keys invalidate the rest.
         self._static.pop(task, None)
-        for m in self.memories:
-            self._fit.pop((task, m.index), None)
+        for slot in self._fit:
+            slot[1].pop(task, None)
 
-        # readiness propagation
-        for child in self.graph.children(task):
-            self._pending_parents[child] -= 1
-            if self._pending_parents[child] == 0:
+        # readiness propagation over the flat child CSR
+        pending = self._pending_parents
+        child_row = flat.child_row
+        for e in range(flat.child_ptr[row], flat.child_ptr[row + 1]):
+            child = order[child_row[e]]
+            pending[child] -= 1
+            if pending[child] == 0:
                 self._newly_ready.append(child)
 
         return placement
@@ -543,18 +576,28 @@ class SchedulerState:
         clone.platform = self.platform
         clone.comm_policy = self.comm_policy
         clone.incremental = self.incremental
+        clone.kernel = self.kernel
         clone.memories = self.memories
         clone._uniform = self._uniform
         clone.schedule = self.schedule.copy()
-        clone.avail = list(self.avail)
+        clone.avail = _AvailVector(list(self.avail),
+                                   self.platform.proc_classes,
+                                   self.platform.n_classes)
         clone.mem = {m: p.copy() for m, p in self.mem.items()}
+        clone._flat = self._flat
+        clone._row = self._row
+        clone._finish = list(self._finish)
+        clone._memidx = list(self._memidx)
         clone._pending_parents = dict(self._pending_parents)
         clone._newly_ready = list(self._newly_ready)
         clone._static = dict(self._static)
-        clone._fit = dict(self._fit)
+        clone._fit = [[ver, dict(d)] for ver, d in self._fit]
+        clone._kernel_scratch = {}
         clone.commit_serial = self.commit_serial
         clone.class_touch_serial = list(self.class_touch_serial)
         clone.last_touched_classes = self.last_touched_classes
+        clone._resources_cache = None
+        clone._resources_version = -1
         return clone
 
     # ------------------------------------------------------------------

@@ -26,13 +26,16 @@ from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..core.schedule import Schedule
 from .candidates import SufferageSelector
+from .kernel import KernelLike
 from .state import ESTBreakdown, InfeasibleScheduleError, SchedulerState
 
 Task = Hashable
 
 
 def memsufferage(graph: TaskGraph, platform: Platform, *,
-                 comm_policy: str = "late", lazy: bool = True) -> Schedule:
+                 comm_policy: str = "late", lazy: bool = True,
+                 backend: KernelLike = None,
+                 dag_scoped: bool = True) -> Schedule:
     """Schedule ``graph`` with the memory-aware Sufferage heuristic.
 
     ``lazy`` (default) serves the per-step arg-max-sufferage from the
@@ -41,14 +44,18 @@ def memsufferage(graph: TaskGraph, platform: Platform, *,
     untouched by the last commit are reused verbatim — while ``lazy=False``
     rescans every available task.  Both paths commit identical schedules.
 
+    ``backend`` picks the EST kernel backend; ``dag_scoped=False`` reverts
+    the selector to coarse per-class invalidation (A/B benchmarks).
+
     Raises :class:`InfeasibleScheduleError` when no available task fits
     within the memory bounds (same contract as Algorithms 1-2).
     """
-    state = SchedulerState(graph, platform, comm_policy=comm_policy)
+    state = SchedulerState(graph, platform, comm_policy=comm_policy,
+                           backend=backend)
     index = {t: k for k, t in enumerate(graph.topological_order())}
 
     if lazy:
-        selector = SufferageSelector(state, index)
+        selector = SufferageSelector(state, index, dag_scoped=dag_scoped)
         for task in graph.roots():
             selector.push(task)
         while len(selector):
@@ -99,8 +106,9 @@ def memsufferage(graph: TaskGraph, platform: Platform, *,
     return state.finalize("memsufferage")
 
 
-def sufferage(graph: TaskGraph, platform: Platform) -> Schedule:
+def sufferage(graph: TaskGraph, platform: Platform, *,
+              backend: KernelLike = None) -> Schedule:
     """Classical (memory-oblivious) Sufferage: the unbounded special case."""
-    schedule = memsufferage(graph, platform.unbounded())
+    schedule = memsufferage(graph, platform.unbounded(), backend=backend)
     schedule.meta["algorithm"] = "sufferage"
     return schedule

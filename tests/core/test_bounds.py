@@ -10,7 +10,12 @@ from repro.core.bounds import (
     split_work_lower_bound,
     work_lower_bound,
 )
+from repro.core.bounds import linprog as _linprog
 from repro.dags import chain, dex, fork_join, random_dag
+
+#: The LP split-work bound is the one numpy/scipy-only bound.
+needs_lp = pytest.mark.skipif(_linprog is None,
+                              reason="LP bound needs numpy + scipy")
 
 
 class TestCriticalPath:
@@ -31,6 +36,7 @@ class TestWorkBounds:
         g = fork_join(8, w_blue=2, w_red=2)  # 10 tasks, min work 2 each
         assert work_lower_bound(g, Platform(2, 2)) == 20 / 4
 
+    @needs_lp
     def test_split_bound_respects_per_class_speeds(self):
         # Tasks fast on red only; one red processor is the bottleneck.
         g = chain(4, w_blue=100, w_red=1)
@@ -38,14 +44,17 @@ class TestWorkBounds:
         # LP optimum: balance 400x = 4(1-x) -> x = 1/101, T = 400/101.
         assert lb == pytest.approx(400 / 101, rel=1e-6)
 
+    @needs_lp
     def test_split_bound_degenerates_without_blue(self):
         g = chain(3, w_blue=5, w_red=2)
         assert split_work_lower_bound(g, Platform(0, 2)) == pytest.approx(3.0)
 
+    @needs_lp
     def test_split_bound_degenerates_without_red(self):
         g = chain(3, w_blue=5, w_red=2)
         assert split_work_lower_bound(g, Platform(3, 0)) == pytest.approx(5.0)
 
+    @needs_lp
     def test_split_bound_at_least_work_bound_when_balanced(self):
         g = fork_join(6, w_blue=4, w_red=4)
         assert (split_work_lower_bound(g, Platform(1, 1))

@@ -22,7 +22,6 @@ Three layers:
   memory bounds in ``repro.experiments.engine``.
 """
 
-import dataclasses
 import math
 
 from hypothesis import given, settings
@@ -195,8 +194,8 @@ def _replay_on(graph, platform, reference):
         floor = max(bd.precedence, bd.task_mem, bd.comm_mem)
         est = max(floor, state.avail[ref.proc])
         duration = graph.w(task, ref.memory) / platform.speed(ref.proc)
-        state.commit(dataclasses.replace(
-            bd, proc=ref.proc, est=est, eft=est + duration,
+        state.commit(bd._replace(
+            proc=ref.proc, est=est, eft=est + duration,
             duration=duration, resource=state.avail[ref.proc]))
     return state.finalize("replay")
 

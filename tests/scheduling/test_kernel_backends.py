@@ -1,0 +1,225 @@
+"""The pluggable EST kernel backends must be bit-identical: the vectorized
+numpy path and the scalar reference path commit byte-equal schedules on
+every heuristic across fuzzed (graph, platform, speeds, bound) instances,
+and the batch entry points return breakdown-for-breakdown equal results."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Platform, heft
+from repro.dags import random_dag
+from repro.dags.toy import dex
+from repro.scheduling.kernel import (
+    ENV_VAR,
+    NumpyKernel,
+    ScalarKernel,
+    available_backends,
+    resolve_backend,
+)
+from repro.scheduling.memheft import memheft
+from repro.scheduling.memminmin import memminmin
+from repro.scheduling.state import InfeasibleScheduleError, SchedulerState
+from repro.scheduling.sufferage import memsufferage
+
+HEURISTICS = (memheft, memminmin, memsufferage)
+
+#: batch_cutoff=1 forces the vector path even on tiny ready sets, so small
+#: fuzzed instances exercise the array code, not the scalar fallback.
+FORCED_NUMPY = NumpyKernel(batch_cutoff=1)
+
+
+def _snap(schedule, graph):
+    return [(t, p.proc, p.memory.index, p.start, p.finish)
+            for t in graph.tasks()
+            for p in (schedule.placement(t),)]
+
+
+def _assert_backends_agree(graph, platform, **kwargs):
+    try:
+        scalar = memheft(graph, platform, backend="scalar", **kwargs)
+    except InfeasibleScheduleError:
+        with pytest.raises(InfeasibleScheduleError):
+            memheft(graph, platform, backend=FORCED_NUMPY, **kwargs)
+        return
+    vec = memheft(graph, platform, backend=FORCED_NUMPY, **kwargs)
+    assert _snap(scalar, graph) == _snap(vec, graph)
+
+
+class TestResolveBackend:
+    def test_names(self):
+        assert resolve_backend("scalar").name == "scalar"
+        assert resolve_backend("numpy").name == "numpy"
+        assert resolve_backend("auto").name == "numpy"  # numpy installed
+
+    def test_instance_passthrough(self):
+        k = NumpyKernel(batch_cutoff=3)
+        assert resolve_backend(k) is k
+
+    def test_singletons(self):
+        assert resolve_backend("scalar") is resolve_backend("scalar")
+        assert resolve_backend("numpy") is resolve_backend("numpy")
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "scalar")
+        assert resolve_backend(None).name == "scalar"
+        monkeypatch.setenv(ENV_VAR, "NumPy")  # case-insensitive
+        assert resolve_backend(None).name == "numpy"
+        monkeypatch.setenv(ENV_VAR, "")  # empty -> auto
+        assert resolve_backend(None).name == "numpy"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert resolve_backend("scalar").name == "scalar"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("cuda")
+
+    def test_available_backends(self):
+        assert available_backends() == ("scalar", "numpy")
+
+    def test_bad_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            NumpyKernel(batch_cutoff=0)
+
+    def test_scalar_is_not_vectorized(self):
+        assert ScalarKernel.vectorized is False
+        assert NumpyKernel.vectorized is True
+
+
+class TestBatchParity:
+    """Kernel-level comparison: the batch entry points of both backends
+    return equal breakdowns at every step of a real scheduling run."""
+
+    @pytest.mark.parametrize("platform", [
+        Platform(2, 2, 80.0, 80.0),
+        Platform(3, 1, math.inf, 50.0),
+        Platform(2, 2, 120.0, 120.0, speeds=[1.0, 2.0, 0.5, 1.0]),
+        Platform([1, 1, 1], [60.0, math.inf, 40.0]),
+    ], ids=["bounded", "mixed", "hetero", "three-class"])
+    def test_batch_equals_scalar_along_a_run(self, platform):
+        scalar = ScalarKernel()
+        if platform.n_classes == 3:
+            graph = _three_class_graph()
+        else:
+            graph = random_dag(size=40, rng=11)
+        state = SchedulerState(graph, platform, backend="scalar")
+        ready = list(state.ready_roots())
+        while ready:
+            for memory in state.memories:
+                a = scalar.evaluate_class_batch(state, ready, memory)
+                b = FORCED_NUMPY.evaluate_class_batch(state, ready, memory)
+                assert a == b
+            assert (scalar.best_est_batch(state, ready)
+                    == FORCED_NUMPY.best_est_batch(state, ready))
+            committed = None
+            for task in ready:
+                bd = state.best_est(task)
+                if bd is not None:
+                    committed = bd
+                    break
+            if committed is None:
+                break
+            state.commit(committed)
+            ready = ([t for t in ready if t != committed.task]
+                     + state.pop_newly_ready())
+
+    def test_batch_fit_memo_coherent_with_scalar(self):
+        """Batched earliest_fit results land in the shared (task, class)
+        memo, so a later scalar evaluation reuses them verbatim."""
+        graph = random_dag(size=30, rng=5)
+        platform = Platform(2, 2, 100.0, 100.0)
+        state = SchedulerState(graph, platform, backend=FORCED_NUMPY)
+        ready = list(state.ready_roots())
+        memory = state.memories[0]
+        batched = FORCED_NUMPY.evaluate_class_batch(state, ready, memory)
+        for task in ready:
+            assert task in state._fit[memory.index][1]
+        scalar = ScalarKernel()
+        again = [scalar.evaluate(state, t, memory) for t in ready]
+        assert batched == again
+
+    def test_below_cutoff_falls_back_to_scalar_loop(self):
+        graph = dex()
+        platform = Platform(1, 1, 5.0, 5.0)
+        state = SchedulerState(graph, platform, backend="scalar")
+        big_cutoff = NumpyKernel(batch_cutoff=64)
+        ready = list(state.ready_roots())
+        a = big_cutoff.evaluate_class_batch(state, ready, state.memories[0])
+        b = ScalarKernel().evaluate_class_batch(state, ready,
+                                                state.memories[0])
+        assert a == b
+
+
+def _three_class_graph():
+    from repro.multi import MultiTaskGraph
+    g = MultiTaskGraph(3, name="tri")
+    for k in range(12):
+        g.add_task(k, (float(1 + k % 5), float(2 + k % 3), float(1 + k % 7)))
+    for i in range(12):
+        for j in range(i + 1, 12):
+            if (i * 7 + j) % 3 == 0:
+                g.add_dependency(i, j, size=float(1 + (i + j) % 4),
+                                 comm=float(1 + (i * j) % 5))
+    return g
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("fn", HEURISTICS, ids=lambda f: f.__name__)
+    def test_env_selected_backend_matches(self, fn, monkeypatch):
+        graph = random_dag(size=30, rng=2)
+        platform = Platform(2, 1, 150.0, 150.0)
+        monkeypatch.setenv(ENV_VAR, "scalar")
+        a = fn(graph, platform)
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        b = fn(graph, platform)
+        assert _snap(a, graph) == _snap(b, graph)
+
+    @pytest.mark.parametrize("fn", HEURISTICS, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("lazy", [True, False], ids=["lazy", "naive"])
+    def test_forced_vector_path_bit_identical(self, fn, lazy):
+        graph = random_dag(size=35, rng=9)
+        base = heft(graph, Platform(1, 1))
+        bound = 0.8 * max(base.meta["peak_blue"], base.meta["peak_red"])
+        platform = Platform(1, 1).with_uniform_bound(bound)
+        try:
+            a = fn(graph, platform, lazy=lazy, backend="scalar")
+        except InfeasibleScheduleError:
+            with pytest.raises(InfeasibleScheduleError):
+                fn(graph, platform, lazy=lazy, backend=FORCED_NUMPY)
+            return
+        b = fn(graph, platform, lazy=lazy, backend=FORCED_NUMPY)
+        assert _snap(a, graph) == _snap(b, graph)
+        assert a.meta["peaks"] == b.meta["peaks"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(size=st.integers(min_value=3, max_value=35),
+       seed=st.integers(min_value=0, max_value=10**6),
+       alpha=st.floats(min_value=0.3, max_value=1.5),
+       procs=st.sampled_from([(1, 1), (2, 1), (1, 3), (2, 2)]),
+       speed_pick=st.sampled_from([None, (1.0, 2.0, 0.5, 1.0, 4.0, 0.25)]))
+def test_numpy_equals_scalar_fuzzed(size, seed, alpha, procs, speed_pick):
+    """The acceptance property: numpy-backend schedules are byte-identical
+    to scalar-backend schedules across fuzzed graphs, platforms, processor
+    speeds and memory bounds, on all three memory-aware heuristics."""
+    graph = random_dag(size=size, rng=seed)
+    n_procs = sum(procs)
+    speeds = None if speed_pick is None else list(speed_pick[:n_procs])
+    base = heft(graph, Platform(*procs))
+    ref_peak = max(base.meta["peak_blue"], base.meta["peak_red"]) or 1.0
+    caps = alpha * ref_peak
+    platform = Platform(procs[0], procs[1], caps, caps, speeds=speeds)
+    for fn in HEURISTICS:
+        try:
+            scalar = fn(graph, platform, backend="scalar")
+        except InfeasibleScheduleError:
+            with pytest.raises(InfeasibleScheduleError):
+                fn(graph, platform, backend=FORCED_NUMPY)
+            continue
+        vec = fn(graph, platform, backend=FORCED_NUMPY)
+        assert _snap(scalar, graph) == _snap(vec, graph)
+        assert scalar.meta["peaks"] == vec.meta["peaks"]

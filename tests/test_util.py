@@ -2,11 +2,17 @@
 
 import math
 
-import numpy as np
+import pytest
 
-from repro._util import EPS, as_rng, feq, fle, fmt_num
+from repro._util import EPS, HAS_NUMPY, as_rng, feq, fle, fmt_num
+
+try:
+    import numpy as np
+except ModuleNotFoundError:
+    np = None
 
 
+@pytest.mark.skipif(not HAS_NUMPY, reason="as_rng coerces numpy Generators")
 class TestRngCoercion:
     def test_none_gives_generator(self):
         assert isinstance(as_rng(None), np.random.Generator)
