@@ -379,8 +379,8 @@ def main(argv=None) -> int:
         report["sweep"] = bench_sweep(args.jobs, args.sweep_graphs,
                                       args.sweep_size, args.sweep_alphas)
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2)
+        from repro._util import atomic_write_json
+        atomic_write_json(args.json, report)
             fh.write("\n")
         print(f"wrote {args.json}")
     return 0

@@ -252,8 +252,8 @@ def main(argv=None) -> int:
         "batch": batch,
     }
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2)
+        from repro._util import atomic_write_json
+        atomic_write_json(args.json, report)
         print(f"wrote {args.json}")
     return 0
 

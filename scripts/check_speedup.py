@@ -17,6 +17,10 @@ ROADMAP's long-open "needs a multi-core runner" item):
   (a single-thread gate, so it holds on one-core runners too), with
   bit-identical breakdowns, and the batch/end-to-end sections must all
   be marked identical.
+* ``BENCH_faults.json`` — checkpoint journaling must cost at most
+  ``--max-checkpoint-overhead`` percent on a fault-free sweep, fault
+  plans must be bit-reproducible, and every chaos goodput run must have
+  stayed byte-identical to the serial reference.
 
 Exit status 0 only when every present report passes; failures list every
 violated gate.  Usage::
@@ -92,6 +96,55 @@ def check_report(kind: str, path: str, min_speedup: float) -> list[str]:
     return problems
 
 
+def check_faults_report(path: str, max_overhead_pct: float) -> list[str]:
+    """Gate ``BENCH_faults.json``: checkpoint journaling must cost at most
+    ``max_overhead_pct`` percent on a fault-free sweep with identical
+    results; fault plans must be bit-reproducible (stable digest, repeating
+    event sequence, repeating live injections); and every goodput chaos run
+    must have produced results identical to serial."""
+    report = json.loads(Path(path).read_text())
+    problems = []
+
+    ck = report.get("checkpoint")
+    if ck is None:
+        problems.append(f"{path}: no 'checkpoint' section — run "
+                        "bench_faults.py")
+    else:
+        if not ck.get("identical_results"):
+            problems.append(f"{path}: checkpointed sweep differs from "
+                            "plain run")
+        if ck["overhead_pct"] > max_overhead_pct:
+            problems.append(
+                f"{path}: checkpoint overhead {ck['overhead_pct']:+.2f}% "
+                f"> allowed {max_overhead_pct:g}%")
+
+    rep = report.get("reproducibility")
+    if rep is None:
+        problems.append(f"{path}: no 'reproducibility' section")
+    else:
+        for flag in ("digest_stable", "events_repeat", "injections_repeat",
+                     "identical_results"):
+            if not rep.get(flag):
+                problems.append(f"{path}: reproducibility.{flag} is false "
+                                "— fault plans are not bit-reproducible")
+
+    goodput = report.get("goodput")
+    if goodput is not None:
+        for row in goodput.get("plans", ()):
+            if not row.get("identical_results"):
+                problems.append(
+                    f"{path}: goodput[{row.get('plan')}] diverged from "
+                    "the serial reference under injected faults")
+
+    if not problems:
+        overhead = ck["overhead_pct"]
+        n_plans = len((goodput or {}).get("plans", ()))
+        print(f"faults   ckpt+chaos: overhead {overhead:+.2f}% <= "
+              f"{max_overhead_pct:g}%, plans reproducible, "
+              f"{n_plans} chaos plans identical to serial OK")
+    return problems
+
+
 def check_kernel_report(path: str, min_speedup: float) -> list[str]:
     """Gate ``BENCH_kernel.json``: every ``vs_seed`` row (numpy batch
     kernel vs the seed incremental kernel) must clear ``min_speedup``
@@ -134,6 +187,8 @@ def main(argv=None) -> int:
                         help="BENCH_distributed.json to gate")
     parser.add_argument("--kernel", metavar="PATH",
                         help="BENCH_kernel.json to gate")
+    parser.add_argument("--faults", metavar="PATH",
+                        help="BENCH_faults.json to gate")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required parallel-vs-serial factor for the "
                              "in-process paths (default: 1.5)")
@@ -144,11 +199,15 @@ def main(argv=None) -> int:
                         help="required numpy-vs-seed kernel factor "
                              "(bench target is 5x; CI gates the noise-"
                              "tolerant 3x)")
+    parser.add_argument("--max-checkpoint-overhead", type=float,
+                        default=5.0,
+                        help="allowed checkpoint-journal overhead in "
+                             "percent on a fault-free sweep (default: 5)")
     args = parser.parse_args(argv)
     if not (args.scaling or args.service or args.distributed
-            or args.kernel):
+            or args.kernel or args.faults):
         parser.error("nothing to check: pass --scaling/--service/"
-                     "--distributed/--kernel")
+                     "--distributed/--kernel/--faults")
 
     problems: list[str] = []
     if args.scaling:
@@ -160,6 +219,9 @@ def main(argv=None) -> int:
                                  args.min_distributed)
     if args.kernel:
         problems += check_kernel_report(args.kernel, args.min_kernel)
+    if args.faults:
+        problems += check_faults_report(args.faults,
+                                        args.max_checkpoint_overhead)
     for p in problems:
         print(f"SPEEDUP GATE FAILED: {p}", file=sys.stderr)
     if not problems:

@@ -20,6 +20,7 @@ try:
 except ModuleNotFoundError:  # running from a checkout without PYTHONPATH
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro._util import atomic_write_text
 from repro.dags.datasets import small_rand_set
 from repro.experiments.ablation import comm_policy_ablation, tiebreak_ablation
 from repro.experiments.config import get_scale
@@ -95,8 +96,9 @@ def main() -> int:
                 text = str(EXPERIMENTS[name](scale, jobs=jobs))
             dt = time.perf_counter() - t0
             path = out_dir / f"{name}.txt"
-            path.write_text(text + f"\n\n[generated at scale={scale.name} "
-                                   f"in {dt:.1f}s]\n")
+            atomic_write_text(path, text
+                              + f"\n\n[generated at scale={scale.name} "
+                                f"in {dt:.1f}s]\n")
             print(f"[{dt:7.1f}s] {name} -> {path}")
     finally:
         if stack is not None:

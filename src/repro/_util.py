@@ -65,3 +65,37 @@ def fmt_num(x: float) -> str:
     if float(x).is_integer():
         return str(int(x))
     return f"{x:.4g}"
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically: temp file in the same
+    directory, flush + fsync, then ``os.replace``.  A crash mid-write
+    leaves either the old file or the new one — never a half-file that
+    downstream tooling half-parses.  All result-file writers (BENCH
+    JSONs, experiment CSVs, figure outputs) go through here."""
+    import os
+    import tempfile
+    from pathlib import Path as _Path
+
+    target = _Path(path)
+    fd, tmp = tempfile.mkstemp(dir=str(target.parent or _Path(".")),
+                               prefix=target.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path, obj, *, indent=2) -> None:
+    """:func:`atomic_write_text` of ``json.dumps(obj, indent=indent)``
+    plus a trailing newline (the BENCH_*.json convention)."""
+    import json as _json
+    atomic_write_text(path, _json.dumps(obj, indent=indent) + "\n")

@@ -210,7 +210,26 @@ def cmd_ilp(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
+    if args.resume and not args.checkpoint:
+        raise SystemExit("error: --resume requires --checkpoint")
     executor = None
+
+    def run():
+        if args.checkpoint:
+            from .experiments.checkpoint import CheckpointError, checkpointing
+            try:
+                with checkpointing(args.checkpoint, resume=args.resume) \
+                        as ckpt:
+                    result = EXPERIMENTS[args.figure](scale, jobs=args.jobs)
+                stats = ckpt.stats()
+                print(f"checkpoint {stats['path']}: {stats['replayed']} "
+                      f"cells replayed, {stats['recorded']} recorded",
+                      file=sys.stderr)
+                return result
+            except CheckpointError as exc:
+                raise SystemExit(f"error: {exc}") from None
+        return EXPERIMENTS[args.figure](scale, jobs=args.jobs)
+
     if args.hosts:
         from .experiments.remote import RemoteExecutor, remote_hosts
         hosts = [h for h in args.hosts.split(",") if h.strip()]
@@ -219,9 +238,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         except ValueError as exc:
             raise SystemExit(f"error: invalid --hosts: {exc}") from None
         with remote_hosts(executor):
-            result = EXPERIMENTS[args.figure](scale, jobs=args.jobs)
+            result = run()
     else:
-        result = EXPERIMENTS[args.figure](scale, jobs=args.jobs)
+        result = run()
     print(result)
     if executor is not None:
         # Dispatch accounting to stderr: stdout stays byte-identical to
@@ -230,8 +249,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         for line in format_host_stats(executor.stats()):
             print(line, file=sys.stderr)
     if args.csv:
-        from pathlib import Path
-
+        from ._util import atomic_write_text
         from .experiments.report import (
             absolute_to_csv,
             heterogeneity_to_csv,
@@ -246,11 +264,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         if isinstance(data, dict):  # fig10 carries two sweeps
             data = data.get("heuristics", data)
         if isinstance(data, SweepResult):
-            Path(args.csv).write_text(sweep_to_csv(data))
+            atomic_write_text(args.csv, sweep_to_csv(data))
         elif isinstance(data, AbsoluteSweepResult):
-            Path(args.csv).write_text(absolute_to_csv(data))
+            atomic_write_text(args.csv, absolute_to_csv(data))
         elif isinstance(data, HeterogeneitySweepResult):
-            Path(args.csv).write_text(heterogeneity_to_csv(data))
+            atomic_write_text(args.csv, heterogeneity_to_csv(data))
         else:
             print(f"--csv not supported for {args.figure}", file=sys.stderr)
             return 2
@@ -287,7 +305,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     options = {}
     if args.comm_policy != "late":
         options["comm_policy"] = args.comm_policy
-    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    client = ServiceClient(args.host, args.port, timeout=args.timeout,
+                           deadline=args.timeout)
     try:
         client.wait_until_ready(args.wait)
         if len(graphs) == 1:
@@ -318,11 +337,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     finally:
         client.close()
     if args.output:
-        import json as _json
-        from pathlib import Path
-
-        Path(args.output).write_text(
-            _json.dumps(responses[0].schedule, indent=2))
+        from ._util import atomic_write_json
+        atomic_write_json(args.output, responses[0].schedule)
         print(f"wrote schedule to {args.output}")
     return 0
 
@@ -394,6 +410,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "serve' hosts instead of local processes "
                         "(weighted by each host's --workers; identical "
                         "results, asserted by tests/CI)")
+    p.add_argument("--checkpoint", default=None, metavar="CK.jsonl",
+                   help="journal each completed cell here (content-"
+                        "addressed, CRC-per-line) so a crashed campaign "
+                        "can be resumed")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from an existing --checkpoint journal: "
+                        "replay completed cells, re-execute only the "
+                        "unfinished ones (byte-identical output)")
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("serve", help="run the async scheduling service")

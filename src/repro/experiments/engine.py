@@ -58,6 +58,11 @@ _REMOTE_WORKERS: dict = {}
 #: :func:`repro.experiments.remote.remote_hosts`.
 _DEFAULT_HOSTS = None
 
+#: Ambient checkpoint journal consulted by :func:`map_cells` when no
+#: explicit ``checkpoint`` argument is given; set via
+#: :func:`repro.experiments.checkpoint.checkpointing`.
+_DEFAULT_CHECKPOINT = None
+
 
 def remote_worker(name: str) -> Callable:
     """Decorator registering a top-level cell worker for remote execution.
@@ -113,6 +118,22 @@ def set_default_hosts(hosts):
 def default_hosts():
     """The ambient host list/executor (``None`` = run locally)."""
     return _DEFAULT_HOSTS
+
+
+def set_default_checkpoint(checkpoint):
+    """Install the ambient checkpoint journal used when ``map_cells`` is
+    called without an explicit ``checkpoint``; returns the previous value
+    (the :func:`repro.experiments.checkpoint.checkpointing` context
+    manager restores it)."""
+    global _DEFAULT_CHECKPOINT
+    previous = _DEFAULT_CHECKPOINT
+    _DEFAULT_CHECKPOINT = checkpoint
+    return previous
+
+
+def default_checkpoint():
+    """The ambient checkpoint journal (``None`` = no journaling)."""
+    return _DEFAULT_CHECKPOINT
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -179,6 +200,7 @@ def map_cells(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     hosts=None,
+    checkpoint=None,
 ) -> list:
     """Map ``worker(payload, cache, cell)`` over ``cells``, returning
     results in cell order.
@@ -199,18 +221,49 @@ def map_cells(
     every sweep gains multi-host mode without touching its driver.  All
     three modes run the same cell functions and aggregate in the same
     order — serial ≡ ``jobs=N`` ≡ distributed, by construction.
+
+    ``checkpoint`` — a journal path or an open
+    :class:`repro.experiments.checkpoint.CellCheckpoint` — journals each
+    completed cell's result as it lands (in every mode), and replays
+    already-completed cells from the journal instead of re-executing
+    them, so a crashed campaign resumes where it stopped with
+    byte-identical output.  Defaults to the ambient journal installed by
+    :func:`repro.experiments.checkpoint.checkpointing`.
     """
     cells = list(cells)
     if hosts is None:
         hosts = _DEFAULT_HOSTS
+    if checkpoint is None:
+        checkpoint = _DEFAULT_CHECKPOINT
+    if checkpoint is not None and cells:
+        return _map_cells_checkpointed(worker, payload, cells, jobs=jobs,
+                                       chunk_size=chunk_size, hosts=hosts,
+                                       checkpoint=checkpoint)
+    return _map_cells_direct(worker, payload, cells, jobs=jobs,
+                             chunk_size=chunk_size, hosts=hosts)
+
+
+def _map_cells_direct(worker, payload, cells, *, jobs, chunk_size, hosts,
+                      on_result=None):
+    """The three execution modes, un-checkpointed.  ``on_result(index,
+    result_object)`` (local modes) is invoked as each cell lands, in
+    completion order — the checkpoint layer's incremental-journal hook;
+    the distributed mode passes the wire-level equivalent through to the
+    executor, which owns result decoding."""
     if hosts is not None and cells:
         from .remote import run_remote  # deferred: remote imports engine
         return run_remote(worker, payload, cells, hosts,
-                          chunk_size=chunk_size)
+                          chunk_size=chunk_size, on_result_wire=on_result)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(cells) <= 1:
         cache: dict = {}
-        return [worker(payload, cache, cell) for cell in cells]
+        results = []
+        for i, cell in enumerate(cells):
+            result = worker(payload, cache, cell)
+            if on_result is not None:
+                on_result(i, result)
+            results.append(result)
+        return results
     if chunk_size is None:
         chunk_size = default_chunk_size(len(cells), jobs)
     with ProcessPoolExecutor(
@@ -218,7 +271,73 @@ def map_cells(
         initializer=_init_worker,
         initargs=(worker, payload),
     ) as pool:
-        return list(pool.map(_call_cell, cells, chunksize=chunk_size))
+        results = []
+        # pool.map yields in cell order as results arrive, so the hook
+        # sees completed prefixes incrementally, not one burst at the end.
+        for i, result in enumerate(
+                pool.map(_call_cell, cells, chunksize=chunk_size)):
+            if on_result is not None:
+                on_result(i, result)
+            results.append(result)
+        return results
+
+
+def _map_cells_checkpointed(worker, payload, cells, *, jobs, chunk_size,
+                            hosts, checkpoint):
+    """Resolve ``cells`` against a checkpoint journal, execute only the
+    missing ones (journaling each as it completes), and return the full
+    result list — byte-identical to an uninterrupted run, because cell
+    wire round-trips exactly and workers are pure."""
+    from ..io.json_io import from_cell_wire, to_cell_wire
+    from .checkpoint import CellCheckpoint, call_key, cell_key, \
+        payload_digest
+
+    owned = not isinstance(checkpoint, CellCheckpoint)
+    ckpt = CellCheckpoint(checkpoint, resume=True) if owned else checkpoint
+    try:
+        name = getattr(worker, "_remote_name", None) \
+            or getattr(worker, "__qualname__", str(worker))
+        pdigest = payload_digest(to_cell_wire(payload))
+        wires = [to_cell_wire(c) for c in cells]
+        keys = [cell_key(name, pdigest, w) for w in wires]
+        ck = call_key(name, pdigest, keys)
+
+        _nothing = object()
+        results = [_nothing] * len(cells)
+        pending: list = []      # indices to execute (first per unique key)
+        seen: dict = {}         # key -> first pending index
+        for i, key in enumerate(keys):
+            hit = ckpt.get(key, _nothing)
+            if hit is not _nothing:
+                results[i] = from_cell_wire(hit)
+            elif key in seen:
+                pass            # duplicate cell: executed once, filled below
+            else:
+                seen[key] = i
+                pending.append(i)
+
+        if pending:
+            def on_result(j: int, result: object) -> None:
+                ckpt.record(keys[pending[j]], to_cell_wire(result))
+
+            def on_result_wire(j: int, result_wire: object) -> None:
+                ckpt.record(keys[pending[j]], result_wire)
+
+            hook = on_result_wire if hosts is not None else on_result
+            sub = _map_cells_direct(
+                worker, payload, [cells[i] for i in pending], jobs=jobs,
+                chunk_size=chunk_size, hosts=hosts, on_result=hook)
+            for j, i in enumerate(pending):
+                results[i] = sub[j]
+        # Fill duplicates (and anything else) from the journal.
+        for i, key in enumerate(keys):
+            if results[i] is _nothing:
+                results[i] = from_cell_wire(ckpt.get(key))
+        ckpt.mark_done(ck, len(cells))
+        return results
+    finally:
+        if owned:
+            ckpt.close()
 
 
 # ----------------------------------------------------------------------

@@ -50,12 +50,15 @@ Usage::
 
 from __future__ import annotations
 
+import hashlib
 import threading
+import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
+from .. import faults
 from ..io.json_io import from_cell_wire, to_cell_wire
 from ..service.client import ServiceClient, ServiceClientError
 from .engine import set_default_hosts
@@ -96,7 +99,16 @@ def parse_host(spec: Union[str, tuple]) -> tuple[str, int]:
 
 @dataclass
 class RemoteHost:
-    """One service host and its live dispatch accounting."""
+    """One service host and its live dispatch accounting.
+
+    Circuit-breaker state: ``consecutive_failures`` counts transient
+    failures since the last successful work request; while it is nonzero
+    the host is *open* until ``open_until`` (monotonic time), after which
+    it is *half-open* — the next dispatch probes ``/healthz`` before
+    taking real work.  ``alive=False`` (the budget exhausted, or the
+    initial probe failed) removes the host for the rest of the call; the
+    next call's re-probe may resurrect it.
+    """
 
     host: str
     port: int
@@ -107,10 +119,23 @@ class RemoteHost:
     n_requests: int = 0
     n_cells: int = 0
     probed: bool = field(default=False, repr=False)
+    #: Transient failures since the last successful work request.
+    consecutive_failures: int = 0
+    #: Monotonic time before which the breaker keeps the host open.
+    open_until: float = field(default=0.0, repr=False)
+    #: Total retries this host consumed (diagnostics).
+    n_retries: int = 0
+    #: Coordinator-side network-attempt counter (fault blackout windows
+    #: are keyed on it).
+    n_attempts: int = field(default=0, repr=False)
 
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
+
+    def reset_breaker(self) -> None:
+        self.consecutive_failures = 0
+        self.open_until = 0.0
 
 
 class RemoteExecutor:
@@ -122,17 +147,26 @@ class RemoteExecutor:
     """
 
     def __init__(self, hosts: Sequence[Union[str, tuple]], *,
-                 timeout: float = 600.0, ready_timeout: float = 10.0)\
-            -> None:
+                 timeout: float = 600.0, ready_timeout: float = 10.0,
+                 retry_budget: int = 2, backoff_base: float = 0.1,
+                 backoff_cap: float = 2.0) -> None:
         if not hosts:
             raise ValueError("need at least one host")
         self.hosts = [RemoteHost(*parse_host(h)) for h in hosts]
         if len({h.address for h in self.hosts}) != len(self.hosts):
             raise ValueError("duplicate host addresses")
+        #: Per-request deadline: a single /cells request (including its
+        #: streamed rows) may not outlive this many seconds.
         self.timeout = timeout
         self.ready_timeout = ready_timeout
+        #: Transient failures tolerated per host before it is dropped for
+        #: the call (deterministic CellExecutionError never retries).
+        self.retry_budget = max(0, int(retry_budget))
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self.n_reassigned_chunks = 0
         self.n_rounds = 0
+        self.n_retries = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -160,6 +194,7 @@ class RemoteExecutor:
                 h.probed = True
                 h.alive = True
                 h.error = None
+                h.reset_breaker()
             except ServiceClientError as exc:
                 h.alive = False
                 h.error = f"probe failed: {exc}"
@@ -183,9 +218,16 @@ class RemoteExecutor:
     # ------------------------------------------------------------------
     def map_cells(self, worker: Union[Callable, str], payload: object,
                   cells: Sequence[object], *,
-                  chunk_size: Optional[int] = None) -> list:
+                  chunk_size: Optional[int] = None,
+                  on_result_wire: Optional[Callable] = None) -> list:
         """Run ``worker`` over ``cells`` across the hosts; results in cell
-        order, exactly as the serial engine would produce them."""
+        order, exactly as the serial engine would produce them.
+
+        ``on_result_wire(index, wire)`` — when given — is invoked once per
+        cell as its (wire-encoded) result first lands, in completion
+        order; the checkpoint layer journals from exactly this hook.  A
+        retried cell (host died after the row was scattered) does not
+        re-invoke it."""
         name = worker if isinstance(worker, str) else \
             getattr(worker, "_remote_name", None)
         if name is None:
@@ -217,16 +259,26 @@ class RemoteExecutor:
         while True:
             with self._lock:
                 pending = bool(chunks)
-            alive = [h for h in self.hosts if h.alive]
-            if not pending or not alive or fatal:
+            usable = [h for h in self.hosts if h.alive]
+            if not pending or not usable or fatal:
                 break
+            now = time.monotonic()
+            ready = [h for h in usable if h.open_until <= now]
+            if not ready:
+                # Every usable host is cooling down behind its breaker;
+                # wait for the earliest to go half-open instead of
+                # declaring the sweep dead.
+                wait = min(h.open_until for h in usable) - now
+                time.sleep(max(0.001, min(wait, self.backoff_cap)))
+                continue
             self.n_rounds += 1
             threads = [
                 threading.Thread(
                     target=self._drain_host,
-                    args=(h, name, payload_wire, chunks, results, fatal),
+                    args=(h, name, payload_wire, chunks, results, fatal,
+                          on_result_wire),
                     name=f"remote-{h.address}", daemon=True)
-                for h in alive
+                for h in ready
             ]
             for t in threads:
                 t.start()
@@ -243,14 +295,47 @@ class RemoteExecutor:
                             for h in self.hosts if not h.alive))
         return [from_cell_wire(r) for r in results]
 
+    def _check_blackout(self, host: RemoteHost) -> None:
+        """Coordinator-side fault hook: when an installed fault plan
+        declares a blackout window covering this host's next network
+        attempt, simulate the outage instead of touching the wire."""
+        injector = faults.active()
+        with self._lock:
+            attempt = host.n_attempts
+            host.n_attempts += 1
+        if injector is not None and injector.plan.blackout:
+            index = next(i for i, h in enumerate(self.hosts) if h is host)
+            if injector.in_blackout(index, attempt):
+                injector.fire("remote.blackout", 1.0)   # log the event
+                raise ServiceClientError(
+                    0, "blackout",
+                    f"injected blackout of {host.address} "
+                    f"(attempt {attempt})")
+
     def _drain_host(self, host: RemoteHost, worker_name: str,
                     payload_wire: object, chunks: deque, results: list,
-                    fatal: list) -> None:
+                    fatal: list, on_result_wire: Optional[Callable] = None
+                    ) -> None:
         """One host's dispatch loop: pull up to ``weight`` chunks per
-        request, stream them through ``/cells``, scatter the rows; on any
-        host-level failure requeue the chunks and mark the host dead."""
-        client = ServiceClient(host.host, host.port, timeout=self.timeout)
+        request, stream them through ``/cells``, scatter the rows.  A
+        host-level failure requeues the chunks and trips the host's
+        breaker — exponential backoff while the retry budget lasts, dead
+        for the call after.  A half-open host (breaker cooled down after
+        failures) must pass a ``/healthz`` probe before taking real work;
+        only a successful work request closes the breaker, so a host
+        whose health endpoint answers but whose work requests keep
+        failing still exhausts its budget."""
+        client = ServiceClient(host.host, host.port, timeout=self.timeout,
+                               deadline=self.timeout)
         try:
+            if host.consecutive_failures > 0:
+                try:
+                    self._check_blackout(host)
+                    client.healthz()
+                except ServiceClientError as exc:
+                    self._host_failed(host, [], chunks,
+                                      f"half-open probe failed: {exc}")
+                    return
             while True:
                 with self._lock:
                     if fatal:
@@ -263,9 +348,11 @@ class RemoteExecutor:
                 offsets = [start + k for start, chunk in take
                            for k in range(len(chunk))]
                 try:
+                    self._check_blackout(host)
                     rows = client.run_cells(worker_name, payload_wire,
                                             merged)
-                    filled = self._scatter(rows, offsets, results)
+                    filled = self._scatter(rows, offsets, results,
+                                           on_result_wire)
                 except ServiceClientError as exc:
                     if (exc.status and 400 <= exc.status < 500
                             and exc.err_type != "not_found"):
@@ -281,7 +368,18 @@ class RemoteExecutor:
                             for item in reversed(take):
                                 chunks.appendleft(item)
                         return
-                    self._host_failed(host, take, chunks, str(exc))
+                    # A truncated or malformed stream after a committed
+                    # 200 means the host process died mid-computation (a
+                    # crash, not congestion); a route-404 is a
+                    # version-skewed host.  Neither can succeed on retry
+                    # within this call.  Everything else — connection
+                    # failures, timeouts, 503 shedding, deadline misses —
+                    # is transient and spends the retry budget.
+                    self._host_failed(
+                        host, take, chunks, str(exc),
+                        retry_after=exc.retry_after,
+                        permanent=exc.err_type in ("truncated", "malformed",
+                                                   "not_found"))
                     return
                 except CellExecutionError as exc:
                     with self._lock:
@@ -290,15 +388,19 @@ class RemoteExecutor:
                 if not filled:
                     self._host_failed(
                         host, take, chunks,
-                        "malformed /cells rows (bad indices or shape)")
+                        "malformed /cells rows (bad indices or shape)",
+                        permanent=True)
                     return
                 with self._lock:
                     host.n_requests += 1
                     host.n_cells += len(merged)
+                    host.error = None
+                    host.reset_breaker()   # a full success closes the breaker
         finally:
             client.close()
 
-    def _scatter(self, rows: list, offsets: list, results: list) -> bool:
+    def _scatter(self, rows: list, offsets: list, results: list,
+                 on_result_wire: Optional[Callable] = None) -> bool:
         """Validate one response's rows against the dispatched offsets and
         fill ``results`` (wire values; decoded once at the end).  Returns
         ``False`` on structural problems — the caller treats the host as
@@ -323,22 +425,60 @@ class RemoteExecutor:
                 staged[i] = row["r"]
             else:
                 return False
+        fresh: list = []
         with self._lock:
             for i, value in staged.items():
                 if value is not _MISSING:
+                    if results[offsets[i]] is _MISSING:
+                        fresh.append((offsets[i], value))
                     results[offsets[i]] = value
+        if on_result_wire is not None:
+            for index, value in fresh:
+                on_result_wire(index, value)
         if first_error is not None:
             raise first_error
         return True
 
+    def _backoff(self, host: RemoteHost,
+                 retry_after: Optional[float]) -> float:
+        """Breaker cool-down before the host's next (half-open) attempt:
+        exponential in its consecutive failures, deterministically
+        jittered by host identity (sha256, not ``random`` — same plan,
+        same schedule), floored by any server-sent ``Retry-After``."""
+        k = max(1, host.consecutive_failures)
+        base = min(self.backoff_cap, self.backoff_base * (2 ** (k - 1)))
+        seed = hashlib.sha256(
+            f"{host.address}:{k}".encode()).digest()
+        jitter = 1.0 + 0.25 * (int.from_bytes(seed[:4], "big") / 2.0 ** 32)
+        delay = base * jitter
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        return min(delay, self.backoff_cap * 1.25)
+
     def _host_failed(self, host: RemoteHost, take: list, chunks: deque,
-                     message: str) -> None:
+                     message: str,
+                     retry_after: Optional[float] = None,
+                     permanent: bool = False) -> None:
+        """Requeue the host's chunks and trip its breaker: open with
+        backoff while the retry budget lasts, dead for the call after.
+        ``permanent`` failures (the host died mid-stream, speaks a
+        malformed protocol, or lacks /cells entirely) skip the budget —
+        retrying cannot help within this call; the next campaign's probe
+        may still resurrect the host."""
         with self._lock:
             for item in reversed(take):
                 chunks.appendleft(item)
-            host.alive = False
             host.error = message
             self.n_reassigned_chunks += len(take)
+            host.consecutive_failures += 1
+            if permanent or host.consecutive_failures > self.retry_budget:
+                host.alive = False
+                host.open_until = 0.0
+            else:
+                host.n_retries += 1
+                self.n_retries += 1
+                host.open_until = time.monotonic() \
+                    + self._backoff(host, retry_after)
 
     # ------------------------------------------------------------------
     # accounting
@@ -355,11 +495,13 @@ class RemoteExecutor:
                         "requests": h.n_requests,
                         "cells": h.n_cells,
                         "error": h.error,
+                        "retries": h.n_retries,
                     }
                     for h in self.hosts
                 },
                 "reassigned_chunks": self.n_reassigned_chunks,
                 "rounds": self.n_rounds,
+                "retries": self.n_retries,
             }
 
 
@@ -382,7 +524,8 @@ def format_host_stats(stats: dict) -> list[str]:
 def run_remote(worker: Union[Callable, str], payload: object,
                cells: Sequence[object],
                hosts: Union[RemoteExecutor, Sequence], *,
-               chunk_size: Optional[int] = None) -> list:
+               chunk_size: Optional[int] = None,
+               on_result_wire: Optional[Callable] = None) -> list:
     """One distributed ``map_cells`` call (the hook
     :func:`repro.experiments.engine.map_cells` delegates to when given
     ``hosts``).  ``hosts`` is an address list or a prepared
@@ -391,7 +534,8 @@ def run_remote(worker: Union[Callable, str], payload: object,
     executor = hosts if isinstance(hosts, RemoteExecutor) \
         else RemoteExecutor(hosts)
     return executor.map_cells(worker, payload, cells,
-                              chunk_size=chunk_size)
+                              chunk_size=chunk_size,
+                              on_result_wire=on_result_wire)
 
 
 @contextmanager

@@ -1,0 +1,338 @@
+"""Deterministic fault injection for chaos tests and CI.
+
+Distributed campaigns must survive hosts dying mid-stream, dropped
+connections, saturated services and corrupted journals — and the only way
+to *test* that is to make those failures happen on demand, reproducibly.
+This module provides seeded **fault plans**: a frozen description of what
+to inject (rates, bounded occurrence limits, host blackout windows) whose
+every decision is a pure function of ``(seed, site, counter)``.  Two runs
+with the same plan draw the same event sequence — same plan digest ⇒ same
+injected faults — so a chaos failure found in CI replays locally from
+nothing but the plan string.
+
+Injection sites are hooks compiled into the service transport
+(:mod:`repro.service.server`), the client (:mod:`repro.service.client`),
+the app's cell streamer (:mod:`repro.service.app`), the distributed
+executor (:mod:`repro.experiments.remote`) and the checkpoint journal
+(:mod:`repro.experiments.checkpoint`).  Every hook is gated on
+``active()`` returning a live :class:`FaultInjector` — when no plan is
+installed the hooks cost one global read and a ``None`` check.
+
+Activation, in precedence order:
+
+* programmatically — ``install(plan)`` / the :func:`fault_plan` context
+  manager (tests);
+* by environment — ``MEMSCHED_FAULT_PLAN="seed=7,drop=0.1,kill=1.0,
+  kill_limit=1"`` (or a JSON object), read once per process on first use
+  (CI chaos legs export it per command).
+
+The plan format is a compact ``key=value`` list (see
+:meth:`FaultPlan.parse`); rates are probabilities in ``[0, 1]``, limits
+bound total occurrences (``-1`` = unbounded), ``blackout`` is ``+``-joined
+``hostidx:from:len`` attempt windows, and ``crash_after=N`` makes the
+*coordinator* exit hard (``os._exit(137)``) after recording N checkpoint
+cells — the deterministic stand-in for ``kill -9`` mid-sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional, Union
+
+#: Environment variable carrying the plan spec (compact or JSON form).
+ENV_VAR = "MEMSCHED_FAULT_PLAN"
+
+#: Fault-plan schema revision, hashed into the digest: a plan string only
+#: keeps its digest while its field semantics are unchanged.
+PLAN_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One reproducible fault schedule; every field has a do-nothing
+    default, so a plan only states the faults it wants.
+
+    Rates (``drop``/``delay``/``truncate``/``kill``/``corrupt``) are
+    per-opportunity probabilities; the matching ``*_limit`` caps how many
+    times the fault may fire in the process (``-1`` = no cap).  ``rate=1.0,
+    limit=1`` is the deterministic "exactly the first opportunity" form
+    the CI chaos smoke uses.
+    """
+
+    seed: int = 0
+    #: Server drops an accepted connection without answering.
+    drop: float = 0.0
+    drop_limit: int = -1
+    #: Server stalls ``delay_ms`` before handling a request.
+    delay: float = 0.0
+    delay_ms: float = 25.0
+    delay_limit: int = -1
+    #: The /cells NDJSON stream is cut mid-line (no sentinel).
+    truncate: float = 0.0
+    truncate_limit: int = -1
+    #: A worker processing a /cells unit dies hard (``os._exit``); on a
+    #: workers<=1 host this kills the whole serve process — a host kill.
+    kill: float = 0.0
+    kill_limit: int = -1
+    #: A journal append writes a torn (half) line.
+    corrupt: float = 0.0
+    corrupt_limit: int = -1
+    #: Client-side: drop the connection before sending a request.
+    client_drop: float = 0.0
+    client_drop_limit: int = -1
+    #: Coordinator hard-exits after this many checkpoint cell records
+    #: (0 = disabled).
+    crash_after: int = 0
+    #: Coordinator-side host blackout windows: ``(host_index,
+    #: first_attempt, n_attempts)`` triples — requests to that host fail
+    #: while its attempt counter is inside the window.
+    blackout: tuple = ()
+
+    # ------------------------------------------------------------------
+    # parsing / rendering
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: Union[str, dict, "FaultPlan", None]
+              ) -> Optional["FaultPlan"]:
+        """Parse a plan spec: compact ``k=v,k=v`` string, JSON object
+        string, dict, an existing plan, or ``None``/empty → ``None``."""
+        if spec is None or isinstance(spec, FaultPlan):
+            return spec
+        if isinstance(spec, dict):
+            return cls._from_dict(spec)
+        spec = spec.strip()
+        if not spec:
+            return None
+        if spec.startswith("{"):
+            try:
+                data = json.loads(spec)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"invalid JSON fault plan: {exc}") from exc
+            if not isinstance(data, dict):
+                raise ValueError("JSON fault plan must be an object")
+            return cls._from_dict(data)
+        data = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"fault plan item {part!r} is not 'key=value'")
+            data[key.strip()] = value.strip()
+        return cls._from_dict(data)
+
+    @classmethod
+    def _from_dict(cls, data: dict) -> "FaultPlan":
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = set(data) - set(fields)
+        if unknown:
+            raise ValueError(f"unknown fault plan fields: "
+                             f"{sorted(unknown)} (known: {sorted(fields)})")
+        kwargs: dict = {}
+        for key, value in data.items():
+            if key == "blackout":
+                kwargs[key] = cls._parse_blackout(value)
+            elif fields[key].type == "int" or isinstance(
+                    fields[key].default, int):
+                kwargs[key] = int(value)
+            else:
+                kwargs[key] = float(value)
+        plan = cls(**kwargs)
+        plan.validate()
+        return plan
+
+    @staticmethod
+    def _parse_blackout(value) -> tuple:
+        """``"0:2:4+1:0:2"`` / ``[[0, 2, 4], ...]`` → window triples."""
+        if isinstance(value, str):
+            entries = [w for w in value.split("+") if w.strip()]
+            windows = []
+            for entry in entries:
+                parts = entry.split(":")
+                if len(parts) != 3:
+                    raise ValueError(
+                        f"blackout window {entry!r} is not "
+                        f"'hostidx:from:len'")
+                windows.append(tuple(int(p) for p in parts))
+            return tuple(windows)
+        return tuple(tuple(int(p) for p in w) for w in value)
+
+    def validate(self) -> None:
+        for name in ("drop", "delay", "truncate", "kill", "corrupt",
+                     "client_drop"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate {name}={rate} outside [0, 1]")
+        if self.delay_ms < 0 or self.crash_after < 0:
+            raise ValueError("delay_ms and crash_after must be >= 0")
+        for window in self.blackout:
+            idx, start, length = window
+            if idx < 0 or start < 0 or length < 1:
+                raise ValueError(f"bad blackout window {window}")
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["blackout"] = [list(w) for w in self.blackout]
+        return out
+
+    def digest(self) -> str:
+        """Content address of the plan (and its schema revision): equal
+        digests guarantee equal injected event sequences."""
+        payload = json.dumps(
+            {"schema": PLAN_SCHEMA_VERSION, "plan": self.to_dict()},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @property
+    def enabled(self) -> bool:
+        return self != FaultPlan(seed=self.seed)
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan`: every decision is drawn from
+    ``sha256(seed:site:counter)`` with a per-site monotonic counter, so
+    the event sequence is a pure function of the plan — independent of
+    timing, thread interleaving of *different* sites, and host speed.
+    Counters are lock-protected: concurrent draws at one site serialize.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._counters: dict = {}
+        self._fired: dict = {}
+        #: Chronological (site, draw_index, fired) log for reproducibility
+        #: checks and the fault bench.
+        self.events: list = []
+
+    # ------------------------------------------------------------------
+    # deterministic draws
+    # ------------------------------------------------------------------
+    def _draw(self, site: str, k: int) -> float:
+        digest = hashlib.sha256(
+            f"{self.plan.seed}:{site}:{k}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def fire(self, site: str, rate: float, limit: int = -1) -> bool:
+        """One injection opportunity at ``site``; True = inject.
+
+        The draw is consumed even when the limit is already exhausted, so
+        the per-site random sequence — and therefore every *other*
+        decision — is unchanged by how many events a limit let through.
+        """
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            k = self._counters.get(site, 0)
+            self._counters[site] = k + 1
+            fired = self._draw(site, k) < rate
+            if fired and limit >= 0 and self._fired.get(site, 0) >= limit:
+                fired = False
+            if fired:
+                self._fired[site] = self._fired.get(site, 0) + 1
+            self.events.append((site, k, fired))
+            return fired
+
+    def pick(self, site: str, n: int) -> int:
+        """Deterministic choice in ``range(n)`` (e.g. which row to cut a
+        stream at), advancing the site's counter like :meth:`fire`."""
+        with self._lock:
+            k = self._counters.get(site, 0)
+            self._counters[site] = k + 1
+            return int(self._draw(site, k) * n) % max(1, n)
+
+    def in_blackout(self, host_index: int, attempt: int) -> bool:
+        """Whether ``attempt`` (0-based per-host request counter) falls in
+        one of the plan's blackout windows for ``host_index``."""
+        for idx, start, length in self.plan.blackout:
+            if idx == host_index and start <= attempt < start + length:
+                return True
+        return False
+
+    def crash_due(self, n_recorded: int) -> bool:
+        """Whether the coordinator must hard-exit after ``n_recorded``
+        checkpoint records (the deterministic ``kill -9`` stand-in)."""
+        return 0 < self.plan.crash_after <= n_recorded
+
+    def summary(self) -> dict:
+        """Per-site opportunity/fired counts plus the plan digest —
+        surfaced in ``/healthz`` and ``BENCH_faults.json``."""
+        with self._lock:
+            sites = sorted(self._counters)
+            return {
+                "plan_digest": self.plan.digest(),
+                "sites": {s: {"draws": self._counters[s],
+                              "fired": self._fired.get(s, 0)}
+                          for s in sites},
+            }
+
+
+# ----------------------------------------------------------------------
+# process-wide activation
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FaultInjector] = None
+_ENV_LOADED = False
+_ENV_LOCK = threading.Lock()
+
+
+def install(plan: Union[FaultPlan, FaultInjector, str, dict, None]
+            ) -> Optional[FaultInjector]:
+    """Install a process-wide injector (replacing any); ``None`` clears.
+    Returns the installed injector."""
+    global _ACTIVE, _ENV_LOADED
+    with _ENV_LOCK:
+        _ENV_LOADED = True   # explicit install wins over the environment
+        if plan is None:
+            _ACTIVE = None
+        elif isinstance(plan, FaultInjector):
+            _ACTIVE = plan
+        else:
+            parsed = FaultPlan.parse(plan)
+            _ACTIVE = FaultInjector(parsed) if parsed is not None else None
+        return _ACTIVE
+
+
+def deactivate() -> None:
+    install(None)
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The plan described by :data:`ENV_VAR`, or ``None``."""
+    return FaultPlan.parse(os.environ.get(ENV_VAR))
+
+
+def active() -> Optional[FaultInjector]:
+    """The live injector, lazily loading :data:`ENV_VAR` on first call
+    (once per process); ``None`` when fault injection is off — the hot
+    hooks check exactly this."""
+    global _ACTIVE, _ENV_LOADED
+    if not _ENV_LOADED:
+        with _ENV_LOCK:
+            if not _ENV_LOADED:
+                plan = plan_from_env()
+                if plan is not None:
+                    _ACTIVE = FaultInjector(plan)
+                _ENV_LOADED = True
+    return _ACTIVE
+
+
+@contextmanager
+def fault_plan(plan: Union[FaultPlan, FaultInjector, str, dict]):
+    """Scope an injector to a block (tests); restores the previous one."""
+    global _ACTIVE
+    with _ENV_LOCK:
+        previous = _ACTIVE
+    injector = install(plan)
+    try:
+        yield injector
+    finally:
+        with _ENV_LOCK:
+            _ACTIVE = previous

@@ -27,9 +27,11 @@ import dataclasses
 import hashlib
 import json
 import math
+import zlib
 from pathlib import Path
 from typing import Any, Union
 
+from .._util import atomic_write_text
 from ..core.graph import TaskGraph
 from ..core.platform import Memory, Platform
 from ..core.schedule import CommEvent, Placement, Schedule
@@ -92,7 +94,7 @@ def graph_from_dict(data: dict) -> TaskGraph:
 
 
 def save_graph(graph: TaskGraph, path: PathLike) -> None:
-    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+    atomic_write_text(path, json.dumps(graph_to_dict(graph), indent=2))
 
 
 def load_graph(path: PathLike) -> TaskGraph:
@@ -188,7 +190,7 @@ def schedule_from_dict(data: dict) -> Schedule:
 
 
 def save_schedule(schedule: Schedule, path: PathLike) -> None:
-    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+    atomic_write_text(path, json.dumps(schedule_to_dict(schedule), indent=2))
 
 
 def load_schedule(path: PathLike) -> Schedule:
@@ -348,3 +350,59 @@ def canonical_digest(graph: Union[TaskGraph, dict],
     payload = canonical_json(
         [graph_d, platform_d, str(algorithm).lower(), options or {}])
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cell_wire_digest(wire: Any) -> str:
+    """Content address of one wire-encoded cell value (sha256 of its
+    canonical JSON) — the key of the sweep checkpoint journal
+    (:mod:`repro.experiments.checkpoint`).  Cell wire round-trips exactly
+    (:func:`to_cell_wire`), so equal cells always address equally,
+    whatever process encodes them."""
+    return hashlib.sha256(canonical_json(wire).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# checksummed journal lines (cache + checkpoint JSONL journals)
+# ----------------------------------------------------------------------
+def journal_encode(row: dict) -> str:
+    """One checksummed journal line (no trailing newline): the row is
+    wrapped as ``{"crc": crc32(canonical(row)), "row": row}``.
+
+    The CRC is computed over the row's canonical JSON — which JSON floats
+    round-trip exactly — so :func:`journal_decode` can re-render the
+    parsed row and verify without storing the original text.  A torn
+    write (crash mid-append, injected corruption) fails either the JSON
+    parse or the CRC and is skipped by replay instead of poisoning the
+    entries before it.
+    """
+    body = canonical_json(row)
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    # Compose by hand from the already-canonical body (keys stay sorted:
+    # "crc" < "row") — serializing the row a second time would double the
+    # cost of every checkpointed cell.
+    return '{"crc":%d,"row":%s}' % (crc, body)
+
+
+def journal_decode(line: str) -> Union[dict, None]:
+    """Parse one journal line; ``None`` for anything unusable (torn
+    write, CRC mismatch, non-object).  Legacy checksum-less lines — a
+    bare op object with no ``crc``/``row`` wrapper — are accepted
+    unchecked, so pre-existing journals keep replaying."""
+    try:
+        outer = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(outer, dict):
+        return None
+    if "row" in outer:
+        row = outer.get("row")
+        if not isinstance(row, dict):
+            return None
+        try:
+            body = canonical_json(row)
+        except (TypeError, ValueError):
+            return None
+        if outer.get("crc") != zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF:
+            return None
+        return row
+    return outer if "op" in outer else None

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -45,6 +46,7 @@ from typing import Optional
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from .. import faults
 from ..core.validation import ScheduleError, validate_schedule
 from ..experiments.engine import _call_cell, _init_worker, default_chunk_size
 from ..io.json_io import (
@@ -54,6 +56,8 @@ from ..io.json_io import (
     canonical_json,
     from_cell_wire,
     graph_from_dict,
+    journal_decode,
+    journal_encode,
     platform_from_dict,
     schedule_to_dict,
     to_cell_wire,
@@ -303,7 +307,32 @@ def _service_worker(payload: object, cache: dict, unit: tuple):
         return _batch_worker(payload, cache, unit[1])
     if unit[0] == "cells":
         return _cells_unit(cache, unit)
+    if unit[0] == "cells_kill":
+        # An injected worker-process kill (repro.faults): the coordinator
+        # tagged this dispatch, the worker dies with it.  SIGKILL-style —
+        # no cleanup, the pool surfaces BrokenProcessPool.
+        os._exit(137)
     raise ValueError(f"unknown pool unit kind {unit[0]!r}")
+
+
+def _stop_pool(pool) -> None:
+    """Shut a worker pool down without leaving orphans.
+
+    ``shutdown(wait=False)`` alone is not enough after a worker death
+    (injected or real): the broken executor's surviving siblings may
+    never receive their exit sentinel and then outlive the service
+    forever, pinned on the call-queue pipe — still holding every file
+    descriptor they inherited at fork (client connections, stdout).  So
+    after the polite shutdown, terminate whatever is provably still
+    alive."""
+    if pool is None:
+        return
+    procs = [p for p in getattr(pool, "_processes", {}).values()
+             if p is not None]
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
 
 
 class ScheduleCache:
@@ -374,18 +403,21 @@ class ScheduleCache:
                 f"service (flock on {self._LOCKFILE} held)") from None
 
     def _replay(self, journal_path: Path) -> None:
-        """Rebuild the LRU from a journal; unparsable lines (a crash mid
-        append) are skipped, order of the surviving ops is preserved."""
+        """Rebuild the LRU from a journal; torn, corrupted (CRC-failing)
+        or unparsable lines are skipped, order of the surviving ops is
+        preserved.  Legacy checksum-less lines (pre-CRC journals) replay
+        unchanged — :func:`repro.io.json_io.journal_decode` accepts
+        both framings."""
         if not journal_path.exists():
             return
         with journal_path.open("r", encoding="utf-8") as fh:
             for line in fh:
-                try:
-                    row = json.loads(line)
-                    op = row["op"]
-                except (json.JSONDecodeError, KeyError, TypeError):
+                row = journal_decode(line)
+                if row is None:
                     continue
-                if op == "put":
+                op = row.get("op")
+                if op == "put" and isinstance(row.get("digest"), str) \
+                        and isinstance(row.get("body"), str):
                     self._data[row["digest"]] = row["body"].encode("utf-8")
                     self._data.move_to_end(row["digest"])
                 elif op == "touch":
@@ -395,19 +427,30 @@ class ScheduleCache:
             self._data.popitem(last=False)
 
     def _compact(self, journal_path: Path) -> None:
-        """Rewrite the journal as one put per live entry, LRU order."""
+        """Rewrite the journal as one put per live entry, LRU order —
+        atomically (write-temp, fsync, rename), so a crash mid-compaction
+        leaves the previous journal intact rather than half of one."""
         tmp = journal_path.with_suffix(".tmp")
         with tmp.open("w", encoding="utf-8") as fh:
             for digest, body in self._data.items():
-                fh.write(json.dumps({"op": "put", "digest": digest,
-                                     "body": body.decode("utf-8")}) + "\n")
+                fh.write(journal_encode(
+                    {"op": "put", "digest": digest,
+                     "body": body.decode("utf-8")}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         tmp.replace(journal_path)
 
     def _append(self, row: dict, flush: bool) -> None:
         # Callers hold self._lock, which also serialises journal writes.
         if self._journal is None:
             return
-        self._journal.write(json.dumps(row) + "\n")
+        line = journal_encode(row)
+        injector = faults.active()
+        if injector is not None and injector.fire(
+                "journal.corrupt", injector.plan.corrupt,
+                injector.plan.corrupt_limit):
+            line = line[:max(1, len(line) // 2)]   # torn write
+        self._journal.write(line + "\n")
         if flush:
             self._journal.flush()
         self._journal_lines += 1
@@ -477,13 +520,19 @@ class ServiceApp:
     """Routes service requests; owns the cache and the worker count."""
 
     def __init__(self, workers: int = 1, cache_size: int = 1024,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None, *,
+                 pool_restarts: int = 2) -> None:
         self.workers = max(1, int(workers))
         self.cache = ScheduleCache(cache_size, cache_dir=cache_dir)
         self.started_at = time.monotonic()
         self.n_requests = 0
         self.n_cell_requests = 0
         self.n_cells = 0
+        #: Supervised pool-restart budget per request: a worker-process
+        #: death rebuilds the pool and retries up to this many times
+        #: (with backoff) before the failure is surfaced to the client.
+        self.pool_restarts = max(0, int(pool_restarts))
+        self.n_pool_restarts = 0
         self._count_lock = threading.Lock()
         # Raw-body fast path: sha256 of the exact request bytes -> canonical
         # digest.  A byte-identical resubmission skips JSON parsing and
@@ -507,8 +556,7 @@ class ServiceApp:
         (idempotent)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+        _stop_pool(pool)
         self.cache.close()
 
     def _batch_pool(self) -> ProcessPoolExecutor:
@@ -525,22 +573,49 @@ class ServiceApp:
                     initargs=(_service_worker, None))
             return self._pool
 
+    def _reset_pool(self) -> None:
+        """Discard a broken worker pool (the next dispatch rebuilds it);
+        unlike :meth:`close`, the cache journal stays open."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        _stop_pool(pool)
+
+    def _note_pool_restart(self, attempt: int) -> None:
+        """Account one supervised restart and back off before rebuilding
+        (a host that kills workers instantly must not spin)."""
+        with self._count_lock:
+            self.n_pool_restarts += 1
+        time.sleep(min(1.0, 0.05 * (2 ** (attempt - 1))))
+
     def _run_cells(self, cells: list) -> list:
-        """Fan batch cells out (persistent pool) or run them in-process."""
+        """Fan batch cells out (persistent pool) or run them in-process.
+
+        A worker-process death (``BrokenProcessPool``) is supervised: the
+        pool is rebuilt and the batch retried up to ``pool_restarts``
+        times — batch cells are pure, so a retry produces identical
+        bytes — before a structured 500 is surfaced.
+        """
         if self.workers <= 1 or len(cells) <= 1:
             cache: dict = {}
             return [_batch_worker(None, cache, cell) for cell in cells]
         units = [("batch", cell) for cell in cells]
-        try:
-            return list(self._batch_pool().map(
-                _call_cell, units,
-                chunksize=default_chunk_size(len(units), self.workers)))
-        except BrokenProcessPool as exc:
-            self.close()   # discard the broken pool; next batch rebuilds it
-            raise ServiceError(
-                500, "worker_pool",
-                f"batch worker pool died ({exc}); pool reset, retry the "
-                f"request") from exc
+        attempt = 0
+        while True:
+            try:
+                return list(self._batch_pool().map(
+                    _call_cell, units,
+                    chunksize=default_chunk_size(len(units), self.workers)))
+            except BrokenProcessPool as exc:
+                self._reset_pool()
+                attempt += 1
+                if attempt > self.pool_restarts:
+                    raise ServiceError(
+                        500, "worker_pool",
+                        f"batch worker pool died ({exc}) and "
+                        f"{self.pool_restarts} supervised restarts were "
+                        f"exhausted; pool reset, retry the request"
+                    ) from exc
+                self._note_pool_restart(attempt)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -743,6 +818,57 @@ class ServiceApp:
         return 200, headers, self._cells_stream(
             worker_name, payload_wire, pdigest, cell_wires)
 
+    @staticmethod
+    def _tag_kills(units: list) -> list:
+        """Ask the active fault injector, per dispatch attempt, which
+        units take a worker-process kill with them.  Tagging happens in
+        the app process (which owns the injector's deterministic
+        counters), per *attempt* — a retried unit draws again, so an
+        exhausted ``kill_limit`` naturally stops re-killing."""
+        injector = faults.active()
+        if injector is None:
+            return units
+        plan = injector.plan
+        return [("cells_kill",) + unit[1:]
+                if injector.fire("worker.kill", plan.kill, plan.kill_limit)
+                else unit
+                for unit in units]
+
+    def _unit_rows(self, units: list):
+        """Yield the per-cell rows of one ``/cells`` request, unit by
+        unit, surviving injected worker kills.
+
+        ``workers <= 1`` runs in-process — there a worker kill *is* a
+        host kill (``os._exit``), the blackout scenario the distributed
+        executor's circuit breaker exists for.  The pool path supervises
+        ``BrokenProcessPool``: rebuild, back off, and resume from the
+        first unit whose rows were not fully yielded (cells are pure, so
+        the retried unit reproduces identical rows).
+        """
+        if self.workers <= 1:
+            for unit in self._tag_kills(units):
+                if unit[0] == "cells_kill":
+                    os._exit(137)   # workers<=1: worker kill == host kill
+                for row in _cells_unit(self._cells_local_cache, unit):
+                    yield row
+            return
+        done = 0
+        attempt = 0
+        while done < len(units):
+            pending = self._tag_kills(units[done:])
+            try:
+                for rows in self._batch_pool().map(_call_cell, pending,
+                                                   chunksize=1):
+                    for row in rows:
+                        yield row
+                    done += 1   # only after the unit's rows fully yielded
+            except BrokenProcessPool:
+                self._reset_pool()
+                attempt += 1
+                if attempt > self.pool_restarts:
+                    raise   # transport aborts the stream (no sentinel)
+                self._note_pool_restart(attempt)
+
     def _cells_stream(self, worker_name: str, payload_wire: object,
                       pdigest: str, cell_wires: list):
         """Generator of NDJSON lines for one ``/cells`` request (consumed
@@ -756,20 +882,24 @@ class ServiceApp:
         size = default_chunk_size(n, max(1, self.workers))
         units = [("cells", worker_name, pdigest, payload_wire,
                   cell_wires[k:k + size], k) for k in range(0, n, size)]
-        if self.workers <= 1 or n <= 1:
-            for unit in units:
-                for row in _cells_unit(self._cells_local_cache, unit):
-                    yield encode(row)
-            yield encode({"done": n})
-            return
-        try:
-            for rows in self._batch_pool().map(_call_cell, units,
-                                               chunksize=1):
-                for row in rows:
-                    yield encode(row)
-        except BrokenProcessPool:
-            self.close()   # discard the broken pool; next request rebuilds
-            raise           # transport aborts the stream (no sentinel)
+        injector = faults.active()
+        trunc_at = None
+        if injector is not None and n > 0 and injector.fire(
+                "stream.truncate", injector.plan.truncate,
+                injector.plan.truncate_limit):
+            trunc_at = injector.pick("stream.truncate.row", n)
+        emitted = 0
+        for row in self._unit_rows(units):
+            line = encode(row)
+            if trunc_at is not None and emitted == trunc_at:
+                # Injected mid-stream death: half a row on the wire, then
+                # the producer "crashes" — the transport drops the
+                # connection without the terminal chunk, exactly like a
+                # real host loss mid-request.
+                yield line[:max(1, len(line) // 2)]
+                raise RuntimeError("injected /cells stream truncation")
+            emitted += 1
+            yield line
         yield encode({"done": n})
 
     def _handle_algorithms(self) -> tuple[int, dict, bytes]:
@@ -786,7 +916,7 @@ class ServiceApp:
         return 200, dict(_JSON_HEADERS), body
 
     def _handle_healthz(self) -> tuple[int, dict, bytes]:
-        body = canonical_json({
+        health = {
             "status": "ok",
             "protocol": PROTOCOL_VERSION,
             "digest_schema": DIGEST_SCHEMA_VERSION,
@@ -796,6 +926,11 @@ class ServiceApp:
             "workers": self.workers,
             "cells": {"requests": self.n_cell_requests,
                       "executed": self.n_cells},
+            "pool_restarts": self.n_pool_restarts,
             "cache": self.cache.stats(),
-        }).encode("utf-8")
+        }
+        injector = faults.active()
+        if injector is not None:
+            health["faults"] = injector.summary()
+        body = canonical_json(health).encode("utf-8")
         return 200, dict(_JSON_HEADERS), body

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from .. import faults
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..core.schedule import Schedule
@@ -38,14 +39,29 @@ class ServiceClientError(RuntimeError):
     """An error response from the service (or a transport failure).
 
     ``status`` is the HTTP status (0 for transport failures), ``err_type``
-    the machine-readable slug from the error body.
+    the machine-readable slug from the error body.  ``retry_after`` carries
+    the server's ``Retry-After`` hint in seconds (load shedding), or
+    ``None`` — callers doing their own backoff should floor it.
     """
 
-    def __init__(self, status: int, err_type: str, message: str) -> None:
+    def __init__(self, status: int, err_type: str, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(f"[{status}/{err_type}] {message}")
         self.status = status
         self.err_type = err_type
         self.message = message
+        self.retry_after = retry_after
+
+
+def _retry_after_of(headers: dict) -> Optional[float]:
+    """The Retry-After header in seconds, if present and numeric."""
+    for key, value in headers.items():
+        if key.lower() == "retry-after":
+            try:
+                return max(0.0, float(value))
+            except (TypeError, ValueError):
+                return None
+    return None
 
 
 @dataclass
@@ -91,11 +107,30 @@ class ServiceClient:
     """Talks to one ``memsched serve`` endpoint over a kept-alive socket."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8123,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0,
+                 deadline: Optional[float] = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        # Per-request wall-clock budget: advertised to the server as
+        # X-Deadline-Ms (it sheds requests it cannot start in time) and
+        # enforced client-side across an entire /cells stream, which the
+        # per-read socket ``timeout`` alone cannot bound.
+        self.deadline = deadline
         self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _headers(self) -> dict:
+        headers = {"Content-Type": "application/json"}
+        if self.deadline is not None:
+            headers["X-Deadline-Ms"] = str(int(self.deadline * 1000))
+        return headers
+
+    @staticmethod
+    def _injected_drop(site: str) -> bool:
+        injector = faults.active()
+        return injector is not None and injector.fire(
+            site, injector.plan.client_drop,
+            injector.plan.client_drop_limit)
 
     # ------------------------------------------------------------------
     # transport
@@ -123,11 +158,17 @@ class ServiceClient:
         body = (json.dumps(payload).encode("utf-8")
                 if payload is not None else None)
         while True:
+            if self._injected_drop("client.drop"):
+                self.close()
+                raise ServiceClientError(
+                    0, "transport",
+                    f"injected client-side connection drop to "
+                    f"{self.host}:{self.port}")
             reused = self._conn is not None
             conn = self._connection()
             try:
                 conn.request(method, path, body=body,
-                             headers={"Content-Type": "application/json"})
+                             headers=self._headers())
                 resp = conn.getresponse()
                 data = resp.read()
                 return resp.status, dict(resp.getheaders()), data
@@ -153,7 +194,8 @@ class ServiceClient:
                         f"{self.host}:{self.port}: {exc}") from exc
 
     @staticmethod
-    def _parse(status: int, body: bytes) -> dict:
+    def _parse(status: int, body: bytes,
+               headers: Optional[dict] = None) -> dict:
         try:
             data = json.loads(body)
         except json.JSONDecodeError as exc:
@@ -162,8 +204,10 @@ class ServiceClient:
                 f"non-JSON response: {body[:200]!r}") from exc
         if status != 200:
             err = data.get("error", {}) if isinstance(data, dict) else {}
-            raise ServiceClientError(status, err.get("type", "unknown"),
-                                     err.get("message", body.decode(errors="replace")))
+            raise ServiceClientError(
+                status, err.get("type", "unknown"),
+                err.get("message", body.decode(errors="replace")),
+                retry_after=_retry_after_of(headers or {}))
         return data
 
     # ------------------------------------------------------------------
@@ -176,7 +220,7 @@ class ServiceClient:
         status, headers, body = self._request(
             "POST", "/schedule",
             build_request(graph, platform, algorithm, options))
-        data = self._parse(status, body)
+        data = self._parse(status, body, headers)
         cached = {"hit": True, "miss": False}.get(
             {k.lower(): v for k, v in headers.items()}.get("x-cache", ""))
         return ScheduleResponse.from_dict(data, cached=cached, raw=body)
@@ -193,9 +237,9 @@ class ServiceClient:
         """
         wire = [req if isinstance(req, dict) else build_request(*req)
                 for req in requests]
-        status, _headers, body = self._request(
+        status, headers, body = self._request(
             "POST", "/batch", {"requests": wire})
-        data = self._parse(status, body)
+        data = self._parse(status, body, headers)
         out: list[Union[ScheduleResponse, ServiceClientError]] = []
         for item, cached in zip(data["results"], data["cached"]):
             if "error" in item:
@@ -224,12 +268,20 @@ class ServiceClient:
         """
         body = json.dumps({"worker": worker, "payload": payload_wire,
                            "cells": list(cell_wires)}).encode("utf-8")
+        expires = (time.monotonic() + self.deadline
+                   if self.deadline is not None else None)
         while True:
+            if self._injected_drop("client.drop"):
+                self.close()
+                raise ServiceClientError(
+                    0, "transport",
+                    f"injected client-side connection drop to "
+                    f"{self.host}:{self.port}")
             reused = self._conn is not None
             conn = self._connection()
             try:
                 conn.request("POST", "/cells", body=body,
-                             headers={"Content-Type": "application/json"})
+                             headers=self._headers())
                 resp = conn.getresponse()
                 break
             except socket.timeout as exc:
@@ -247,14 +299,21 @@ class ServiceClient:
                         f"cannot reach service at "
                         f"{self.host}:{self.port}: {exc}") from exc
         if resp.status != 200:
+            headers = dict(resp.getheaders())
             data = resp.read()
-            self._parse(resp.status, data)   # raises with the error body
+            self._parse(resp.status, data, headers)   # raises with the body
             self.close()
             raise ServiceClientError(resp.status, "transport",
                                      "unexpected non-error body")
         rows: list[dict] = []
         try:
             while True:
+                if expires is not None and time.monotonic() > expires:
+                    raise ServiceClientError(
+                        0, "deadline",
+                        f"/cells stream from {self.host}:{self.port} "
+                        f"exceeded the {self.deadline:g}s deadline after "
+                        f"{len(rows)} rows")
                 line = resp.readline()
                 if not line:
                     raise ServiceClientError(
@@ -302,12 +361,12 @@ class ServiceClient:
                 f"{exc}") from exc
 
     def algorithms(self) -> list[dict]:
-        status, _headers, body = self._request("GET", "/algorithms")
-        return self._parse(status, body)["algorithms"]
+        status, headers, body = self._request("GET", "/algorithms")
+        return self._parse(status, body, headers)["algorithms"]
 
     def healthz(self) -> dict:
-        status, _headers, body = self._request("GET", "/healthz")
-        return self._parse(status, body)
+        status, headers, body = self._request("GET", "/healthz")
+        return self._parse(status, body, headers)
 
     def wait_until_ready(self, timeout: float = 10.0,
                          interval: float = 0.05) -> dict:

@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import socket
 import threading
+import time
 from typing import Optional
 
+from .. import faults
 from .app import ServiceApp
 
 #: Reject absurd request heads / bodies instead of buffering them.
@@ -152,7 +155,11 @@ class ServiceServer:
                     "status": 503, "type": "saturated",
                     "message": f"connection limit ({self.max_connections}) "
                                f"reached; retry later"}})
-                writer.write(_render(503, {}, err.encode("utf-8"),
+                # Retry-After tells well-behaved clients (the distributed
+                # executor's circuit breaker floors its backoff on it) how
+                # long to stay away instead of hammering the cap.
+                writer.write(_render(503, {"Retry-After": "1"},
+                                     err.encode("utf-8"),
                                      keep_alive=False))
                 await writer.drain()
                 return
@@ -181,8 +188,20 @@ class ServiceServer:
                 if parsed is None:      # clean EOF between requests
                     break
                 method, path, headers, body = parsed
+                injector = faults.active()
+                if injector is not None:
+                    plan = injector.plan
+                    if injector.fire("server.delay", plan.delay,
+                                     plan.delay_limit):
+                        await asyncio.sleep(plan.delay_ms / 1000.0)
+                    if injector.fire("server.drop", plan.drop,
+                                     plan.drop_limit):
+                        # Injected fault: vanish without a response.
+                        self._shutdown_socket(writer)
+                        break
+                expires = self._deadline_of(headers)
                 status, out_headers, out_body = await loop.run_in_executor(
-                    None, self.app.handle, method, path, body)
+                    None, self._dispatch, method, path, body, expires)
                 keep_alive = headers.get("connection", "").lower() != "close"
                 if isinstance(out_body, (bytes, bytearray)):
                     writer.write(_render(status, out_headers,
@@ -200,6 +219,7 @@ class ServiceServer:
                         # on the wire; the only honest signal left is an
                         # aborted connection (no terminal chunk), which
                         # clients detect as a truncated stream.
+                        self._shutdown_socket(writer)
                         break
                 if not keep_alive:
                     break
@@ -213,6 +233,51 @@ class ServiceServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    @staticmethod
+    def _shutdown_socket(writer: asyncio.StreamWriter) -> None:
+        """Tear the TCP stream down *now*, not merely this descriptor.
+
+        ``writer.close()`` only drops this process's file descriptor;
+        worker processes forked while the connection was open (the
+        ``/batch``//``/cells`` pool) may still hold a duplicate, in which
+        case no FIN ever reaches the peer and a streaming client blocks
+        on a half-dead socket until its own timeout.  ``shutdown()``
+        acts on the underlying socket regardless of descriptor
+        refcounts, so aborted streams fail fast at the client."""
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    @staticmethod
+    def _deadline_of(headers: dict) -> Optional[float]:
+        """Absolute monotonic expiry from an ``X-Deadline-Ms`` header, or
+        ``None``.  Parsed in the transport so :meth:`ServiceApp.handle`
+        keeps its (method, path, body) signature."""
+        raw = headers.get("x-deadline-ms")
+        if raw is None:
+            return None
+        try:
+            budget_ms = int(raw)
+        except ValueError:
+            return None
+        return time.monotonic() + max(0, budget_ms) / 1000.0
+
+    def _dispatch(self, method: str, path: str, body: bytes,
+                  expires: Optional[float]):
+        """Runs in the executor: shed the request with a structured 408 if
+        its deadline expired while queued behind a busy pool — the client
+        gave up already, so computing the answer is pure waste."""
+        if expires is not None and time.monotonic() >= expires:
+            err = json.dumps({"error": {
+                "status": 408, "type": "deadline_exceeded",
+                "message": "deadline expired before the request was "
+                           "dispatched; the service is overloaded"}})
+            return 408, {}, err.encode("utf-8")
+        return self.app.handle(method, path, body)
 
     @staticmethod
     async def _write_stream(writer: asyncio.StreamWriter, status: int,

@@ -1,0 +1,220 @@
+"""Seeded chaos against live in-process services: injected stream
+truncation, worker-process kills, host blackouts, connection drops,
+delays, deadlines, and saturation back-pressure — in every scenario the
+sweep either completes byte-identical to the serial engine or fails with
+a structured, typed error.
+
+All tests share one in-process fault injector (client, server, and
+coordinator live in this process), which is exactly the deterministic
+single-sequence behaviour the plan digest promises.  Worker-kill tests
+MUST use ``ServiceApp(workers=2)``: with ``workers <= 1`` the injected
+kill is a host kill (``os._exit``) and would take pytest with it.
+"""
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.experiments.engine import map_cells, remote_worker
+from repro.experiments.remote import RemoteExecutor
+from repro.io.json_io import canonical_json, from_cell_wire, to_cell_wire
+from repro.service import ServiceApp, ServiceClient, ThreadedServer
+from repro.service.client import ServiceClientError
+
+
+@remote_worker("faults.chaos_double")
+def _double(payload, cache, cell):
+    return payload * cell
+
+
+@remote_worker("faults.chaos_slow")
+def _slow(payload, cache, cell):
+    time.sleep(payload)
+    return cell
+
+
+def _wires(payload, cells):
+    return to_cell_wire(payload), [to_cell_wire(c) for c in cells]
+
+
+def _executor(addrs, **kw):
+    kw.setdefault("retry_budget", 2)
+    kw.setdefault("backoff_base", 0.01)
+    kw.setdefault("backoff_cap", 0.05)
+    return RemoteExecutor(addrs, **kw)
+
+
+class TestStreamTruncation:
+    def test_sweep_survives_injected_truncation(self):
+        cells = list(range(20))
+        serial = map_cells(_double, 3, cells)
+        with ThreadedServer(ServiceApp(workers=1)) as a, \
+                ThreadedServer(ServiceApp(workers=1)) as b:
+            ex = _executor([f"{a.host}:{a.port}", f"{b.host}:{b.port}"])
+            with faults.fault_plan("seed=5,truncate=1.0,truncate_limit=1"):
+                dist = ex.map_cells(_double, 3, cells)
+        assert dist == serial
+        assert canonical_json(to_cell_wire(dist)) \
+            == canonical_json(to_cell_wire(serial))
+
+
+class TestWorkerKill:
+    def test_pool_restart_supervises_injected_kill(self):
+        app = ServiceApp(workers=2)
+        cells = list(range(12))
+        pw, cw = _wires(4, cells)
+        with ThreadedServer(app) as srv:
+            client = ServiceClient(srv.host, srv.port, timeout=60)
+            with faults.fault_plan("seed=1,kill=1.0,kill_limit=1"):
+                rows = client.run_cells("faults.chaos_double", pw, cw)
+            client.close()
+        assert app.n_pool_restarts >= 1
+        assert [from_cell_wire(r["r"]) for r in rows] \
+            == [4 * c for c in cells]
+
+    def test_kill_budget_exhaustion_aborts_stream(self):
+        app = ServiceApp(workers=2, pool_restarts=1)
+        pw, cw = _wires(1, list(range(8)))
+        with ThreadedServer(app) as srv:
+            client = ServiceClient(srv.host, srv.port, timeout=60)
+            with faults.fault_plan("seed=1,kill=1.0"):   # every attempt
+                with pytest.raises(ServiceClientError) as err:
+                    client.run_cells("faults.chaos_double", pw, cw)
+            client.close()
+        # the stream dies without a sentinel: a typed transport error,
+        # never silently-missing cells
+        assert err.value.err_type in ("truncated", "transport")
+
+
+class TestBlackout:
+    def test_blackout_within_budget_recovers(self):
+        cells = list(range(10))
+        serial = map_cells(_double, 2, cells)
+        with ThreadedServer(ServiceApp(workers=1)) as srv:
+            ex = _executor([f"{srv.host}:{srv.port}"], retry_budget=2)
+            with faults.fault_plan("seed=3,blackout=0:0:2"):
+                dist = ex.map_cells(_double, 2, cells)
+            stats = ex.stats()
+        assert dist == serial
+        host = stats["hosts"][f"{srv.host}:{srv.port}"]
+        assert host["alive"]
+        assert stats["retries"] >= 1
+
+    def test_blackout_beyond_budget_fails_over(self):
+        cells = list(range(10))
+        serial = map_cells(_double, 2, cells)
+        with ThreadedServer(ServiceApp(workers=1)) as a, \
+                ThreadedServer(ServiceApp(workers=1)) as b:
+            addr_a = f"{a.host}:{a.port}"
+            ex = _executor([addr_a, f"{b.host}:{b.port}"], retry_budget=0)
+            with faults.fault_plan("seed=3,blackout=0:0:9"):
+                dist = ex.map_cells(_double, 2, cells)
+            stats = ex.stats()
+        assert dist == serial
+        assert not stats["hosts"][addr_a]["alive"]
+
+
+class TestConnectionFaults:
+    def test_server_drop_then_recovery(self):
+        with ThreadedServer(ServiceApp(workers=1)) as srv:
+            client = ServiceClient(srv.host, srv.port, timeout=5)
+            with faults.fault_plan("seed=2,drop=1.0,drop_limit=1"):
+                with pytest.raises(ServiceClientError) as err:
+                    client.healthz()
+                assert err.value.err_type in ("transport", "timeout")
+                assert client.healthz()["status"] == "ok"
+            client.close()
+
+    def test_client_drop_then_recovery(self):
+        with ThreadedServer(ServiceApp(workers=1)) as srv:
+            client = ServiceClient(srv.host, srv.port, timeout=5)
+            plan = "seed=2,client_drop=1.0,client_drop_limit=1"
+            with faults.fault_plan(plan):
+                with pytest.raises(ServiceClientError, match="injected"):
+                    client.healthz()
+                assert client.healthz()["status"] == "ok"
+            client.close()
+
+    def test_server_delay_injection(self):
+        with ThreadedServer(ServiceApp(workers=1)) as srv:
+            client = ServiceClient(srv.host, srv.port, timeout=5)
+            plan = "seed=2,delay=1.0,delay_ms=80,delay_limit=1"
+            with faults.fault_plan(plan):
+                t0 = time.monotonic()
+                client.healthz()
+                assert time.monotonic() - t0 >= 0.08
+            client.close()
+
+    def test_healthz_reports_fault_summary(self):
+        with ThreadedServer(ServiceApp(workers=1)) as srv:
+            client = ServiceClient(srv.host, srv.port, timeout=5)
+            with faults.fault_plan("seed=6,delay=1.0,delay_ms=1") as inj:
+                health = client.healthz()
+                assert health["faults"]["plan_digest"] \
+                    == inj.plan.digest()
+            client.close()
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_shed_with_408(self):
+        with ThreadedServer(ServiceApp(workers=1)) as srv:
+            client = ServiceClient(srv.host, srv.port, timeout=5,
+                                   deadline=1e-4)
+            with pytest.raises(ServiceClientError) as err:
+                client.healthz()
+            client.close()
+        assert err.value.status == 408
+        assert err.value.err_type == "deadline_exceeded"
+
+    def test_cells_stream_deadline_client_side(self):
+        pw, cw = _wires(0.1, list(range(8)))
+        with ThreadedServer(ServiceApp(workers=1)) as srv:
+            client = ServiceClient(srv.host, srv.port, timeout=30,
+                                   deadline=0.25)
+            with pytest.raises(ServiceClientError) as err:
+                client.run_cells("faults.chaos_slow", pw, cw)
+            client.close()
+        assert err.value.err_type == "deadline"
+        assert "deadline" in str(err.value)
+
+
+class TestSaturation:
+    def test_retry_after_surfaces_on_503(self):
+        app = ServiceApp(workers=1)
+        with ThreadedServer(app, max_connections=1) as srv:
+            holder = ServiceClient(srv.host, srv.port, timeout=5)
+            assert holder.healthz()["status"] == "ok"   # keep-alive held
+            second = ServiceClient(srv.host, srv.port, timeout=5)
+            with pytest.raises(ServiceClientError) as err:
+                second.healthz()
+            holder.close()
+            second.close()
+        assert err.value.status == 503
+        assert err.value.retry_after == 1.0
+
+
+class TestTriFaultInvariant:
+    def test_blackout_truncation_and_kill_byte_identical(self):
+        """The acceptance invariant: one distributed sweep absorbing a
+        host blackout window, one stream truncation, and one injected
+        worker-process kill still produces byte-identical results."""
+        cells = list(range(24))
+        serial = map_cells(_double, 3, cells)
+        plan = ("seed=9,blackout=0:0:1,"
+                "truncate=1.0,truncate_limit=1,kill=1.0,kill_limit=1")
+        with ThreadedServer(ServiceApp(workers=2)) as a, \
+                ThreadedServer(ServiceApp(workers=2)) as b:
+            ex = _executor([f"{a.host}:{a.port}", f"{b.host}:{b.port}"])
+            with faults.fault_plan(plan) as inj:
+                dist = ex.map_cells(_double, 3, cells)
+                summary = inj.summary()
+            stats = ex.stats()
+        assert dist == serial
+        assert canonical_json(to_cell_wire(dist)) \
+            == canonical_json(to_cell_wire(serial))
+        # each fault demonstrably happened
+        assert summary["sites"]["stream.truncate"]["fired"] == 1
+        assert summary["sites"]["worker.kill"]["fired"] == 1
+        assert summary["sites"]["remote.blackout"]["fired"] == 1
+        assert stats["retries"] >= 1

@@ -1,0 +1,297 @@
+"""Sweep checkpoint/resume: content-addressed cell journaling, the
+explicit-resume guard, corruption tolerance, and the crash/resume
+invariant — a killed coordinator resumes to byte-identical output,
+re-executing only what was unfinished."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.experiments import CellCheckpoint, CheckpointError, checkpointing
+from repro.experiments.checkpoint import call_key, cell_key, payload_digest
+from repro.experiments.engine import map_cells, remote_worker
+from repro.io.json_io import canonical_json, to_cell_wire
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+@remote_worker("faults.ckpt_double")
+def _double(payload, cache, cell):
+    return payload * cell
+
+
+@remote_worker("faults.ckpt_count")
+def _count_calls(payload, cache, cell):
+    # A process-wide counter (works for jobs=1) to observe re-execution.
+    _CALLS.append(cell)
+    return payload + cell
+
+
+_CALLS: list = []
+
+
+class TestCellCheckpoint:
+    def test_record_and_replay(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CellCheckpoint(path) as ck:
+            ck.record("k1", {"v": 1})
+            ck.record("k2", {"v": 2})
+            ck.mark_done("call", 2)
+        again = CellCheckpoint(path, resume=True)
+        assert again.get("k1") == {"v": 1}
+        assert again.get("k2") == {"v": 2}
+        assert again.is_done("call")
+        assert again.n_replayed == 2
+        again.close()
+
+    def test_rerecording_known_key_is_noop(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CellCheckpoint(path) as ck:
+            ck.record("k", {"v": 1})
+            ck.record("k", {"v": 999})
+            assert ck.get("k") == {"v": 1}
+            assert ck.n_recorded == 1
+
+    def test_nonempty_without_resume_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CellCheckpoint(path) as ck:
+            ck.record("k", 1)
+        with pytest.raises(CheckpointError, match="resume"):
+            CellCheckpoint(path)
+
+    def test_zero_byte_file_is_a_fresh_journal(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.touch()
+        with CellCheckpoint(path) as ck:     # no resume needed
+            ck.record("k", 1)
+        assert CellCheckpoint(path, resume=True).get("k") == 1
+
+    def test_torn_tail_line_skipped(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CellCheckpoint(path) as ck:
+            ck.record("k1", 1)
+            ck.record("k2", 2)
+        text = path.read_text()
+        lines = text.splitlines(keepends=True)
+        path.write_text(lines[0] + lines[1][: len(lines[1]) // 2])
+        again = CellCheckpoint(path, resume=True)
+        assert again.get("k1") == 1
+        assert again.get("k2") is None       # torn record: re-executes
+        again.close()
+
+    def test_duplicated_records_replay_once(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CellCheckpoint(path) as ck:
+            ck.record("k1", 5)
+        line = path.read_text()
+        path.write_text(line + line + line)  # crash-duplicated appends
+        again = CellCheckpoint(path, resume=True)
+        assert again.get("k1") == 5
+        assert len(again.results) == 1
+        again.close()
+
+    def test_corrupt_fault_produces_torn_lines_that_replay_skips(
+            self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with faults.fault_plan("seed=3,corrupt=1.0,corrupt_limit=1"):
+            with CellCheckpoint(path) as ck:
+                ck.record("k1", 1)           # torn by the injector
+                ck.record("k2", 2)           # intact (limit exhausted)
+        again = CellCheckpoint(path, resume=True)
+        assert again.get("k1") is None
+        assert again.get("k2") == 2
+        again.close()
+
+
+class TestMapCellsCheckpointed:
+    def test_results_identical_and_second_run_replays(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        cells = list(range(10))
+        plain = map_cells(_double, 3, cells)
+        first = map_cells(_double, 3, cells, checkpoint=path)
+        assert first == plain
+        ck = CellCheckpoint(path, resume=True)
+        assert len(ck.results) == 10
+        pdig = payload_digest(to_cell_wire(3))
+        keys = [cell_key("faults.ckpt_double", pdig, to_cell_wire(c))
+                for c in cells]
+        assert ck.is_done(call_key("faults.ckpt_double", pdig, keys))
+        ck.close()
+        again = map_cells(_double, 3, cells, checkpoint=path)
+        assert again == plain
+
+    def test_second_run_executes_nothing(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        cells = [10, 20, 30]
+        _CALLS.clear()
+        map_cells(_count_calls, 1, cells, checkpoint=path)
+        assert sorted(_CALLS) == cells
+        _CALLS.clear()
+        out = map_cells(_count_calls, 1, cells, checkpoint=path)
+        assert _CALLS == []                  # pure replay
+        assert out == [11, 21, 31]
+
+    def test_partial_journal_executes_only_missing(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        cells = [1, 2, 3, 4]
+        _CALLS.clear()
+        map_cells(_count_calls, 100, cells, checkpoint=path)
+        # Drop the records for cells 3 and 4 (tail lines), keep 1 and 2.
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:2]))
+        _CALLS.clear()
+        out = map_cells(_count_calls, 100, cells, checkpoint=path)
+        assert sorted(_CALLS) == [3, 4]      # only the unfinished cells
+        assert out == [101, 102, 103, 104]
+
+    def test_resume_after_last_cell_before_sentinel(self, tmp_path):
+        """Crash after every cell was journaled but before the done
+        sentinel: resume re-executes nothing and completes the call."""
+        path = tmp_path / "ck.jsonl"
+        cells = [5, 6, 7]
+        _CALLS.clear()
+        map_cells(_count_calls, 0, cells, checkpoint=path)
+        lines = path.read_text().splitlines(keepends=True)
+        assert '"done"' in lines[-1]
+        path.write_text("".join(lines[:-1]))   # strip the sentinel only
+        _CALLS.clear()
+        out = map_cells(_count_calls, 0, cells, checkpoint=path)
+        assert _CALLS == []
+        assert out == [5, 6, 7]
+        ck = CellCheckpoint(path, resume=True)
+        assert len(ck.done_calls) == 1         # sentinel re-written
+        ck.close()
+
+    def test_duplicate_cells_execute_once(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        _CALLS.clear()
+        out = map_cells(_count_calls, 1, [4, 4, 4, 9], checkpoint=path)
+        assert out == [5, 5, 5, 10]
+        assert sorted(_CALLS) == [4, 9]
+        ck = CellCheckpoint(path, resume=True)
+        assert len(ck.results) == 2            # content-addressed
+        ck.close()
+
+    def test_jobs_pool_checkpoint_matches_serial(self, tmp_path):
+        serial = map_cells(_double, 7, list(range(12)))
+        pooled = map_cells(_double, 7, list(range(12)), jobs=2,
+                           checkpoint=tmp_path / "ck.jsonl")
+        assert pooled == serial
+
+    def test_checkpointing_context_manager(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with checkpointing(path) as ck:
+            out = map_cells(_double, 2, [1, 2, 3])   # ambient journal
+            assert out == [2, 4, 6]
+            assert ck.stats()["recorded"] == 3
+        # outside the block map_cells no longer journals
+        map_cells(_double, 2, [99])
+        ck2 = CellCheckpoint(path, resume=True)
+        assert len(ck2.results) == 3
+        ck2.close()
+
+    def test_checkpointing_existing_requires_resume(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with checkpointing(path):
+            map_cells(_double, 2, [1])
+        with pytest.raises(CheckpointError, match="resume"):
+            with checkpointing(path):
+                pass
+        with checkpointing(path, resume=True) as ck:
+            assert ck.stats()["replayed"] == 1
+
+
+_CRASH_CHILD = """
+import sys
+sys.path.insert(0, {src!r})
+from repro import faults
+from repro.experiments.engine import map_cells, remote_worker
+
+@remote_worker("faults.ckpt_double")
+def _double(payload, cache, cell):
+    return payload * cell
+
+faults.install("crash_after={crash_after}")
+map_cells(_double, 3, list(range(10)), checkpoint={path!r})
+print("UNREACHABLE")
+"""
+
+
+class TestCoordinatorCrashResume:
+    def test_crash_midsweep_then_resume_byte_identical(self, tmp_path):
+        """The acceptance invariant: kill -9 the coordinator mid-sweep,
+        --resume re-executes only unfinished cells, and the output is
+        byte-identical to an uninterrupted run."""
+        path = tmp_path / "ck.jsonl"
+        script = _CRASH_CHILD.format(src=str(ROOT / "src"),
+                                     crash_after=4, path=str(path))
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True,
+                              cwd=str(tmp_path), timeout=60)
+        assert proc.returncode == 137        # the injected hard exit
+        assert "UNREACHABLE" not in proc.stdout
+
+        survived = CellCheckpoint(path, resume=True)
+        assert len(survived.results) == 4    # exactly the flushed cells
+        survived.close()
+
+        _CALLS.clear()
+        resumed = map_cells(_double, 3, list(range(10)), checkpoint=path)
+        uninterrupted = map_cells(_double, 3, list(range(10)))
+        assert resumed == uninterrupted
+        assert canonical_json(to_cell_wire(resumed)) \
+            == canonical_json(to_cell_wire(uninterrupted))
+
+    def test_resumed_run_skips_completed_cells(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        script = _CRASH_CHILD.format(src=str(ROOT / "src"),
+                                     crash_after=6, path=str(path))
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True,
+                              cwd=str(tmp_path), timeout=60)
+        assert proc.returncode == 137
+        ck = CellCheckpoint(path, resume=True)
+        n_before = len(ck.results)
+        ck.close()
+        assert n_before == 6
+        with checkpointing(path, resume=True) as ck:
+            map_cells(_double, 3, list(range(10)))
+            assert ck.stats()["replayed"] == 6
+            assert ck.stats()["recorded"] == 10 - 6
+
+
+class TestCliFlags:
+    def test_resume_without_checkpoint_is_an_error(self, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["experiment", "fig11", "--resume"])
+
+    def test_experiment_checkpoint_resume_round_trip(self, tmp_path,
+                                                     capsys):
+        from repro.cli import main
+        ck = tmp_path / "ck.jsonl"
+        assert main(["experiment", "fig11", "--scale", "ci",
+                     "--checkpoint", str(ck)]) == 0
+        first = capsys.readouterr()
+        assert "recorded" in first.err
+        assert ck.exists() and ck.stat().st_size > 0
+        assert main(["experiment", "fig11", "--scale", "ci",
+                     "--checkpoint", str(ck), "--resume"]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out       # byte-identical stdout
+        assert "0 recorded" in second.err    # pure replay
+
+    def test_experiment_existing_checkpoint_without_resume_errors(
+            self, tmp_path, capsys):
+        from repro.cli import main
+        ck = tmp_path / "ck.jsonl"
+        assert main(["experiment", "fig11", "--scale", "ci",
+                     "--checkpoint", str(ck)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="resume"):
+            main(["experiment", "fig11", "--scale", "ci",
+                  "--checkpoint", str(ck)])

@@ -1,0 +1,122 @@
+"""CRC-framed journal lines and ``--cache-dir`` recovery: torn writes,
+bit flips, duplicated ops, zero-byte files, legacy checksum-less
+journals — a journal must never poison a restart, only shrink it."""
+
+import json
+
+from repro.io.json_io import journal_decode, journal_encode
+from repro.service.app import ScheduleCache
+
+
+class TestJournalFraming:
+    def test_round_trip(self):
+        row = {"op": "put", "digest": "d1", "body": "{\"x\": 1}"}
+        line = journal_encode(row)
+        assert journal_decode(line) == row
+
+    def test_crc_rejects_bit_flip(self):
+        line = journal_encode({"op": "put", "digest": "d1", "body": "abc"})
+        flipped = line.replace("abc", "abd")
+        assert journal_decode(flipped) is None
+
+    def test_torn_line_rejected(self):
+        line = journal_encode({"op": "cell", "k": "x", "r": [1, 2, 3]})
+        assert journal_decode(line[: len(line) // 2]) is None
+
+    def test_legacy_bare_rows_accepted(self):
+        legacy = json.dumps({"op": "touch", "digest": "d9"})
+        assert journal_decode(legacy) == {"op": "touch", "digest": "d9"}
+
+    def test_non_dict_rejected(self):
+        assert journal_decode("[1, 2, 3]") is None
+        assert journal_decode("42") is None
+        assert journal_decode("") is None
+        assert journal_decode('{"crc": 1}') is None
+
+    def test_wrong_crc_rejected(self):
+        row = {"op": "done", "call": "c", "n": 3}
+        bad = json.dumps({"crc": 12345, "row": row})
+        assert journal_decode(bad) is None
+
+    def test_float_bodies_round_trip_exactly(self):
+        row = {"op": "cell", "k": "k", "r": [0.1, 1e-17, 2.0 ** 53]}
+        assert journal_decode(journal_encode(row)) == row
+
+
+def _put_some(cache_dir, items):
+    cache = ScheduleCache(8, cache_dir=str(cache_dir))
+    for digest, body in items:
+        cache.put(digest, body)
+    cache.close()
+
+
+class TestCacheDirRecovery:
+    def test_new_journal_is_crc_framed_and_replays(self, tmp_path):
+        _put_some(tmp_path, [("d1", b"one"), ("d2", b"two")])
+        journal = tmp_path / "cache.jsonl"
+        for line in journal.read_text().splitlines():
+            assert "crc" in json.loads(line)
+        cache = ScheduleCache(8, cache_dir=str(tmp_path))
+        assert cache.get("d1") == b"one"
+        assert cache.get("d2") == b"two"
+        cache.close()
+
+    def test_mid_line_truncation_drops_only_that_entry(self, tmp_path):
+        _put_some(tmp_path, [("d1", b"one"), ("d2", b"two")])
+        journal = tmp_path / "cache.jsonl"
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text(lines[0] + lines[1][: len(lines[1]) // 2])
+        cache = ScheduleCache(8, cache_dir=str(tmp_path))
+        assert cache.get("d1") == b"one"
+        assert cache.get("d2") is None       # torn entry simply re-misses
+        cache.close()
+
+    def test_duplicated_put_and_touch_lines(self, tmp_path):
+        _put_some(tmp_path, [("d1", b"one")])
+        journal = tmp_path / "cache.jsonl"
+        line = journal.read_text()
+        touch = journal_encode({"op": "touch", "digest": "d1"}) + "\n"
+        ghost_touch = journal_encode({"op": "touch", "digest": "nope"}) + "\n"
+        journal.write_text(line + line + touch + ghost_touch + line)
+        cache = ScheduleCache(8, cache_dir=str(tmp_path))
+        assert len(cache) == 1
+        assert cache.get("d1") == b"one"
+        assert cache.get("nope") is None
+        cache.close()
+
+    def test_zero_byte_journal(self, tmp_path):
+        (tmp_path / "cache.jsonl").touch()
+        cache = ScheduleCache(8, cache_dir=str(tmp_path))
+        assert len(cache) == 0
+        cache.put("d1", b"one")
+        cache.close()
+        cache = ScheduleCache(8, cache_dir=str(tmp_path))
+        assert cache.get("d1") == b"one"
+        cache.close()
+
+    def test_legacy_checksumless_journal_still_replays(self, tmp_path):
+        journal = tmp_path / "cache.jsonl"
+        journal.write_text(
+            json.dumps({"op": "put", "digest": "old", "body": "legacy"})
+            + "\n"
+            + json.dumps({"op": "touch", "digest": "old"}) + "\n")
+        cache = ScheduleCache(8, cache_dir=str(tmp_path))
+        assert cache.get("old") == b"legacy"
+        cache.close()
+        # ... and the compacted rewrite upgrades it to CRC framing
+        cache = ScheduleCache(8, cache_dir=str(tmp_path))
+        cache.close()
+        first = (tmp_path / "cache.jsonl").read_text().splitlines()[0]
+        assert "crc" in json.loads(first)
+
+    def test_compaction_preserves_entries(self, tmp_path):
+        cache = ScheduleCache(2, cache_dir=str(tmp_path))
+        for k in range(40):          # evictions + touches grow the journal
+            cache.put(f"d{k}", f"body{k}".encode())
+            cache.get(f"d{k}")
+        cache.close()
+        cache = ScheduleCache(2, cache_dir=str(tmp_path))
+        assert cache.get("d39") == b"body39"
+        assert cache.get("d38") == b"body38"
+        assert cache.get("d0") is None        # evicted long ago
+        cache.close()

@@ -1,0 +1,201 @@
+"""Fault plans: parsing, validation, digests, and — the property the
+whole subsystem rests on — bit-reproducible injection: the same plan
+draws the same event sequence, independent of limits and timing."""
+
+import pytest
+
+from repro import faults
+from repro.faults import ENV_VAR, FaultInjector, FaultPlan
+
+
+class TestParsing:
+    def test_none_and_empty_are_no_plan(self):
+        assert FaultPlan.parse(None) is None
+        assert FaultPlan.parse("") is None
+        assert FaultPlan.parse("   ") is None
+
+    def test_compact_form(self):
+        plan = FaultPlan.parse("seed=7,drop=0.25,drop_limit=3,delay_ms=50")
+        assert plan.seed == 7
+        assert plan.drop == 0.25
+        assert plan.drop_limit == 3
+        assert plan.delay_ms == 50.0
+        assert plan.kill == 0.0          # untouched fields keep defaults
+
+    def test_json_form_matches_compact(self):
+        compact = FaultPlan.parse("seed=3,truncate=1.0,truncate_limit=1")
+        as_json = FaultPlan.parse(
+            '{"seed": 3, "truncate": 1.0, "truncate_limit": 1}')
+        assert compact == as_json
+        assert compact.digest() == as_json.digest()
+
+    def test_dict_and_plan_pass_through(self):
+        plan = FaultPlan.parse({"seed": 1, "kill": 0.5})
+        assert plan.kill == 0.5
+        assert FaultPlan.parse(plan) is plan
+
+    def test_blackout_compact_form(self):
+        plan = FaultPlan.parse("blackout=0:2:4+1:0:2")
+        assert plan.blackout == ((0, 2, 4), (1, 0, 2))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            FaultPlan.parse("seed=1,typo=2")
+
+    def test_rate_outside_unit_interval_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            FaultPlan.parse("drop=1.5")
+
+    def test_malformed_item_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            FaultPlan.parse("seed")
+
+    def test_bad_blackout_window_rejected(self):
+        with pytest.raises(ValueError, match="blackout"):
+            FaultPlan.parse("blackout=0:2")
+        with pytest.raises(ValueError, match="blackout"):
+            FaultPlan.parse("blackout=0:0:0")
+
+    def test_enabled_property(self):
+        assert not FaultPlan().enabled
+        assert not FaultPlan.parse("seed=9").enabled   # seed alone: no-op
+        assert FaultPlan.parse("seed=9,drop=0.1").enabled
+
+
+class TestDigest:
+    def test_digest_is_stable_and_seed_sensitive(self):
+        a = FaultPlan.parse("seed=1,drop=0.5")
+        b = FaultPlan.parse("drop=0.5,seed=1")     # order-insensitive
+        c = FaultPlan.parse("seed=2,drop=0.5")
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    def test_to_dict_round_trips(self):
+        plan = FaultPlan.parse("seed=4,kill=1.0,kill_limit=2,blackout=0:1:3")
+        again = FaultPlan.parse(plan.to_dict())
+        assert again == plan
+        assert again.digest() == plan.digest()
+
+
+class TestInjectorDeterminism:
+    def test_same_plan_same_event_sequence(self):
+        plan = FaultPlan.parse("seed=11,drop=0.4")
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        for inj in (a, b):
+            for _ in range(50):
+                inj.fire("server.drop", plan.drop, plan.drop_limit)
+        assert a.events == b.events
+        assert any(fired for _, _, fired in a.events)
+        assert not all(fired for _, _, fired in a.events)
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(FaultPlan.parse("seed=1,drop=0.4"))
+        b = FaultInjector(FaultPlan.parse("seed=2,drop=0.4"))
+        for inj in (a, b):
+            for _ in range(50):
+                inj.fire("server.drop", 0.4)
+        assert a.events != b.events
+
+    def test_limit_caps_fires_but_preserves_draws(self):
+        """rate=1.0,limit=1 fires exactly once — and the draw sequence
+        (the per-site counters) advances identically to the unlimited
+        plan, so a limit never perturbs other decisions."""
+        limited = FaultInjector(FaultPlan.parse("seed=5,kill=1.0,kill_limit=1"))
+        unlimited = FaultInjector(FaultPlan.parse("seed=5,kill=1.0"))
+        got = [limited.fire("worker.kill", 1.0, 1) for _ in range(10)]
+        for _ in range(10):
+            unlimited.fire("worker.kill", 1.0, -1)
+        assert got == [True] + [False] * 9
+        assert [k for _, k, _ in limited.events] \
+            == [k for _, k, _ in unlimited.events]
+
+    def test_zero_rate_is_free(self):
+        inj = FaultInjector(FaultPlan.parse("seed=5,drop=0.5"))
+        assert inj.fire("other.site", 0.0) is False
+        assert inj.events == []    # no draw consumed for a zero rate
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan.parse("seed=8,drop=0.5,delay=0.5")
+        a = FaultInjector(plan)
+        for _ in range(20):
+            a.fire("server.drop", plan.drop)
+        # interleaving another site does not shift server.drop's draws
+        b = FaultInjector(plan)
+        for _ in range(20):
+            b.fire("server.delay", plan.delay)
+            b.fire("server.drop", plan.drop)
+        assert [e for e in a.events if e[0] == "server.drop"] \
+            == [e for e in b.events if e[0] == "server.drop"]
+
+    def test_pick_is_deterministic_and_in_range(self):
+        plan = FaultPlan.parse("seed=13,truncate=1.0")
+        a = [FaultInjector(plan).pick("stream.truncate.row", 7)
+             for _ in range(1)][0]
+        b = FaultInjector(plan).pick("stream.truncate.row", 7)
+        assert a == b
+        assert 0 <= a < 7
+
+    def test_blackout_windows(self):
+        inj = FaultInjector(FaultPlan.parse("blackout=0:2:3+1:0:1"))
+        assert not inj.in_blackout(0, 1)
+        assert inj.in_blackout(0, 2)
+        assert inj.in_blackout(0, 4)
+        assert not inj.in_blackout(0, 5)
+        assert inj.in_blackout(1, 0)
+        assert not inj.in_blackout(2, 0)
+
+    def test_crash_due(self):
+        inj = FaultInjector(FaultPlan.parse("crash_after=3"))
+        assert not inj.crash_due(2)
+        assert inj.crash_due(3)
+        assert inj.crash_due(4)
+        assert not FaultInjector(FaultPlan()).crash_due(100)
+
+    def test_summary_reports_plan_digest_and_sites(self):
+        plan = FaultPlan.parse("seed=2,drop=1.0,drop_limit=1")
+        inj = FaultInjector(plan)
+        for _ in range(4):
+            inj.fire("server.drop", plan.drop, plan.drop_limit)
+        summary = inj.summary()
+        assert summary["plan_digest"] == plan.digest()
+        assert summary["sites"]["server.drop"] == {"draws": 4, "fired": 1}
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert faults.active() is None or True  # env may be loaded; next:
+        with faults.fault_plan("seed=1,drop=0.5") as inj:
+            assert faults.active() is inj
+        # restored after the block
+
+    def test_fault_plan_restores_previous(self):
+        outer = faults.install("seed=1,drop=0.5")
+        try:
+            with faults.fault_plan("seed=2,kill=1.0") as inner:
+                assert faults.active() is inner
+            assert faults.active() is outer
+        finally:
+            faults.deactivate()
+
+    def test_install_none_clears(self):
+        faults.install("seed=1,drop=0.5")
+        faults.install(None)
+        assert faults.active() is None
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "seed=21,delay=0.5,delay_ms=1")
+        monkeypatch.setattr(faults, "_ACTIVE", None)
+        monkeypatch.setattr(faults, "_ENV_LOADED", False)
+        inj = faults.active()
+        assert inj is not None
+        assert inj.plan.seed == 21
+        assert inj.plan.delay == 0.5
+        # loaded exactly once: changing the env later has no effect
+        monkeypatch.setenv(ENV_VAR, "seed=99,drop=1.0")
+        assert faults.active() is inj
+
+    def test_env_empty_means_off(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "")
+        monkeypatch.setattr(faults, "_ACTIVE", None)
+        monkeypatch.setattr(faults, "_ENV_LOADED", False)
+        assert faults.active() is None
