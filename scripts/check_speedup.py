@@ -21,6 +21,11 @@ ROADMAP's long-open "needs a multi-core runner" item):
   ``--max-checkpoint-overhead`` percent on a fault-free sweep, fault
   plans must be bit-reproducible, and every chaos goodput run must have
   stayed byte-identical to the serial reference.
+* ``BENCH_obs.json`` — full observability (metrics + tracing) must cost
+  at most ``--max-obs-overhead`` percent on the serial sweep with
+  identical results, traces must be structurally deterministic, and the
+  live ``/metrics`` scrape must be valid exposition accounting for
+  every request.
 
 Exit status 0 only when every present report passes; failures list every
 violated gate.  Usage::
@@ -145,6 +150,54 @@ def check_faults_report(path: str, max_overhead_pct: float) -> list[str]:
     return problems
 
 
+def check_obs_report(path: str, max_overhead_pct: float) -> list[str]:
+    """Gate ``BENCH_obs.json``: instrumentation overhead on the serial
+    sweep must stay under ``max_overhead_pct`` percent with identical
+    results; two traced runs must repeat the same span structure; and
+    the live scrape must be valid exposition covering every request."""
+    report = json.loads(Path(path).read_text())
+    problems = []
+
+    overhead = report.get("overhead")
+    if overhead is None:
+        problems.append(f"{path}: no 'overhead' section — run "
+                        "bench_obs.py")
+    else:
+        if not overhead.get("identical_results"):
+            problems.append(f"{path}: observed sweep differs from "
+                            "plain run")
+        if overhead["overhead_pct"] > max_overhead_pct:
+            problems.append(
+                f"{path}: observability overhead "
+                f"{overhead['overhead_pct']:+.2f}% > allowed "
+                f"{max_overhead_pct:g}%")
+
+    determinism = report.get("determinism")
+    if determinism is None:
+        problems.append(f"{path}: no 'determinism' section")
+    else:
+        for flag in ("structure_repeats", "identical_results"):
+            if not determinism.get(flag):
+                problems.append(f"{path}: determinism.{flag} is false "
+                                "— traces are not structurally "
+                                "deterministic")
+
+    scrape = report.get("scrape")
+    if scrape is None:
+        problems.append(f"{path}: no 'scrape' section")
+    else:
+        for flag in ("valid_exposition", "requests_accounted"):
+            if not scrape.get(flag):
+                problems.append(f"{path}: scrape.{flag} is false — "
+                                "/metrics exposition is broken")
+
+    if not problems:
+        print(f"obs      overhead: {overhead['overhead_pct']:+.2f}% <= "
+              f"{max_overhead_pct:g}%, traces deterministic, scrape "
+              f"valid ({scrape['n_samples']} samples) OK")
+    return problems
+
+
 def check_kernel_report(path: str, min_speedup: float) -> list[str]:
     """Gate ``BENCH_kernel.json``: every ``vs_seed`` row (numpy batch
     kernel vs the seed incremental kernel) must clear ``min_speedup``
@@ -189,6 +242,8 @@ def main(argv=None) -> int:
                         help="BENCH_kernel.json to gate")
     parser.add_argument("--faults", metavar="PATH",
                         help="BENCH_faults.json to gate")
+    parser.add_argument("--obs", metavar="PATH",
+                        help="BENCH_obs.json to gate")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required parallel-vs-serial factor for the "
                              "in-process paths (default: 1.5)")
@@ -203,11 +258,14 @@ def main(argv=None) -> int:
                         default=5.0,
                         help="allowed checkpoint-journal overhead in "
                              "percent on a fault-free sweep (default: 5)")
+    parser.add_argument("--max-obs-overhead", type=float, default=3.0,
+                        help="allowed full-observability overhead in "
+                             "percent on the serial sweep (default: 3)")
     args = parser.parse_args(argv)
     if not (args.scaling or args.service or args.distributed
-            or args.kernel or args.faults):
+            or args.kernel or args.faults or args.obs):
         parser.error("nothing to check: pass --scaling/--service/"
-                     "--distributed/--kernel/--faults")
+                     "--distributed/--kernel/--faults/--obs")
 
     problems: list[str] = []
     if args.scaling:
@@ -222,6 +280,8 @@ def main(argv=None) -> int:
     if args.faults:
         problems += check_faults_report(args.faults,
                                         args.max_checkpoint_overhead)
+    if args.obs:
+        problems += check_obs_report(args.obs, args.max_obs_overhead)
     for p in problems:
         print(f"SPEEDUP GATE FAILED: {p}", file=sys.stderr)
     if not problems:

@@ -20,8 +20,10 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from contextlib import nullcontext
 from typing import Optional, Sequence
 
+from . import obs
 from .core.bounds import (
     critical_path_lower_bound,
     lower_bound,
@@ -42,6 +44,16 @@ from .io.gantt import ascii_gantt, memory_sparkline, schedule_summary
 from .io.json_io import load_graph, load_schedule, save_graph, save_schedule
 from .scheduling.registry import SCHEDULERS, get_scheduler
 from .scheduling.state import InfeasibleScheduleError
+
+
+def _maybe_trace(args: argparse.Namespace, *ident: object):
+    """Scope a span tracer to the command when ``--trace FILE`` was given
+    (deterministic trace id derived from the invocation); a no-op
+    otherwise, so untraced runs stay on the zero-overhead path."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return nullcontext()
+    return obs.observing(path, trace_ident=ident)
 
 
 def _platform_from_args(args: argparse.Namespace) -> Platform:
@@ -138,10 +150,13 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     if not _check_classes(graph, platform):
         return 2
     try:
-        schedule = scheduler(graph, platform, backend=args.kernel)
+        with _maybe_trace(args, "schedule", args.graph, args.algo):
+            schedule = scheduler(graph, platform, backend=args.kernel)
     except InfeasibleScheduleError as exc:
         print(f"INFEASIBLE: {exc}", file=sys.stderr)
         return 2
+    if args.trace:
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
     peaks = validate_schedule(graph, platform, schedule)
     print(f"algorithm : {args.algo}")
     print(f"makespan  : {schedule.makespan:g}")
@@ -155,7 +170,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             print(f"{memory.value:>5} mem {spark}")
     if args.summary:
         print(schedule_summary(schedule))
-    if args.trace:
+    if args.events:
         print(format_trace(trace_schedule(graph, platform, schedule)))
     if args.output:
         save_schedule(schedule, args.output)
@@ -230,17 +245,22 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 raise SystemExit(f"error: {exc}") from None
         return EXPERIMENTS[args.figure](scale, jobs=args.jobs)
 
-    if args.hosts:
-        from .experiments.remote import RemoteExecutor, remote_hosts
-        hosts = [h for h in args.hosts.split(",") if h.strip()]
-        try:
-            executor = RemoteExecutor(hosts)
-        except ValueError as exc:
-            raise SystemExit(f"error: invalid --hosts: {exc}") from None
-        with remote_hosts(executor):
-            result = run()
-    else:
-        result = run()
+    with _maybe_trace(args, "experiment", args.figure, args.scale or ""):
+        with obs.span("experiment", figure=args.figure):
+            if args.hosts:
+                from .experiments.remote import RemoteExecutor, remote_hosts
+                hosts = [h for h in args.hosts.split(",") if h.strip()]
+                try:
+                    executor = RemoteExecutor(hosts)
+                except ValueError as exc:
+                    raise SystemExit(
+                        f"error: invalid --hosts: {exc}") from None
+                with remote_hosts(executor):
+                    result = run()
+            else:
+                result = run()
+    if args.trace:
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
     print(result)
     if executor is not None:
         # Dispatch accounting to stderr: stdout stays byte-identical to
@@ -294,7 +314,7 @@ def _print_response(resp, graph_path: str) -> None:
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
-    from .service.client import ServiceClient, ServiceClientError
+    from .service.client import ServiceClient
 
     if args.output and len(args.graphs) > 1:
         print("error: -o/--output only applies to a single graph",
@@ -307,6 +327,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
         options["comm_policy"] = args.comm_policy
     client = ServiceClient(args.host, args.port, timeout=args.timeout,
                            deadline=args.timeout)
+    try:
+        with _maybe_trace(args, "submit", tuple(args.graphs), args.algo), \
+                obs.span("submit", algorithm=args.algo,
+                         n_graphs=len(graphs)):
+            return _run_submit(args, client, graphs, platform, options)
+    finally:
+        client.close()
+
+
+def _run_submit(args, client, graphs, platform, options) -> int:
+    from .service.client import ServiceClientError
     try:
         client.wait_until_ready(args.wait)
         if len(graphs) == 1:
@@ -334,13 +365,41 @@ def cmd_submit(args: argparse.Namespace) -> int:
         else:
             print(f"error: {exc}", file=sys.stderr)
         return 2
-    finally:
-        client.close()
     if args.output:
         from ._util import atomic_write_json
         atomic_write_json(args.output, responses[0].schedule)
         print(f"wrote schedule to {args.output}")
     return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    from .obs import report
+
+    try:
+        events = report.load_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    summary = report.summarize(events)
+    print(report.format_report(summary))
+    rc = 0
+    if summary["orphans"]:
+        print(f"error: {len(summary['orphans'])} orphan span(s) — the "
+              f"trace is incomplete", file=sys.stderr)
+        rc = 1
+    if args.expect_cells is not None:
+        seen = set(report.cell_indices(events))
+        missing = sorted(set(range(args.expect_cells)) - seen)
+        if missing:
+            shown = ", ".join(str(i) for i in missing[:10])
+            print(f"error: {len(missing)} of {args.expect_cells} cells "
+                  f"missing from the trace (first: {shown})",
+                  file=sys.stderr)
+            rc = 1
+        else:
+            print(f"all {args.expect_cells} cells present in the trace")
+    return rc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -375,8 +434,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gantt", action="store_true",
                    help="ASCII Gantt chart + memory sparklines")
     p.add_argument("--summary", action="store_true")
-    p.add_argument("--trace", action="store_true",
+    p.add_argument("--events", action="store_true",
                    help="time-ordered event log with memory occupancy")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a deterministic span trace (JSONL) of the "
+                        "scheduler run here (see 'memsched obs report')")
     p.add_argument("-o", "--output", help="write schedule JSON here")
     p.set_defaults(func=cmd_schedule)
 
@@ -418,6 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="continue from an existing --checkpoint journal: "
                         "replay completed cells, re-execute only the "
                         "unfinished ones (byte-identical output)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a deterministic span trace (JSONL) of the "
+                        "sweep here — one span per cell, per host request, "
+                        "per map_cells call (see 'memsched obs report')")
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("serve", help="run the async scheduling service")
@@ -455,7 +521,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max seconds to wait for the service to come up")
     p.add_argument("-o", "--output",
                    help="write the returned schedule JSON here (single graph)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a deterministic span trace (JSONL) here; "
+                        "the trace id also travels to the service as "
+                        "X-Trace-Id")
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    pr = obs_sub.add_parser(
+        "report", help="summarize a --trace span file (durations per span "
+                       "name, roots, orphans)")
+    pr.add_argument("trace", help="trace JSONL written by --trace FILE")
+    pr.add_argument("--expect-cells", type=int, default=None, metavar="N",
+                    help="fail (exit 1) unless the trace contains a cell "
+                         "span for every grid index 0..N-1")
+    pr.set_defaults(func=cmd_obs_report)
 
     return parser
 

@@ -33,11 +33,12 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Union
 
-from .. import faults
+from .. import faults, obs
 from ..io.json_io import (
     canonical_json,
     cell_wire_digest,
@@ -117,8 +118,16 @@ class CellCheckpoint:
                 "journal.corrupt", injector.plan.corrupt,
                 injector.plan.corrupt_limit):
             line = line[:max(1, len(line) // 2)]   # torn write
+        st = obs.active()
+        if st is None:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            return
+        t0 = time.perf_counter()
         self._fh.write(line + "\n")
         self._fh.flush()
+        st.registry.histogram("memsched_checkpoint_write_seconds").observe(
+            time.perf_counter() - t0)
 
     def record(self, key: str, result_wire: object) -> None:
         """Journal one completed cell (flushed: survives coordinator

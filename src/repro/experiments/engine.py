@@ -35,10 +35,12 @@ from __future__ import annotations
 import hashlib
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from .. import obs
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..io.json_io import register_wire_dataclass
@@ -252,25 +254,30 @@ def _map_cells_direct(worker, payload, cells, *, jobs, chunk_size, hosts,
     executor, which owns result decoding."""
     if hosts is not None and cells:
         from .remote import run_remote  # deferred: remote imports engine
-        return run_remote(worker, payload, cells, hosts,
-                          chunk_size=chunk_size, on_result_wire=on_result)
+        with obs.span("map_cells", mode="remote", n_cells=len(cells)):
+            return run_remote(worker, payload, cells, hosts,
+                              chunk_size=chunk_size, on_result_wire=on_result)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(cells) <= 1:
-        cache: dict = {}
-        results = []
-        for i, cell in enumerate(cells):
-            result = worker(payload, cache, cell)
-            if on_result is not None:
-                on_result(i, result)
-            results.append(result)
-        return results
+        st = obs.active()
+        if st is None:
+            cache: dict = {}
+            results = []
+            for i, cell in enumerate(cells):
+                result = worker(payload, cache, cell)
+                if on_result is not None:
+                    on_result(i, result)
+                results.append(result)
+            return results
+        return _serial_cells_observed(worker, payload, cells, on_result, st)
     if chunk_size is None:
         chunk_size = default_chunk_size(len(cells), jobs)
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(cells)),
         initializer=_init_worker,
         initargs=(worker, payload),
-    ) as pool:
+    ) as pool, obs.span("map_cells", mode="pool", n_cells=len(cells),
+                        jobs=jobs):
         results = []
         # pool.map yields in cell order as results arrive, so the hook
         # sees completed prefixes incrementally, not one burst at the end.
@@ -280,6 +287,34 @@ def _map_cells_direct(worker, payload, cells, *, jobs, chunk_size, hosts,
                 on_result(i, result)
             results.append(result)
         return results
+
+
+def _serial_cells_observed(worker, payload, cells, on_result, st):
+    """The serial ``map_cells`` loop with :mod:`repro.obs` active: each
+    cell lands in the ``memsched_cell_seconds{mode="serial"}`` histogram
+    and (with a tracer attached) emits a ``cell`` span keyed by its grid
+    index — structurally identical to the spans the distributed
+    coordinator re-emits, so serial and sharded traces line up."""
+    hist = st.registry.histogram("memsched_cell_seconds", mode="serial")
+    tracer = st.tracer
+    cache: dict = {}
+    results = []
+    with obs.span("map_cells", mode="serial", n_cells=len(cells)):
+        parent = tracer.current() if tracer is not None else None
+        for i, cell in enumerate(cells):
+            t0 = time.perf_counter()
+            result = worker(payload, cache, cell)
+            duration = time.perf_counter() - t0
+            hist.observe(duration)
+            if tracer is not None:
+                tracer.emit(
+                    "cell",
+                    span_id=tracer.child_id(parent, "cell", key=i),
+                    parent_id=parent, dur=duration, attrs={"i": i})
+            if on_result is not None:
+                on_result(i, result)
+            results.append(result)
+    return results
 
 
 def _map_cells_checkpointed(worker, payload, cells, *, jobs, chunk_size,

@@ -58,7 +58,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
-from .. import faults
+from .. import faults, obs
+from ..obs import log
 from ..io.json_io import from_cell_wire, to_cell_wire
 from ..service.client import ServiceClient, ServiceClientError
 from .engine import set_default_hosts
@@ -198,6 +199,8 @@ class RemoteExecutor:
             except ServiceClientError as exc:
                 h.alive = False
                 h.error = f"probe failed: {exc}"
+                log.warning("remote.probe_failed", host=h.address,
+                            error=str(exc))
             finally:
                 client.close()
 
@@ -272,11 +275,17 @@ class RemoteExecutor:
                 time.sleep(max(0.001, min(wait, self.backoff_cap)))
                 continue
             self.n_rounds += 1
+            # Span stacks are thread-local, so the host threads get the
+            # coordinator's current span as an explicit parent.
+            st = obs.active()
+            obs_parent = (st.tracer.current()
+                          if st is not None and st.tracer is not None
+                          else None)
             threads = [
                 threading.Thread(
                     target=self._drain_host,
                     args=(h, name, payload_wire, chunks, results, fatal,
-                          on_result_wire),
+                          on_result_wire, obs_parent),
                     name=f"remote-{h.address}", daemon=True)
                 for h in ready
             ]
@@ -314,8 +323,8 @@ class RemoteExecutor:
 
     def _drain_host(self, host: RemoteHost, worker_name: str,
                     payload_wire: object, chunks: deque, results: list,
-                    fatal: list, on_result_wire: Optional[Callable] = None
-                    ) -> None:
+                    fatal: list, on_result_wire: Optional[Callable] = None,
+                    obs_parent: Optional[str] = None) -> None:
         """One host's dispatch loop: pull up to ``weight`` chunks per
         request, stream them through ``/cells``, scatter the rows.  A
         host-level failure requeues the chunks and trips the host's
@@ -347,12 +356,20 @@ class RemoteExecutor:
                 merged = [w for _, chunk in take for w in chunk]
                 offsets = [start + k for start, chunk in take
                            for k in range(len(chunk))]
+                st = obs.active()
                 try:
                     self._check_blackout(host)
+                    t0 = time.perf_counter() if st is not None else 0.0
                     rows = client.run_cells(worker_name, payload_wire,
                                             merged)
+                    request_span = None
+                    if st is not None:
+                        request_span = self._record_request(
+                            st, host, len(merged),
+                            time.perf_counter() - t0, obs_parent)
                     filled = self._scatter(rows, offsets, results,
-                                           on_result_wire)
+                                           on_result_wire,
+                                           span_parent=request_span)
                 except ServiceClientError as exc:
                     if (exc.status and 400 <= exc.status < 500
                             and exc.err_type != "not_found"):
@@ -399,14 +416,44 @@ class RemoteExecutor:
         finally:
             client.close()
 
+    def _record_request(self, st, host: RemoteHost, n_cells: int,
+                        duration: float,
+                        obs_parent: Optional[str]) -> Optional[str]:
+        """Account one successful ``/cells`` round trip; returns the
+        request's span id (the parent for the re-emitted cell spans), or
+        ``None`` when no tracer is attached.  The span key is the host's
+        attempt counter, so retried requests get distinct, deterministic
+        ids."""
+        st.registry.histogram("memsched_remote_request_seconds",
+                              host=host.address).observe(duration)
+        st.registry.counter("memsched_remote_cells_total",
+                            host=host.address).inc(n_cells)
+        tracer = st.tracer
+        if tracer is None:
+            return None
+        span_id = tracer.child_id(obs_parent, "remote_request",
+                                  key=(host.address, host.n_attempts))
+        tracer.emit("remote_request", span_id=span_id,
+                    parent_id=obs_parent, dur=duration,
+                    attrs={"host": host.address, "n_cells": n_cells})
+        return span_id
+
     def _scatter(self, rows: list, offsets: list, results: list,
-                 on_result_wire: Optional[Callable] = None) -> bool:
+                 on_result_wire: Optional[Callable] = None,
+                 span_parent: Optional[str] = None) -> bool:
         """Validate one response's rows against the dispatched offsets and
         fill ``results`` (wire values; decoded once at the end).  Returns
         ``False`` on structural problems — the caller treats the host as
         malfunctioning.  Raises :class:`CellExecutionError` for structured
         per-cell errors (after filling the sound rows, so a later retry
-        pass is not needed for them)."""
+        pass is not needed for them).
+
+        With a tracer attached (``span_parent``) every row is re-emitted
+        as a coordinator-side ``cell`` span keyed by the cell's *global*
+        grid index, carrying the host-measured duration when the row has
+        an ``obs`` annotation — the one place a sweep cell's identity,
+        host, and timing meet, making every cell reconstructable from the
+        coordinator's trace alone."""
         if len(rows) != len(offsets):
             return False
         staged = {}
@@ -425,6 +472,26 @@ class RemoteExecutor:
                 staged[i] = row["r"]
             else:
                 return False
+        if span_parent is not None:
+            st = obs.active()
+            tracer = st.tracer if st is not None else None
+            if tracer is not None:
+                for row in rows:
+                    index = offsets[row["i"]]
+                    attrs = {"i": index}
+                    annotation = row.get("obs")
+                    dur = None
+                    if isinstance(annotation, dict):
+                        dur = annotation.get("dur")
+                        if "pid" in annotation:
+                            attrs["pid"] = annotation["pid"]
+                    if "error" in row:
+                        attrs["error"] = row["error"].get("type", "error")
+                    tracer.emit(
+                        "cell",
+                        span_id=tracer.child_id(span_parent, "cell",
+                                                key=index),
+                        parent_id=span_parent, dur=dur, attrs=attrs)
         fresh: list = []
         with self._lock:
             for i, value in staged.items():
@@ -471,7 +538,9 @@ class RemoteExecutor:
             host.error = message
             self.n_reassigned_chunks += len(take)
             host.consecutive_failures += 1
-            if permanent or host.consecutive_failures > self.retry_budget:
+            retried = not (permanent
+                           or host.consecutive_failures > self.retry_budget)
+            if not retried:
                 host.alive = False
                 host.open_until = 0.0
             else:
@@ -479,6 +548,14 @@ class RemoteExecutor:
                 self.n_retries += 1
                 host.open_until = time.monotonic() \
                     + self._backoff(host, retry_after)
+        st = obs.active()
+        if st is not None and retried:
+            st.registry.counter("memsched_remote_retries_total",
+                                host=host.address).inc()
+        log.warning("remote.host_failed", host=host.address,
+                    error=message, permanent=permanent,
+                    alive=host.alive, requeued_chunks=len(take),
+                    failures=host.consecutive_failures)
 
     # ------------------------------------------------------------------
     # accounting

@@ -1,0 +1,94 @@
+"""Trace JSONL analysis: load, summarise, render (``memsched obs
+report``) — and the completeness checks the CI obs leg asserts."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def load_trace(path) -> list:
+    """Parse a trace JSONL file; malformed lines are skipped (a traced
+    process killed mid-write leaves at most one torn line)."""
+    events = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(row, dict) and "span" in row and "name" in row:
+                events.append(row)
+    return events
+
+
+def summarize(events: list) -> dict:
+    """Aggregate a span list: per-name counts and durations, root and
+    orphan accounting, per-trace grouping."""
+    span_ids = {row["span"] for row in events}
+    by_name: dict = {}
+    orphans = []
+    roots = 0
+    traces = set()
+    for row in events:
+        traces.add(row.get("trace"))
+        parent = row.get("parent")
+        if parent is None:
+            roots += 1
+        elif parent not in span_ids:
+            orphans.append(row["span"])
+        entry = by_name.setdefault(
+            row["name"], {"count": 0, "total_dur": 0.0, "max_dur": 0.0})
+        entry["count"] += 1
+        duration = row.get("dur")
+        if duration is not None:
+            entry["total_dur"] += duration
+            entry["max_dur"] = max(entry["max_dur"], duration)
+    return {
+        "n_events": len(events),
+        "n_traces": len(traces),
+        "n_roots": roots,
+        "orphans": orphans,
+        "by_name": {name: dict(stats, total_dur=round(
+            stats["total_dur"], 6), max_dur=round(stats["max_dur"], 6))
+            for name, stats in sorted(by_name.items())},
+    }
+
+
+def cell_indices(events: list) -> set:
+    """The set of cell indices the trace covers (``cell`` spans carry
+    their sweep index as attribute ``i``) — what the CI obs leg compares
+    against the sweep size to assert end-to-end reconstruction."""
+    out = set()
+    for row in events:
+        if row["name"] == "cell":
+            attrs = row.get("attrs") or {}
+            if "i" in attrs:
+                out.add(attrs["i"])
+    return out
+
+
+def format_report(summary: dict) -> str:
+    """Human rendering of :func:`summarize` (the ``memsched obs report``
+    output)."""
+    lines = [
+        f"trace: {summary['n_events']} spans, "
+        f"{summary['n_traces']} trace id(s), "
+        f"{summary['n_roots']} root(s), "
+        f"{len(summary['orphans'])} orphan(s)",
+        "",
+        f"{'span':<20} {'count':>7} {'total_s':>10} {'max_s':>10}",
+    ]
+    for name, stats in summary["by_name"].items():
+        lines.append(f"{name:<20} {stats['count']:>7} "
+                     f"{stats['total_dur']:>10.4f} "
+                     f"{stats['max_dur']:>10.4f}")
+    if summary["orphans"]:
+        lines.append("")
+        lines.append("orphan spans (parent never closed): "
+                     + ", ".join(summary["orphans"][:8])
+                     + ("..." if len(summary["orphans"]) > 8 else ""))
+    return "\n".join(lines)

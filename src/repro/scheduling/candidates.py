@@ -399,6 +399,10 @@ class RankSelector:
     def __init__(self, state: SchedulerState, position: dict[Task, int]) -> None:
         self.state = state
         self.position = position
+        #: Rank selection has no breakdown cache, so every probed task is
+        #: a full evaluation — counted for parity with the lazy selectors
+        #: (the obs layer folds these into its selector metrics).
+        self.stats = SelectorStats()
         self._heap: list[tuple[int, Task]] = []
 
     def push(self, task: Task) -> None:
@@ -414,6 +418,7 @@ class RankSelector:
         choice: Optional[ESTBreakdown] = None
         while heap:
             item = heappop(heap)
+            self.stats.n_full_evals += 1
             bd = state.best_est(item[1])
             if bd is not None:
                 choice = bd

@@ -44,10 +44,15 @@ from __future__ import annotations
 
 import math
 import os
+import threading
+import time
+from bisect import bisect_left
 from itertools import repeat
 from typing import TYPE_CHECKING, Hashable, NamedTuple, Optional, Sequence, Union
 
+from .. import obs
 from .._util import EPS, HAS_NUMPY, require_numpy
+from ..obs.metrics import SIZE_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.platform import Memory
@@ -107,6 +112,65 @@ def infeasible_breakdown(task: Task, memory: "Memory") -> ESTBreakdown:
 #: the generated ``__new__``'s Python frame — the batch paths build tens of
 #: thousands of breakdowns per run.
 _tuple_new = tuple.__new__
+
+
+class _BatchAccum(threading.local):
+    """Per-thread kernel batch accounting, folded into the registry once
+    per schedule run (:func:`flush_batch_stats`).  A batch entry happens
+    once per selector flush per memory class — tens of thousands of
+    times in a sweep — so the per-event path must be plain unlocked
+    arithmetic, not registry lookups and metric locks."""
+
+    def __init__(self) -> None:
+        #: ``{(backend, route): [n_batches, seconds, bucket_counts,
+        #: size_sum]}`` with ``bucket_counts`` aligned to
+        #: :data:`~repro.obs.metrics.SIZE_BUCKETS` (+Inf included).
+        self.map: dict = {}
+
+
+_ACCUM = _BatchAccum()
+
+
+def _record_batch(backend: str, route: str, n: int,
+                  duration: float) -> None:
+    """Accumulate one batch-entry call thread-locally: batch size, the
+    scalar-vs-vector routing decision, and kernel seconds."""
+    acc = _ACCUM.map.get((backend, route))
+    if acc is None:
+        acc = _ACCUM.map[(backend, route)] = \
+            [0, 0.0, [0] * (len(SIZE_BUCKETS) + 1), 0.0]
+    acc[0] += 1
+    acc[1] += duration
+    acc[2][bisect_left(SIZE_BUCKETS, n)] += 1
+    acc[3] += n
+
+
+def flush_batch_stats(st) -> tuple:
+    """Fold this thread's accumulated batch stats into ``st``'s metrics
+    registry; returns ``(kernel_seconds, n_batches)`` drained (the
+    observed drivers' ``est`` phase span).  Called at the end of every
+    observed schedule run — and on its way out when the run raises, so
+    totals stay current across infeasible schedules."""
+    amap = _ACCUM.map
+    if not amap:
+        return 0.0, 0
+    registry = st.registry
+    total = 0.0
+    total_batches = 0
+    for (backend, route), acc in amap.items():
+        n_batches, seconds, bucket_counts, size_sum = acc
+        registry.counter("memsched_kernel_batches_total",
+                         backend=backend, route=route).inc(n_batches)
+        registry.histogram("memsched_kernel_batch_size",
+                           buckets=SIZE_BUCKETS, backend=backend,
+                           route=route).merge(bucket_counts, size_sum,
+                                              n_batches)
+        registry.counter("memsched_kernel_seconds_total",
+                         backend=backend).inc(seconds)
+        total += seconds
+        total_batches += n_batches
+    amap.clear()
+    return total, total_batches
 
 
 class ScalarKernel:
@@ -203,7 +267,14 @@ class ScalarKernel:
         """Breakdowns of all ``tasks`` (which must be *ready*) on one
         memory class.  The scalar backend just loops; vectorized backends
         overload this with one array pass per batch."""
-        return [self.evaluate(state, task, memory) for task in tasks]
+        st = obs.active()
+        if st is None:
+            return [self.evaluate(state, task, memory) for task in tasks]
+        t0 = time.perf_counter()
+        out = [self.evaluate(state, task, memory) for task in tasks]
+        _record_batch(self.name, "scalar", len(tasks),
+                      time.perf_counter() - t0)
+        return out
 
     def best_est_batch(self, state: "SchedulerState",
                        tasks: Sequence[Task]) -> list[Optional[ESTBreakdown]]:
@@ -396,9 +467,18 @@ class NumpyKernel(ScalarKernel):
     def evaluate_class_batch(self, state: "SchedulerState",
                              tasks: Sequence[Task],
                              memory: "Memory") -> list[ESTBreakdown]:
+        st = obs.active()
         if (len(tasks) < self.batch_cutoff
                 or state.platform.n_procs_of(memory) == 0):
-            return [self.evaluate(state, task, memory) for task in tasks]
+            if st is None:
+                return [self.evaluate(state, task, memory)
+                        for task in tasks]
+            t0 = time.perf_counter()
+            out = [self.evaluate(state, task, memory) for task in tasks]
+            _record_batch(self.name, "scalar", len(tasks),
+                          time.perf_counter() - t0)
+            return out
+        t0 = time.perf_counter() if st is not None else 0.0
         static = state._static
         parts_of = state._precedence_parts
         parts_all = [static.get(task) or parts_of(task) for task in tasks]
@@ -406,10 +486,14 @@ class NumpyKernel(ScalarKernel):
          dur_l, proc_l) = self._class_columns(state, tasks, parts_all, memory)
         # zip assembles the rows and ``map(tuple.__new__, ...)`` turns them
         # into breakdowns, all at C level — no per-candidate Python frame.
-        return list(map(_tuple_new, repeat(ESTBreakdown),
-                        zip(tasks, repeat(memory), res_l, prec_l, tmem_l,
-                            cmem_l, cmax_l, est_l, eft_l, cfit_l, dur_l,
-                            proc_l)))
+        out = list(map(_tuple_new, repeat(ESTBreakdown),
+                       zip(tasks, repeat(memory), res_l, prec_l, tmem_l,
+                           cmem_l, cmax_l, est_l, eft_l, cfit_l, dur_l,
+                           proc_l)))
+        if st is not None:
+            _record_batch(self.name, "vector", len(tasks),
+                          time.perf_counter() - t0)
+        return out
 
     def best_est_batch(self, state: "SchedulerState",
                        tasks: Sequence[Task]) -> list[Optional[ESTBreakdown]]:
@@ -419,6 +503,8 @@ class NumpyKernel(ScalarKernel):
         (task, class) breakdowns are constructed."""
         if len(tasks) < self.batch_cutoff:
             return super().best_est_batch(state, tasks)
+        st = obs.active()
+        t0 = time.perf_counter() if st is not None else 0.0
         np = require_numpy("the numpy kernel backend")
         B = len(tasks)
         platform = state.platform
@@ -459,6 +545,9 @@ class NumpyKernel(ScalarKernel):
                 r = rows[ci] = list(zip(tasks, repeat(memories[ci]),
                                         *cols[ci][1:]))
             append(tn(bd_cls, r[b]))
+        if st is not None:
+            _record_batch(self.name, "vector", len(tasks),
+                          time.perf_counter() - t0)
         return out
 
 

@@ -22,6 +22,7 @@ the remaining list — which is mostly not-yet-ready tasks — on every step;
 
 from __future__ import annotations
 
+from .. import obs
 from .._util import RngLike
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
@@ -56,6 +57,8 @@ def memheft(graph: TaskGraph, platform: Platform, *, rng: RngLike = None,
                            backend=backend)
 
     if lazy:
+        if obs.active() is not None:
+            return _lazy_observed(state, graph, platform, rng)
         position = {t: k for k, t in enumerate(
             rank_order(graph, rng=rng, platform=platform))}
         selector = RankSelector(state, position)
@@ -99,3 +102,32 @@ def memheft(graph: TaskGraph, platform: Platform, *, rng: RngLike = None,
                 f"capacities={list(platform.capacities)})"
             )
     return state.finalize("memheft")
+
+
+def _lazy_observed(state: SchedulerState, graph: TaskGraph,
+                   platform: Platform, rng: RngLike) -> Schedule:
+    """The lazy path under :mod:`repro.obs`: identical commit sequence,
+    plus an algorithm span, a rank-phase span, and per-phase timings."""
+    from .instrument import observed_lazy_run
+
+    import time
+
+    st = obs.active()
+    with obs.span("memheft", n_tasks=graph.n_tasks):
+        t0 = time.perf_counter()
+        with obs.span("rank"):
+            position = {t: k for k, t in enumerate(
+                rank_order(graph, rng=rng, platform=platform))}
+        st.registry.counter("memsched_phase_seconds_total",
+                            algorithm="memheft",
+                            phase="rank").inc(time.perf_counter() - t0)
+        selector = RankSelector(state, position)
+        for task in graph.roots():
+            selector.push(task)
+        return observed_lazy_run(
+            state, selector, "memheft", st,
+            lambda n_left: (
+                "MemHEFT: no remaining task fits within the memory "
+                f"bounds ({n_left} tasks left, "
+                f"capacities={list(platform.capacities)})"),
+            n_tasks=graph.n_tasks)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from .. import obs
 from .._util import EPS
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
@@ -50,6 +51,16 @@ def memminmin(graph: TaskGraph, platform: Platform, *,
         selector = MinEFTSelector(state, index, dag_scoped=dag_scoped)
         for task in graph.roots():
             selector.push(task)
+        st = obs.active()
+        if st is not None:
+            from .instrument import observed_lazy_run
+            with obs.span("memminmin", n_tasks=graph.n_tasks):
+                return observed_lazy_run(
+                    state, selector, "memminmin", st,
+                    lambda n_left: (
+                        "MemMinMin: no available task fits within the "
+                        f"memory bounds ({n_left} available, "
+                        f"capacities={list(platform.capacities)})"))
         while len(selector):
             best = selector.select()
             if best is None:

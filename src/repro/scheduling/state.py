@@ -82,8 +82,10 @@ from bisect import bisect_left, bisect_right, insort
 from operator import itemgetter
 from typing import Hashable, Optional
 
+from .. import obs
 from .._util import EPS
 from ..core.graph import TaskGraph
+from ..obs.metrics import SIZE_BUCKETS
 from ..core.memory_profile import MemoryProfile
 from ..core.platform import Memory, Platform
 from ..core.schedule import CommEvent, Placement, Schedule
@@ -624,4 +626,11 @@ class SchedulerState:
                 peak_blue=peaks[Memory.BLUE],
                 peak_red=peaks[Memory.RED],
             )
+        st = obs.active()
+        if st is not None:
+            st.registry.counter("memsched_schedules_finalized_total",
+                                algorithm=algorithm).inc()
+            st.registry.histogram(
+                "memsched_schedule_tasks", buckets=SIZE_BUCKETS,
+                algorithm=algorithm).observe(self.graph.n_tasks)
         return self.schedule

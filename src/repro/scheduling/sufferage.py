@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from typing import Hashable
 
+from .. import obs
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..core.schedule import Schedule
@@ -58,6 +59,16 @@ def memsufferage(graph: TaskGraph, platform: Platform, *,
         selector = SufferageSelector(state, index, dag_scoped=dag_scoped)
         for task in graph.roots():
             selector.push(task)
+        st = obs.active()
+        if st is not None:
+            from .instrument import observed_lazy_run
+            with obs.span("memsufferage", n_tasks=graph.n_tasks):
+                return observed_lazy_run(
+                    state, selector, "memsufferage", st,
+                    lambda n_left: (
+                        "MemSufferage: no available task fits within the "
+                        f"memory bounds ({n_left} available, "
+                        f"capacities={list(platform.capacities)})"))
         while len(selector):
             best_choice = selector.select()
             if best_choice is None:

@@ -46,8 +46,9 @@ from typing import Optional
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
-from .. import faults
+from .. import faults, obs
 from ..core.validation import ScheduleError, validate_schedule
+from ..obs.metrics import MetricsRegistry
 from ..experiments.engine import _call_cell, _init_worker, default_chunk_size
 from ..io.json_io import (
     CELL_WIRE_VERSION,
@@ -70,14 +71,23 @@ from ..scheduling.registry import (
 from ..scheduling.state import InfeasibleScheduleError
 
 #: Protocol revision, reported by ``GET /healthz``.  v2 added the
-#: ``POST /cells`` distributed-experiment endpoint (additive).
-PROTOCOL_VERSION = 2
+#: ``POST /cells`` distributed-experiment endpoint; v3 adds
+#: ``GET /metrics``, the ``metrics_summary`` healthz block, and
+#: ``X-Trace-Id``/``X-Span-Id`` propagation (all additive — v2 clients
+#: keep working unchanged).
+PROTOCOL_VERSION = 3
 
 #: Algorithms accepting the ``comm_policy`` / ``lazy`` engine options (the
 #: memory-oblivious heuristics run on fixed unbounded settings).
 _OPTIONED = frozenset(ENGINE_OPTIONED)
 
 _DEFAULT_OPTIONS = {"comm_policy": "late", "lazy": True}
+
+#: Paths that get their own ``endpoint`` label on the request metrics;
+#: anything else collapses into ``other`` so scrapes stay bounded no
+#: matter what clients probe.
+_KNOWN_ENDPOINTS = frozenset(
+    {"/schedule", "/batch", "/cells", "/algorithms", "/healthz", "/metrics"})
 
 
 class ServiceError(Exception):
@@ -244,32 +254,59 @@ _MAX_CACHED_PAYLOADS = 16
 
 
 def _run_one_cell(fn, payload_obj, worker_cache: dict, cell_wire: object,
-                  index: int) -> dict:
+                  index: int, ctx: Optional[tuple] = None) -> dict:
     """Execute one wire-encoded cell; never raises — worker bugs become
     structured per-cell error rows, so one bad cell cannot take down the
     stream (the distributed analogue of ``/batch``'s per-instance
-    errors)."""
+    errors).
+
+    With :mod:`repro.obs` active in the executing process the cell is
+    timed; when the request also carried a trace context (``ctx``) the
+    measured duration travels back in-band as an ``obs`` row key — extra
+    keys are ignored by v2 consumers, and rows are never cached, so the
+    wire stays compatible and results stay byte-identical.
+    """
+    st = obs.active()
+    if st is None:
+        try:
+            cell = from_cell_wire(cell_wire)
+            result = fn(payload_obj, worker_cache, cell)
+            return {"i": index, "r": to_cell_wire(result)}
+        except Exception as exc:  # noqa: BLE001 — must answer, not crash
+            return {"i": index,
+                    "error": {"type": "cell_error",
+                              "message": f"{type(exc).__name__}: {exc}"}}
+    t0 = time.perf_counter()
     try:
         cell = from_cell_wire(cell_wire)
         result = fn(payload_obj, worker_cache, cell)
-        return {"i": index, "r": to_cell_wire(result)}
+        row = {"i": index, "r": to_cell_wire(result)}
     except Exception as exc:  # noqa: BLE001 — must answer, not crash
-        return {"i": index,
-                "error": {"type": "cell_error",
-                          "message": f"{type(exc).__name__}: {exc}"}}
+        row = {"i": index,
+               "error": {"type": "cell_error",
+                         "message": f"{type(exc).__name__}: {exc}"}}
+    duration = time.perf_counter() - t0
+    st.registry.histogram("memsched_cell_seconds",
+                          mode="service").observe(duration)
+    if ctx is not None:
+        row["obs"] = {"dur": round(duration, 6), "pid": os.getpid()}
+    return row
 
 
 def _cells_unit(cache: dict, unit: tuple) -> list:
     """Execute one chunk of a ``/cells`` request (in-process or in a pool
     worker).  ``unit`` is ``("cells", worker_name, payload_digest,
-    payload_wire, cell_wires, base_index)``.
+    payload_wire, cell_wires, base_index)``, optionally extended with the
+    request's trace context as a seventh element (see
+    :func:`_run_one_cell`).
 
     The decoded payload and the worker's cell cache are memoised per
     process under the payload digest, so a sweep's graphs are decoded once
     per worker process — the remote analogue of shipping ``initargs`` once
     — and reference-run caching keeps working across chunks.
     """
-    _, worker_name, pdigest, payload_wire, cell_wires, base = unit
+    _, worker_name, pdigest, payload_wire, cell_wires, base = unit[:6]
+    ctx = unit[6] if len(unit) > 6 else None
     try:
         from ..experiments.engine import get_remote_worker
         fn = get_remote_worker(worker_name)
@@ -295,7 +332,7 @@ def _cells_unit(cache: dict, unit: tuple) -> list:
                "message": f"{type(exc).__name__}: {exc}"}
         return [{"i": base + k, "error": dict(err)}
                 for k in range(len(cell_wires))]
-    return [_run_one_cell(fn, payload_obj, worker_cache, cw, base + k)
+    return [_run_one_cell(fn, payload_obj, worker_cache, cw, base + k, ctx)
             for k, cw in enumerate(cell_wires)]
 
 
@@ -620,16 +657,40 @@ class ServiceApp:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def handle(self, method: str, path: str,
-               body: bytes) -> tuple[int, dict, bytes]:
+    def handle(self, method: str, path: str, body: bytes,
+               ctx: Optional[tuple] = None) -> tuple[int, dict, bytes]:
         """Serve one request; returns ``(status, headers, body_bytes)``.
 
         Never raises for protocol-level problems — they become structured
-        JSON error bodies — so the transport layer stays dumb.
+        JSON error bodies — so the transport layer stays dumb.  ``ctx`` is
+        the caller's trace context ``(trace_id, span_id)``, parsed from the
+        ``X-Trace-Id``/``X-Span-Id`` headers by the transport (``None``
+        when absent); it only annotates telemetry, never response bodies.
         """
         with self._count_lock:
             self.n_requests += 1
         path = path.split("?", 1)[0]
+        st = obs.active()
+        if st is None:
+            return self._route(method, path, body, ctx)
+        endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+        inflight = st.registry.gauge("memsched_http_inflight_requests")
+        inflight.inc()
+        t0 = time.perf_counter()
+        try:
+            with obs.span("request", endpoint=endpoint):
+                status, headers, out = self._route(method, path, body, ctx)
+        finally:
+            inflight.dec()
+        st.registry.histogram("memsched_http_request_seconds",
+                              endpoint=endpoint).observe(
+                                  time.perf_counter() - t0)
+        st.registry.counter("memsched_http_requests_total",
+                            endpoint=endpoint, status=str(status)).inc()
+        return status, headers, out
+
+    def _route(self, method: str, path: str, body: bytes,
+               ctx: Optional[tuple]) -> tuple[int, dict, bytes]:
         try:
             if path == "/schedule":
                 self._require(method, "POST", path)
@@ -639,13 +700,16 @@ class ServiceApp:
                 return self._handle_batch(body)
             if path == "/cells":
                 self._require(method, "POST", path)
-                return self._handle_cells(body)
+                return self._handle_cells(body, ctx)
             if path == "/algorithms":
                 self._require(method, "GET", path)
                 return self._handle_algorithms()
             if path == "/healthz":
                 self._require(method, "GET", path)
                 return self._handle_healthz()
+            if path == "/metrics":
+                self._require(method, "GET", path)
+                return self._handle_metrics()
             raise ServiceError(404, "not_found", f"unknown path {path!r}")
         except ServiceError as exc:
             return exc.status, dict(_JSON_HEADERS), exc.to_body()
@@ -756,7 +820,7 @@ class ServiceApp:
                     + b',"results":[' + joined + b"]}")
         return 200, dict(_JSON_HEADERS), out_body
 
-    def _handle_cells(self, body: bytes):
+    def _handle_cells(self, body: bytes, ctx: Optional[tuple] = None):
         """``POST /cells`` — execute a chunk of registered experiment cell
         functions, streaming one NDJSON row per cell.
 
@@ -816,7 +880,7 @@ class ServiceApp:
         headers = {"Content-Type": "application/x-ndjson",
                    "X-Cells": str(len(cell_wires))}
         return 200, headers, self._cells_stream(
-            worker_name, payload_wire, pdigest, cell_wires)
+            worker_name, payload_wire, pdigest, cell_wires, ctx)
 
     @staticmethod
     def _tag_kills(units: list) -> list:
@@ -845,12 +909,19 @@ class ServiceApp:
         first unit whose rows were not fully yielded (cells are pure, so
         the retried unit reproduces identical rows).
         """
+        st = obs.active()
+        depth = (st.registry.gauge("memsched_cells_queue_depth")
+                 if st is not None else None)
+        if depth is not None:
+            depth.inc(len(units))
         if self.workers <= 1:
             for unit in self._tag_kills(units):
                 if unit[0] == "cells_kill":
                     os._exit(137)   # workers<=1: worker kill == host kill
                 for row in _cells_unit(self._cells_local_cache, unit):
                     yield row
+                if depth is not None:
+                    depth.dec()
             return
         done = 0
         attempt = 0
@@ -862,15 +933,20 @@ class ServiceApp:
                     for row in rows:
                         yield row
                     done += 1   # only after the unit's rows fully yielded
+                    if depth is not None:
+                        depth.dec()
             except BrokenProcessPool:
                 self._reset_pool()
                 attempt += 1
                 if attempt > self.pool_restarts:
+                    if depth is not None:
+                        depth.dec(len(units) - done)
                     raise   # transport aborts the stream (no sentinel)
                 self._note_pool_restart(attempt)
 
     def _cells_stream(self, worker_name: str, payload_wire: object,
-                      pdigest: str, cell_wires: list):
+                      pdigest: str, cell_wires: list,
+                      ctx: Optional[tuple] = None):
         """Generator of NDJSON lines for one ``/cells`` request (consumed
         by the transport's chunked writer).  Both branches run the same
         :func:`_cells_unit` chunks — in-process against the app-held
@@ -882,6 +958,8 @@ class ServiceApp:
         size = default_chunk_size(n, max(1, self.workers))
         units = [("cells", worker_name, pdigest, payload_wire,
                   cell_wires[k:k + size], k) for k in range(0, n, size)]
+        if ctx is not None:
+            units = [unit + (ctx,) for unit in units]
         injector = faults.active()
         trunc_at = None
         if injector is not None and n > 0 and injector.fire(
@@ -915,6 +993,91 @@ class ServiceApp:
         body = canonical_json({"algorithms": algos}).encode("utf-8")
         return 200, dict(_JSON_HEADERS), body
 
+    def _synthesized_registry(self) -> MetricsRegistry:
+        """Build a fresh registry mirroring the app's operational counters
+        (which predate :mod:`repro.obs` and stay authoritative) so every
+        scrape reflects them without double-accounting."""
+        reg = MetricsRegistry()
+        reg.gauge(
+            "memsched_uptime_seconds",
+            _help="Seconds since the service app was constructed.",
+        ).set(time.monotonic() - self.started_at)
+        reg.gauge("memsched_workers",
+                  _help="Configured worker-process count.").set(self.workers)
+        with self._count_lock:
+            n_requests = self.n_requests
+            n_cell_requests = self.n_cell_requests
+            n_cells = self.n_cells
+            n_pool_restarts = self.n_pool_restarts
+        reg.counter("memsched_requests_total",
+                    _help="HTTP requests handled (any endpoint)."
+                    ).inc(n_requests)
+        reg.counter("memsched_cell_requests_total",
+                    _help="POST /cells requests handled."
+                    ).inc(n_cell_requests)
+        reg.counter("memsched_cells_executed_total",
+                    _help="Experiment cells accepted for execution."
+                    ).inc(n_cells)
+        reg.counter("memsched_pool_restarts_total",
+                    _help="Supervised worker-pool rebuilds."
+                    ).inc(n_pool_restarts)
+        cache = self.cache.stats()
+        reg.counter("memsched_cache_hits_total",
+                    _help="Schedule-cache hits.").inc(cache["hits"])
+        reg.counter("memsched_cache_misses_total",
+                    _help="Schedule-cache misses.").inc(cache["misses"])
+        reg.counter("memsched_cache_evictions_total",
+                    _help="Schedule-cache LRU evictions."
+                    ).inc(cache["evictions"])
+        reg.gauge("memsched_cache_size",
+                  _help="Schedule-cache entries.").set(cache["size"])
+        reg.gauge("memsched_cache_capacity",
+                  _help="Schedule-cache capacity.").set(cache["capacity"])
+        injector = faults.active()
+        if injector is not None:
+            for site, c in sorted(injector.summary()["sites"].items()):
+                reg.counter("memsched_fault_draws_total",
+                            _help="Fault-injector Bernoulli draws per site.",
+                            site=site).inc(c["draws"])
+                reg.counter("memsched_fault_fired_total",
+                            _help="Fault-injector faults fired per site.",
+                            site=site).inc(c["fired"])
+        return reg
+
+    def _handle_metrics(self) -> tuple[int, dict, bytes]:
+        """``GET /metrics`` — Prometheus text exposition (format 0.0.4).
+
+        Operational counters are synthesized per scrape from the app's own
+        accounting; when :mod:`repro.obs` is active the process-wide
+        registry (scheduler/kernel/request instrumentation) is appended.
+        """
+        text = self._synthesized_registry().render()
+        st = obs.active()
+        if st is not None:
+            text += st.registry.render()
+        headers = {"Content-Type":
+                   "text/plain; version=0.0.4; charset=utf-8"}
+        return 200, headers, text.encode("utf-8")
+
+    def _metrics_summary(self) -> dict:
+        with self._count_lock:
+            n_requests = self.n_requests
+            n_cell_requests = self.n_cell_requests
+            n_cells = self.n_cells
+            n_pool_restarts = self.n_pool_restarts
+        cache = self.cache.stats()
+        lookups = cache["hits"] + cache["misses"]
+        return {
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "requests": n_requests,
+            "cell_requests": n_cell_requests,
+            "cells_executed": n_cells,
+            "pool_restarts": n_pool_restarts,
+            "cache_hit_rate": (round(cache["hits"] / lookups, 4)
+                               if lookups else None),
+            "observability": obs.active() is not None,
+        }
+
     def _handle_healthz(self) -> tuple[int, dict, bytes]:
         health = {
             "status": "ok",
@@ -928,6 +1091,7 @@ class ServiceApp:
                       "executed": self.n_cells},
             "pool_restarts": self.n_pool_restarts,
             "cache": self.cache.stats(),
+            "metrics_summary": self._metrics_summary(),
         }
         injector = faults.active()
         if injector is not None:

@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
-from .. import faults
+from .. import faults, obs
 from ..core.graph import TaskGraph
 from ..core.platform import Platform
 from ..core.schedule import Schedule
@@ -123,6 +123,12 @@ class ServiceClient:
         headers = {"Content-Type": "application/json"}
         if self.deadline is not None:
             headers["X-Deadline-Ms"] = str(int(self.deadline * 1000))
+        ctx = obs.trace_context()
+        if ctx is not None:
+            trace_id, span_id = ctx
+            headers["X-Trace-Id"] = trace_id
+            if span_id is not None:
+                headers["X-Span-Id"] = span_id
         return headers
 
     @staticmethod
@@ -367,6 +373,13 @@ class ServiceClient:
     def healthz(self) -> dict:
         status, headers, body = self._request("GET", "/healthz")
         return self._parse(status, body, headers)
+
+    def metrics(self) -> str:
+        """The raw ``GET /metrics`` Prometheus text exposition."""
+        status, headers, body = self._request("GET", "/metrics")
+        if status != 200:
+            self._parse(status, body, headers)   # raises structured error
+        return body.decode("utf-8")
 
     def wait_until_ready(self, timeout: float = 10.0,
                          interval: float = 0.05) -> dict:

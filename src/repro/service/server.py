@@ -27,6 +27,7 @@ import time
 from typing import Optional
 
 from .. import faults
+from ..obs import log
 from .app import ServiceApp
 
 #: Reject absurd request heads / bodies instead of buffering them.
@@ -151,6 +152,9 @@ class ServiceServer:
                 # Saturated: answer one structured 503 and close, so the
                 # client sees a retryable condition instead of a hang.
                 self.n_rejected += 1
+                log.warning("service.saturated",
+                            limit=self.max_connections,
+                            rejected=self.n_rejected)
                 err = json.dumps({"error": {
                     "status": 503, "type": "saturated",
                     "message": f"connection limit ({self.max_connections}) "
@@ -197,11 +201,13 @@ class ServiceServer:
                     if injector.fire("server.drop", plan.drop,
                                      plan.drop_limit):
                         # Injected fault: vanish without a response.
+                        log.debug("service.fault_drop", path=path)
                         self._shutdown_socket(writer)
                         break
                 expires = self._deadline_of(headers)
+                ctx = self._trace_ctx_of(headers)
                 status, out_headers, out_body = await loop.run_in_executor(
-                    None, self._dispatch, method, path, body, expires)
+                    None, self._dispatch, method, path, body, expires, ctx)
                 keep_alive = headers.get("connection", "").lower() != "close"
                 if isinstance(out_body, (bytes, bytearray)):
                     writer.write(_render(status, out_headers,
@@ -224,7 +230,12 @@ class ServiceServer:
                 if not keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError,
-                asyncio.IncompleteReadError, asyncio.CancelledError):
+                asyncio.IncompleteReadError) as exc:
+            # A peer vanishing mid-request is routine, but no longer
+            # invisible: it surfaces at debug level for postmortems.
+            log.debug("service.connection_aborted",
+                      error=type(exc).__name__)
+        except asyncio.CancelledError:
             pass
         finally:
             self._conn_tasks.discard(asyncio.current_task())
@@ -266,18 +277,32 @@ class ServiceServer:
             return None
         return time.monotonic() + max(0, budget_ms) / 1000.0
 
+    @staticmethod
+    def _trace_ctx_of(headers: dict) -> Optional[tuple]:
+        """The caller's ``(trace_id, span_id)`` from the
+        ``X-Trace-Id``/``X-Span-Id`` headers, or ``None``.  Parsed in the
+        transport (like the deadline) so the app object never sees raw
+        headers; a trace id alone is enough to join the trace."""
+        trace_id = headers.get("x-trace-id")
+        if not trace_id:
+            return None
+        return trace_id, headers.get("x-span-id") or None
+
     def _dispatch(self, method: str, path: str, body: bytes,
-                  expires: Optional[float]):
+                  expires: Optional[float], ctx: Optional[tuple] = None):
         """Runs in the executor: shed the request with a structured 408 if
         its deadline expired while queued behind a busy pool — the client
         gave up already, so computing the answer is pure waste."""
         if expires is not None and time.monotonic() >= expires:
+            log.warning("service.deadline_shed", method=method, path=path)
             err = json.dumps({"error": {
                 "status": 408, "type": "deadline_exceeded",
                 "message": "deadline expired before the request was "
                            "dispatched; the service is overloaded"}})
             return 408, {}, err.encode("utf-8")
-        return self.app.handle(method, path, body)
+        if ctx is not None:
+            return self.app.handle(method, path, body, ctx)
+        return self.app.handle(method, path, body)   # 3-arg compatible
 
     @staticmethod
     async def _write_stream(writer: asyncio.StreamWriter, status: int,
@@ -432,10 +457,9 @@ def serve(host: str = "127.0.0.1", port: int = 8123, *,
 
     async def run() -> None:
         await server.start()
-        persisted = (f", cache_dir={cache_dir}" if cache_dir else "")
-        print(f"memsched service listening on http://{server.host}:"
-              f"{server.port} (workers={app.workers}, "
-              f"cache={app.cache.capacity}{persisted})", flush=True)
+        log.info("service.listening", host=server.host, port=server.port,
+                 workers=app.workers, cache=app.cache.capacity,
+                 cache_dir=cache_dir)
         await server.serve_forever()
 
     try:

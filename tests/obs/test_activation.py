@@ -1,0 +1,92 @@
+"""Process-wide activation: environment gating, the ``observing``
+scope, and the zero-overhead disabled path."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture()
+def clean_obs_state(monkeypatch):
+    """Save and restore the module-level activation state so these
+    tests can poke env loading without leaking into the suite."""
+    monkeypatch.delenv(obs.ENV_VAR, raising=False)
+    saved = (obs._ACTIVE, obs._ENV_LOADED)
+    yield
+    obs._ACTIVE, obs._ENV_LOADED = saved
+
+
+class TestActivation:
+    def test_disabled_by_default(self, clean_obs_state):
+        obs._ACTIVE, obs._ENV_LOADED = None, False
+        assert obs.active() is None
+        assert obs.trace_context() is None
+
+    def test_env_enables_once_per_process(self, clean_obs_state,
+                                          monkeypatch):
+        monkeypatch.setenv(obs.ENV_VAR, "1")
+        obs._ACTIVE, obs._ENV_LOADED = None, False
+        state = obs.active()
+        assert state is not None
+        assert state.tracer is None
+        # the env is read once: later changes don't re-arm
+        monkeypatch.setenv(obs.ENV_VAR, "0")
+        assert obs.active() is state
+
+    @pytest.mark.parametrize("value", ["0", "false", "no", "off", ""])
+    def test_falsey_env_values(self, clean_obs_state, monkeypatch, value):
+        monkeypatch.setenv(obs.ENV_VAR, value)
+        obs._ACTIVE, obs._ENV_LOADED = None, False
+        assert obs.active() is None
+
+    def test_enable_disable_roundtrip(self, clean_obs_state):
+        state = obs.enable()
+        assert obs.active() is state
+        obs.disable()
+        assert obs.active() is None
+
+    def test_observing_scopes_and_restores(self, clean_obs_state):
+        obs._ACTIVE, obs._ENV_LOADED = None, False
+        with obs.observing() as state:
+            assert obs.active() is state
+            assert state.tracer is None
+        assert obs._ACTIVE is None
+
+    def test_observing_reuses_active_registry(self, clean_obs_state):
+        outer = obs.enable()
+        outer.registry.counter("carried_total").inc()
+        with obs.observing() as inner:
+            assert inner.registry is outer.registry
+            inner.registry.counter("carried_total").inc()
+        assert obs.active() is outer
+        snap = outer.registry.snapshot()
+        assert snap[("carried_total", ())] == 2
+
+    def test_observing_attaches_deterministic_tracer(self, tmp_path,
+                                                     clean_obs_state):
+        path = tmp_path / "t.jsonl"
+        with obs.observing(path, trace_ident=("cli", "run")) as state:
+            assert state.tracer is not None
+            assert state.tracer.trace_id == \
+                obs.trace_id_for("cli", "run")
+            assert obs.trace_context() == (state.tracer.trace_id, None)
+        # exiting closed the tracer
+        assert state.tracer._fh is None
+
+    def test_state_has_handle_scratch(self, clean_obs_state):
+        with obs.observing() as state:
+            assert state.handles == {}
+
+
+class TestDisabledPath:
+    def test_span_is_null_singleton_when_off(self, clean_obs_state):
+        obs._ACTIVE, obs._ENV_LOADED = None, True
+        assert obs.span("anything") is obs.NULL_SPAN
+        assert obs.span("other", k=1) is obs.NULL_SPAN
+        with obs.span("nested") as inside:
+            assert inside is None
+
+    def test_span_without_tracer_is_null(self, clean_obs_state):
+        with obs.observing():   # registry only, no tracer
+            assert obs.span("x") is obs.NULL_SPAN
+            assert obs.trace_context() is None

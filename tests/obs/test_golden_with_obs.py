@@ -1,0 +1,64 @@
+"""The golden-schedule pin must hold with ``MEMSCHED_OBS=1`` *and* a
+span tracer attached: instrumentation reads the run, never steers it."""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro import Platform, memheft, memminmin, memsufferage, obs
+from repro.dags import dex, random_dag
+from repro.scheduling.state import InfeasibleScheduleError
+
+GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "data"
+     / "golden_schedules.json").read_text())
+
+ALGOS = {"memheft": memheft, "memminmin": memminmin,
+         "memsufferage": memsufferage}
+
+GRAPHS = {
+    "dex": dex,
+    **{f"daggen30-s{seed}": (lambda s=seed: random_dag(size=30, rng=s))
+       for seed in range(3)},
+}
+
+
+def _graph_for(case_name: str):
+    base = case_name.rsplit("-", 1)[0]
+    return GRAPHS[base]()
+
+
+def _platform_for(case) -> Platform:
+    n_blue, n_red, mem_blue, mem_red = case["platform"]
+    return Platform(n_blue, n_red,
+                    math.inf if mem_blue is None else mem_blue,
+                    math.inf if mem_red is None else mem_red)
+
+
+@pytest.mark.parametrize("case", GOLDEN["cases"],
+                         ids=[f"{c['name']}-{c['algo']}"
+                              for c in GOLDEN["cases"]])
+def test_golden_schedules_bit_identical_under_observation(case, tmp_path,
+                                                          monkeypatch):
+    monkeypatch.setenv(obs.ENV_VAR, "1")
+    graph = _graph_for(case["name"])
+    platform = _platform_for(case)
+    algo = ALGOS[case["algo"]]
+    with obs.observing(tmp_path / "trace.jsonl",
+                       trace_ident=("test", "golden")):
+        if case["infeasible"]:
+            with pytest.raises(InfeasibleScheduleError):
+                algo(graph, platform)
+            return
+        schedule = algo(graph, platform)
+    assert schedule.makespan == case["makespan"]
+    for task_key, (proc, memory, start, finish) in \
+            case["placements"].items():
+        task = int(task_key) if task_key.isdigit() else task_key
+        p = schedule.placement(task)
+        assert (p.proc, p.memory.value, p.start, p.finish) == \
+            (proc, memory, start, finish)
+    assert schedule.meta["peak_blue"] == case["peaks"][0]
+    assert schedule.meta["peak_red"] == case["peaks"][1]

@@ -1,0 +1,93 @@
+"""Structured JSON logging: level thresholds, env resolution, stderr
+row shape, and stdout purity (byte-identity contracts cover stdout)."""
+
+import json
+
+import pytest
+
+from repro.obs import log
+
+
+@pytest.fixture(autouse=True)
+def restore_level():
+    """Each test starts unresolved and leaves no threshold behind."""
+    log.set_level(None)
+    yield
+    log.set_level(None)
+
+
+def _last_row(capsys):
+    captured = capsys.readouterr()
+    assert captured.out == ""          # never stdout
+    lines = [ln for ln in captured.err.splitlines() if ln]
+    return json.loads(lines[-1]) if lines else None
+
+
+class TestLevels:
+    def test_set_level_returns_previous_name(self):
+        assert log.set_level("warning") is None   # was unresolved
+        assert log.set_level("debug") == "warning"
+        assert log.set_level(None) == "debug"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(KeyError):
+            log.set_level("verbose")
+
+    def test_threshold_filters(self, capsys):
+        log.set_level("warning")
+        log.info("quiet")
+        assert _last_row(capsys) is None
+        log.warning("loud")
+        assert _last_row(capsys)["event"] == "loud"
+
+    def test_default_is_info(self, capsys, monkeypatch):
+        monkeypatch.delenv(log.ENV_VAR, raising=False)
+        log.debug("hidden")
+        assert _last_row(capsys) is None
+        log.info("shown")
+        assert _last_row(capsys)["event"] == "shown"
+
+    def test_env_resolved_once(self, capsys, monkeypatch):
+        monkeypatch.setenv(log.ENV_VAR, "error")
+        log.warning("swallowed")
+        assert _last_row(capsys) is None
+        # the threshold is now resolved; changing the env does nothing
+        monkeypatch.setenv(log.ENV_VAR, "debug")
+        log.warning("still swallowed")
+        assert _last_row(capsys) is None
+        # set_level(None) re-arms env resolution
+        log.set_level(None)
+        log.warning("now shown")
+        assert _last_row(capsys)["event"] == "now shown"
+
+    def test_garbage_env_falls_back_to_info(self, capsys, monkeypatch):
+        monkeypatch.setenv(log.ENV_VAR, "shouting")
+        log.info("shown")
+        assert _last_row(capsys)["event"] == "shown"
+
+
+class TestRowShape:
+    def test_row_fields_and_sorted_keys(self, capsys):
+        log.set_level("info")
+        log.info("cell_done", host="a:1", i=3)
+        captured = capsys.readouterr()
+        line = captured.err.strip().splitlines()[-1]
+        row = json.loads(line)
+        assert row["level"] == "info"
+        assert row["event"] == "cell_done"
+        assert row["host"] == "a:1" and row["i"] == 3
+        assert isinstance(row["ts"], float)
+        assert line == json.dumps(row, sort_keys=True)
+
+    def test_non_json_values_stringified(self, capsys):
+        log.set_level("info")
+        log.error("failed", exc=ValueError("boom"))
+        row = _last_row(capsys)
+        assert row["exc"] == "boom"
+
+    def test_level_helpers_tag_rows(self, capsys):
+        log.set_level("debug")
+        for helper, name in ((log.debug, "debug"), (log.info, "info"),
+                             (log.warning, "warning"), (log.error, "error")):
+            helper("evt")
+            assert _last_row(capsys)["level"] == name

@@ -1,0 +1,94 @@
+"""Trace analysis: loader robustness, summary accounting, cell
+coverage, and the ``memsched obs report`` rendering."""
+
+from repro.obs.report import (
+    cell_indices,
+    format_report,
+    load_trace,
+    summarize,
+)
+
+
+def _row(span, name, **extra):
+    return dict({"trace": "t" * 16, "span": span, "name": name}, **extra)
+
+
+class TestLoadTrace:
+    def test_skips_malformed_and_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"trace": "t", "span": "a", "name": "ok"}\n'
+            "\n"
+            "{not json at all\n"
+            '["a", "list", "row"]\n'
+            '{"span": "missing-name"}\n'
+            '{"trace": "t", "span": "b", "name": "also-ok"}')
+        events = load_trace(path)
+        assert [row["name"] for row in events] == ["ok", "also-ok"]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        assert load_trace(path) == []
+
+
+class TestSummarize:
+    def test_counts_roots_and_orphans(self):
+        events = [
+            _row("a", "sweep", t0=0.0, dur=2.0),
+            _row("b", "cell", parent="a", t0=0.1, dur=0.5),
+            _row("c", "cell", parent="a", t0=0.7, dur=1.0),
+            _row("d", "cell", parent="missing", t0=1.8, dur=0.1),
+        ]
+        summary = summarize(events)
+        assert summary["n_events"] == 4
+        assert summary["n_traces"] == 1
+        assert summary["n_roots"] == 1
+        assert summary["orphans"] == ["d"]
+        cell = summary["by_name"]["cell"]
+        assert cell["count"] == 3
+        assert cell["total_dur"] == 1.6
+        assert cell["max_dur"] == 1.0
+
+    def test_durationless_rows_tolerated(self):
+        summary = summarize([_row("a", "open")])
+        assert summary["by_name"]["open"] == {
+            "count": 1, "total_dur": 0.0, "max_dur": 0.0}
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary == {"n_events": 0, "n_traces": 0, "n_roots": 0,
+                           "orphans": [], "by_name": {}}
+
+
+class TestCellIndices:
+    def test_collects_cell_span_indices(self):
+        events = [
+            _row("a", "sweep"),
+            _row("b", "cell", attrs={"i": 0}),
+            _row("c", "cell", attrs={"i": 2}),
+            _row("d", "cell"),            # no attrs -> ignored
+            _row("e", "select", attrs={"i": 9}),   # wrong name
+        ]
+        assert cell_indices(events) == {0, 2}
+
+    def test_empty(self):
+        assert cell_indices([]) == set()
+
+
+class TestFormatReport:
+    def test_renders_header_and_table(self):
+        events = [
+            _row("a", "sweep", t0=0.0, dur=2.0),
+            _row("b", "cell", parent="a", t0=0.1, dur=0.5),
+        ]
+        text = format_report(summarize(events))
+        assert "trace: 2 spans, 1 trace id(s), 1 root(s), 0 orphan(s)" \
+            in text
+        assert "cell" in text and "sweep" in text
+        assert "orphan spans" not in text
+
+    def test_orphans_listed(self):
+        events = [_row("z", "cell", parent="gone", dur=0.1)]
+        text = format_report(summarize(events))
+        assert "orphan spans (parent never closed): z" in text

@@ -1,0 +1,158 @@
+"""Span tracing: deterministic ids, per-thread nesting, buffered JSONL
+output, and torn-tail tolerance."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.report import load_trace
+from repro.obs.tracing import Tracer, det_id, trace_id_for
+
+
+class TestDeterministicIds:
+    def test_det_id_pure_function(self):
+        assert det_id("a", 1) == det_id("a", 1)
+        assert det_id("a", 1) != det_id("a", 2)
+        assert len(det_id("x")) == 16
+        int(det_id("x"), 16)   # hex
+
+    def test_trace_id_independent_of_path(self, tmp_path):
+        a = Tracer(tmp_path / "a.jsonl", trace_id=trace_id_for("run", 1))
+        b = Tracer(tmp_path / "b.jsonl", trace_id=trace_id_for("run", 1))
+        try:
+            assert a.trace_id == b.trace_id
+        finally:
+            a.close()
+            b.close()
+
+    def test_child_id_sibling_counter(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        try:
+            first = tracer.child_id(None, "phase")
+            second = tracer.child_id(None, "phase")
+            assert first != second
+            # a natural key bypasses the counter entirely
+            keyed = tracer.child_id(None, "cell", key=7)
+            assert keyed == det_id(tracer.trace_id, None, "cell", 7)
+        finally:
+            tracer.close()
+
+    def test_same_structure_same_ids_across_tracers(self, tmp_path):
+        rows = []
+        for run in ("a", "b"):
+            path = tmp_path / f"{run}.jsonl"
+            tracer = Tracer(path, trace_id=trace_id_for("det"))
+            with tracer.span("outer", {"k": 1}):
+                with tracer.span("inner"):
+                    pass
+            tracer.close()
+            rows.append([{key: value for key, value in row.items()
+                          if key not in ("t0", "dur")}
+                         for row in load_trace(path)])
+        assert rows[0] == rows[1]
+
+
+class TestNesting:
+    def test_current_tracks_innermost(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() == outer.span_id
+            with tracer.span("inner") as inner:
+                assert tracer.current() == inner.span_id
+                assert inner.parent_id == outer.span_id
+            assert tracer.current() == outer.span_id
+        assert tracer.current() is None
+        tracer.close()
+
+    def test_explicit_parent_crosses_threads(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        seen = {}
+
+        def worker(parent_id):
+            # a fresh thread has no stack; the parent is wired explicitly
+            assert tracer.current() is None
+            with tracer.span("remote", parent=parent_id) as span:
+                seen["parent"] = span.parent_id
+
+        with tracer.span("root") as root:
+            thread = threading.Thread(target=worker,
+                                      args=(root.span_id,))
+            thread.start()
+            thread.join()
+        tracer.close()
+        assert seen["parent"] == root.span_id
+
+    def test_error_recorded_and_reraised(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        tracer.close()
+        [row] = load_trace(path)
+        assert row["attrs"]["error"] == "RuntimeError"
+
+
+class TestBufferedOutput:
+    def test_rows_land_on_close(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("only"):
+            pass
+        # serialisation is deferred: nothing on disk until flush/close
+        assert path.read_text() == ""
+        tracer.close()
+        [row] = load_trace(path)
+        assert row["name"] == "only"
+        assert row["dur"] >= 0 and row["t0"] >= 0
+
+    def test_flush_drains_without_closing(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("a"):
+            pass
+        tracer.flush()
+        assert len(load_trace(path)) == 1
+        with tracer.span("b"):
+            pass
+        tracer.close()
+        assert len(load_trace(path)) == 2
+
+    def test_write_batch_bounds_buffering(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        for i in range(Tracer.WRITE_BATCH):
+            tracer.emit("e", span_id=tracer.child_id(None, "e", key=i))
+        # the 512th emit crossed the batch threshold and wrote
+        assert len(load_trace(path)) == Tracer.WRITE_BATCH
+        tracer.close()
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        tracer.close()
+        tracer.emit("late", span_id="feedbeeffeedbeef")
+        tracer.close()   # idempotent
+        assert load_trace(tmp_path / "t.jsonl") == []
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        for i in range(3):
+            tracer.emit("e", span_id=tracer.child_id(None, "e", key=i))
+        tracer.close()
+        # simulate a kill mid-write: truncate the last line
+        torn = path.read_text()[:-9]
+        path.write_text(torn)
+        assert len(load_trace(path)) == 2
+
+    def test_rows_sorted_keys_stable_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        tracer.emit("e", span_id="00000000000000ab", parent_id="cd",
+                    t0=1.5, dur=0.25, attrs={"b": 2, "a": 1})
+        tracer.close()
+        line = path.read_text().strip()
+        assert line == json.dumps(json.loads(line), sort_keys=True)

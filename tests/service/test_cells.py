@@ -108,7 +108,7 @@ class TestCellsEndpoint:
         status, _headers, body = app.handle("GET", "/healthz", b"")
         health = json.loads(body)
         assert health["cells"] == {"requests": 1, "executed": 2}
-        assert health["protocol"] == 2
+        assert health["protocol"] == 3
 
 
 class TestCellsOverTheWire:

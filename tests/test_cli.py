@@ -50,13 +50,24 @@ class TestSchedule:
         assert "#" in out          # gantt bars
         assert "blue mem" in out   # sparklines
 
-    def test_schedule_trace_flag(self, dex_file, capsys):
+    def test_schedule_events_flag(self, dex_file, capsys):
         rc = main(["schedule", str(dex_file), "--algo", "memheft",
-                   "--mem-blue", "5", "--mem-red", "5", "--trace"])
+                   "--mem-blue", "5", "--mem-red", "5", "--events"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "task_start" in out
         assert "comm_finish" in out
+
+    def test_schedule_trace_file(self, dex_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["schedule", str(dex_file), "--algo", "memheft",
+                   "--mem-blue", "5", "--mem-red", "5",
+                   "--trace", str(trace)])
+        assert rc == 0
+        lines = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert any(row["name"] == "memheft" for row in lines)
+        assert main(["obs", "report", str(trace)]) == 0
+        assert "memheft" in capsys.readouterr().out
 
     def test_infeasible_exit_code(self, dex_file, capsys):
         rc = main(["schedule", str(dex_file), "--algo", "memminmin",
