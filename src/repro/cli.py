@@ -42,6 +42,7 @@ from .ilp import solve_ilp
 from .io.dot import to_dot
 from .io.gantt import ascii_gantt, memory_sparkline, schedule_summary
 from .io.json_io import load_graph, load_schedule, save_graph, save_schedule
+from .scheduling.kernel import available_backends, resolve_backend
 from .scheduling.registry import SCHEDULERS, get_scheduler
 from .scheduling.state import InfeasibleScheduleError
 
@@ -159,6 +160,9 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         print(f"wrote trace to {args.trace}", file=sys.stderr)
     peaks = validate_schedule(graph, platform, schedule)
     print(f"algorithm : {args.algo}")
+    if args.verbose:
+        print(f"kernel    : {resolve_backend(args.kernel).name} "
+              f"(available: {', '.join(available_backends())})")
     print(f"makespan  : {schedule.makespan:g}")
     print("peaks     : " + " ".join(f"{m.value}={v:g}" for m, v in peaks.items()))
     if args.gantt:
@@ -426,10 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("schedule", help="schedule a graph with a heuristic")
     p.add_argument("graph", help="graph JSON file")
     p.add_argument("--algo", choices=sorted(SCHEDULERS), default="memheft")
-    p.add_argument("--kernel", choices=("auto", "scalar", "numpy"),
+    p.add_argument("--kernel",
+                   choices=("auto", "scalar", "numpy", "compiled"),
                    default=None,
                    help="EST kernel backend (default: MEMSCHED_KERNEL env "
                         "or auto-detect; results are bit-identical)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print the resolved kernel backend and the "
+                        "backends available on this interpreter")
     _add_platform_args(p)
     p.add_argument("--gantt", action="store_true",
                    help="ASCII Gantt chart + memory sparklines")

@@ -1,0 +1,196 @@
+"""Build-and-load machinery for the compiled EST kernel backend.
+
+The compiled backend (:class:`repro.scheduling.kernel.CompiledKernel`)
+is a ~200-line C library (``_estkernel.c``, shipped next to this module)
+compiled on first use with the *system* C toolchain and loaded through
+:mod:`ctypes`.  No build-time extension, no numba/Cython dependency: the
+optional surface is "a C compiler on $PATH", which CI images and dev
+boxes almost always have — and when they don't, everything degrades
+gracefully to the numpy backend, exactly the way numpy itself degrades
+to scalar (:data:`repro._util.HAS_NUMPY`).
+
+Build products are content-addressed: the shared library lands in a
+cache directory as ``estkernel-<sha256 of source+compiler+flags>.so``,
+so rebuilt only when the source or toolchain changes — a process start
+with a warm cache pays one ``stat`` + ``dlopen``.  Compilation writes to
+a temp name and ``os.replace``s it into place, so concurrent first
+builds (e.g. a service worker pool) race benignly.
+
+Environment knobs:
+
+* ``MEMSCHED_CC`` — compiler executable to use; the special values
+  ``none`` / ``0`` / empty string disable the compiled backend outright
+  (the no-toolchain CI leg and the degradation tests use this).
+* ``MEMSCHED_CC_CACHE`` — cache directory for the built libraries
+  (default: ``$XDG_CACHE_HOME/memsched`` or ``~/.cache/memsched``,
+  falling back to a per-user temp directory).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+#: Compiler candidates probed in order when ``MEMSCHED_CC`` is unset.
+_COMPILERS = ("cc", "gcc", "clang")
+
+#: Flags that pin IEEE-754 double semantics to CPython's: no FMA
+#: contraction, no fast-math reassociation.  ``-fexcess-precision=
+#: standard`` (x87 safety) is appended when the compiler accepts it.
+_BASE_FLAGS = ("-O2", "-fPIC", "-shared", "-fno-fast-math",
+               "-ffp-contract=off")
+
+_SOURCE = Path(__file__).with_name("_estkernel.c")
+
+# Memoized load state: None = not attempted, (lib, None) = loaded,
+# (None, reason) = unavailable.
+_STATE: Optional[tuple] = None
+
+
+class CompiledKernelUnavailable(ModuleNotFoundError):
+    """The compiled backend cannot be built or loaded on this machine."""
+
+
+def _compiler() -> Optional[str]:
+    """Resolve the C compiler, honouring ``MEMSCHED_CC``; ``None`` when
+    disabled or no toolchain is on $PATH."""
+    override = os.environ.get("MEMSCHED_CC")
+    if override is not None:
+        if override.strip().lower() in ("", "none", "0"):
+            return None
+        return shutil.which(override)
+    for cand in _COMPILERS:
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("MEMSCHED_CC_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    try:
+        base.expanduser()
+    except RuntimeError:  # pragma: no cover - no resolvable home
+        base = Path(tempfile.gettempdir())
+    return base / "memsched"
+
+
+def _build(cc: str, source: Path, out: Path, extra: tuple) -> None:
+    """Compile ``source`` into ``out`` atomically (tmp + rename)."""
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(out.parent), prefix=out.name + ".",
+                               suffix=".tmp.so")
+    os.close(fd)
+    cmd = [cc, *_BASE_FLAGS, *extra, "-o", tmp, str(source)]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=120)
+        if proc.returncode != 0:
+            raise CompiledKernelUnavailable(
+                f"C compilation failed ({' '.join(cmd)}): "
+                f"{proc.stderr.strip()[:500]}")
+        os.replace(tmp, out)
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
+    """Attach argtypes so a signature drift fails loudly, not silently."""
+    i64, f64, ptr = ctypes.c_int64, ctypes.c_double, ctypes.c_void_p
+    lib.est_eval_class_batch.restype = None
+    lib.est_eval_class_batch.argtypes = [
+        i64, ptr, i64, i64,            # B, rows, cls, k
+        ptr, ptr, ptr, ptr,            # parent_ptr/row/comm/size
+        ptr, ptr,                      # out_size, times
+        ptr, ptr,                      # finish, memidx
+        i64, ptr, ptr, f64,            # nseg, xs, sm, cap
+        i64, f64, f64,                 # uniform, class_resource, max_speed
+        i64, ptr, ptr, ptr,            # n_procs, procs, avail, speeds
+        ptr, ptr, ptr, ptr, ptr,       # resource, prec, task_mem, comm_mem, cmax
+        ptr, ptr, ptr, ptr, ptr,       # est, eft, comm_fit, dur, proc
+    ]
+    lib.est_select_best.restype = None
+    lib.est_select_best.argtypes = [i64, i64, ptr, ptr, ptr]
+    return lib
+
+
+def _load_uncached() -> ctypes.CDLL:
+    cc = _compiler()
+    if cc is None:
+        raise CompiledKernelUnavailable(
+            "no C compiler available (set MEMSCHED_CC, or install cc/gcc/"
+            "clang); the numpy and scalar kernel backends work without one")
+    try:
+        source_bytes = _SOURCE.read_bytes()
+    except OSError as exc:  # pragma: no cover - broken install
+        raise CompiledKernelUnavailable(
+            f"kernel C source missing: {exc}") from exc
+
+    for extra in (("-fexcess-precision=standard",), ()):
+        digest = hashlib.sha256(
+            source_bytes + repr((cc, _BASE_FLAGS, extra,
+                                 sys.platform)).encode()).hexdigest()[:16]
+        out = _cache_dir() / f"estkernel-{digest}.so"
+        try:
+            if not out.exists():
+                _build(cc, _SOURCE, out, extra)
+            return _declare(ctypes.CDLL(str(out)))
+        except CompiledKernelUnavailable:
+            if not extra:  # both flag sets failed
+                raise
+        except OSError as exc:
+            raise CompiledKernelUnavailable(
+                f"could not load compiled kernel {out}: {exc}") from exc
+    raise CompiledKernelUnavailable("unreachable")  # pragma: no cover
+
+
+def load_library() -> ctypes.CDLL:
+    """The compiled kernel library, built on first use and memoized —
+    including memoized *failure*, so auto-detection probes the toolchain
+    at most once per process.  Raises :class:`CompiledKernelUnavailable`
+    with the original reason on every call when unavailable."""
+    global _STATE
+    if _STATE is None:
+        try:
+            _STATE = (_load_uncached(), None)
+        except CompiledKernelUnavailable as exc:
+            _STATE = (None, str(exc))
+    lib, reason = _STATE
+    if lib is None:
+        raise CompiledKernelUnavailable(reason)
+    return lib
+
+
+def compiled_available() -> bool:
+    """Whether the compiled backend can serve on this interpreter (the
+    toolchain probe and build happen on the first call, then memoize)."""
+    try:
+        load_library()
+        return True
+    except CompiledKernelUnavailable:
+        return False
+
+
+def unavailable_reason() -> Optional[str]:
+    """Why the compiled backend is unavailable (``None`` when it works)."""
+    return _STATE[1] if _STATE is not None else None
+
+
+def _reset_for_tests() -> None:
+    """Drop the memoized load state (tests flip MEMSCHED_CC around)."""
+    global _STATE
+    _STATE = None

@@ -1,0 +1,203 @@
+/* Compiled EST kernel: the numeric core of the §5.1 machinery in C.
+ *
+ * Built on demand by repro/scheduling/_cc.py with the system C toolchain
+ * (cc -O2 -shared) and loaded through ctypes; repro.scheduling.kernel's
+ * CompiledKernel marshals flat numpy arrays in and out.  No CPython API:
+ * the library is plain C over raw pointers, so it needs no Python headers
+ * and builds in under a second anywhere a C compiler exists.
+ *
+ * Bit-identity contract (the same one the numpy backend honours — see the
+ * module docstring of repro/scheduling/kernel.py):
+ *
+ * - every float operation replays the scalar kernel's arithmetic in the
+ *   same order: the precedence gather is the order-dependent sequential
+ *   sum over the CSR parent edges, `earliest_fit` uses the identical
+ *   `> (capacity - need) + EPS` predicate, and the uniform/heterogeneous
+ *   EST maxima and the per-processor finish-time tie chain are sequential
+ *   comparisons, never reductions that could reassociate;
+ * - compiled with -ffp-contract=off (no FMA contraction) and SSE2/NEON
+ *   doubles (no x87 excess precision), so C doubles behave exactly like
+ *   CPython floats;
+ * - ties in max/argmin resolve to the same operand the Python code keeps
+ *   (first operand on max ties, earlier processor index then later avail
+ *   on finish ties).
+ */
+
+#include <math.h>
+#include <stdint.h>
+
+#define EPS 1e-9
+
+/* earliest t such that free(t') >= need for all t' >= t, against the
+ * staircase (xs, sm) where sm[j] = max(vals[j:]) is the non-increasing
+ * suffix-max of the used-memory segment values.  Replays
+ * MemoryProfile.earliest_fit (not_before = 0) exactly: the rightmost
+ * segment with value > (cap - need) + EPS is the rightmost j with
+ * sm[j] > bound, i.e. the end of the prefix {j : sm[j] > bound}. */
+static double earliest_fit(double need, double cap, int64_t nseg,
+                           const double *xs, const double *sm)
+{
+    if (need <= EPS)
+        return 0.0;
+    if (need > cap + EPS)
+        return INFINITY;
+    if (isinf(cap))
+        return 0.0;
+    double bound = (cap - need) + EPS;
+    if (!(sm[0] > bound))
+        return 0.0;
+    int64_t lo = 0, hi = nseg - 1; /* invariant: sm[lo] > bound */
+    while (lo < hi) {
+        int64_t mid = lo + (hi - lo + 1) / 2;
+        if (sm[mid] > bound)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    if (lo == nseg - 1)
+        return INFINITY; /* tail value itself exceeds the threshold */
+    return xs[lo + 1];
+}
+
+/* One (candidate batch, memory class) evaluation: every ESTBreakdown
+ * column for B ready tasks on class `cls`, written into the o_* arrays.
+ *
+ * rows        — flat-graph row index per candidate
+ * parent_*    — the FlatGraph CSR parent arrays
+ * out_size    — per-row total output size
+ * times       — row-major (n_tasks x k) per-class execution times
+ * finish      — per-row finish time of committed tasks
+ * memidx      — per-row memory-class index of committed tasks (-1 = none)
+ * nseg/xs/sm  — the class profile staircase (ignored when cap is inf)
+ * uniform     — 1 when every processor of the class shares one speed
+ * class_resource / max_speed — min(avail) and fastest speed (uniform path)
+ * procs/n_procs/avail/speeds — the heterogeneous finish-choice inputs
+ */
+void est_eval_class_batch(
+    int64_t B, const int64_t *rows, int64_t cls, int64_t k,
+    const int64_t *parent_ptr, const int64_t *parent_row,
+    const double *parent_comm, const double *parent_size,
+    const double *out_size, const double *times,
+    const double *finish, const int64_t *memidx,
+    int64_t nseg, const double *xs, const double *sm, double cap,
+    int64_t uniform, double class_resource, double max_speed,
+    int64_t n_procs, const int64_t *procs, const double *avail,
+    const double *speeds,
+    double *o_resource, double *o_prec, double *o_task_mem,
+    double *o_comm_mem, double *o_cmax, double *o_est, double *o_eft,
+    double *o_comm_fit, double *o_dur, int64_t *o_proc)
+{
+    for (int64_t b = 0; b < B; b++) {
+        int64_t row = rows[b];
+
+        /* precedence gather: sequential max/sum over the parent edges in
+         * CSR order — the order-dependent `cross += size` accumulation
+         * that keeps all backends bit-identical. */
+        double prec = 0.0, cmax = 0.0, cross = 0.0;
+        for (int64_t e = parent_ptr[row]; e < parent_ptr[row + 1]; e++) {
+            int64_t j = parent_row[e];
+            double f = finish[j];
+            double c = parent_comm[e];
+            if (memidx[j] == cls) {
+                if (f > prec)
+                    prec = f;
+            } else {
+                double late = f + c;
+                if (late > prec)
+                    prec = late;
+                if (c > cmax)
+                    cmax = c;
+                cross += parent_size[e];
+            }
+        }
+
+        double need = cross + out_size[row];
+        double task_mem = earliest_fit(need, cap, nseg, xs, sm);
+        double comm_fit = 0.0, comm_mem = 0.0;
+        if (cross > 0.0 || cmax > 0.0) {
+            comm_fit = earliest_fit(cross, cap, nseg, xs, sm);
+            comm_mem = comm_fit + cmax;
+        }
+
+        double w = times[row * k + cls];
+        double resource, est, dur;
+        int64_t proc = -1;
+        if (uniform) {
+            /* est = max(resource, precedence, task_mem, comm_mem) */
+            resource = class_resource;
+            est = resource;
+            if (prec > est)
+                est = prec;
+            if (task_mem > est)
+                est = task_mem;
+            if (comm_mem > est)
+                est = comm_mem;
+            dur = w / max_speed;
+        } else {
+            /* the exact tie chain of SchedulerState._finish_choice,
+             * replayed in processor-index order */
+            double floor_ = prec;
+            if (task_mem > floor_)
+                floor_ = task_mem;
+            if (comm_mem > floor_)
+                floor_ = comm_mem;
+            double best_finish = INFINITY, best_avail = -INFINITY;
+            double best_dur = INFINITY;
+            for (int64_t i = 0; i < n_procs; i++) {
+                int64_t p = procs[i];
+                double a = avail[p];
+                double d = w / speeds[p];
+                double fin = (a > floor_ ? a : floor_) + d;
+                if (fin < best_finish
+                        || (fin == best_finish && a > best_avail)) {
+                    proc = p;
+                    best_finish = fin;
+                    best_avail = a;
+                    best_dur = d;
+                }
+            }
+            resource = best_avail;
+            est = floor_;
+            if (best_avail > est)
+                est = best_avail;
+            dur = best_dur;
+        }
+
+        o_resource[b] = resource;
+        o_prec[b] = prec;
+        o_task_mem[b] = task_mem;
+        o_comm_mem[b] = comm_mem;
+        o_cmax[b] = cmax;
+        o_est[b] = est;
+        o_eft[b] = isfinite(est) ? est + dur : INFINITY;
+        o_comm_fit[b] = comm_fit;
+        o_dur[b] = dur;
+        o_proc[b] = proc;
+    }
+}
+
+/* The §5.1 memory-selection EPS chain over a (k x B) row-major EFT
+ * matrix, replayed per candidate in class-index order — identical to
+ * ScalarKernel.best_est_batch.  `present[c]` is 0 for classes without
+ * processors (skipped, exactly like their infeasible breakdowns).
+ * Writes the winning class index per candidate (-1 = no feasible class). */
+void est_select_best(int64_t B, int64_t k, const double *eft,
+                     const int64_t *present, int64_t *best_cls)
+{
+    for (int64_t b = 0; b < B; b++) {
+        int64_t bc = -1;
+        double be = INFINITY;
+        for (int64_t c = 0; c < k; c++) {
+            if (!present[c])
+                continue;
+            double v = eft[c * B + b];
+            if (!isfinite(v))
+                continue;
+            if (bc < 0 || v < be - EPS) {
+                be = v;
+                bc = c;
+            }
+        }
+        best_cls[b] = bc;
+    }
+}

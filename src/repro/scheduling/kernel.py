@@ -4,7 +4,7 @@ The list-scheduling heuristics spend almost all of their time evaluating
 :class:`ESTBreakdown` candidates — ``EST = max(resource, precedence,
 task_mem, comm_mem + Cmax)``, ``EFT = EST + W/speed`` — against the partial
 schedule.  This module packages that arithmetic behind one interface with
-two interchangeable backends:
+three interchangeable backends:
 
 * :class:`ScalarKernel` — the reference pure-Python path (the historical
   ``SchedulerState.est`` logic, extracted verbatim).  Always available.
@@ -14,8 +14,14 @@ two interchangeable backends:
   the per-processor finish-time argmin of heterogeneous classes becomes an
   elementwise comparison chain.  Requires the *optional* ``numpy``
   dependency (import-guarded in :mod:`repro._util`).
+* :class:`CompiledKernel` — the whole per-(batch, class) evaluation in a
+  small C library compiled on demand with the system toolchain and driven
+  through ctypes (:mod:`repro.scheduling._cc`): precedence gathers over
+  the CSR arrays, staircase fits, tie chains and class selection all run
+  with zero per-candidate Python churn; only winning breakdowns are
+  materialised.  Requires numpy (for marshalling) plus a C compiler.
 
-Both backends are **bit-identical** by construction, which the golden
+All backends are **bit-identical** by construction, which the golden
 schedules and the hypothesis equivalence suite pin:
 
 * the precedence parts contain an order-dependent sequential sum
@@ -34,10 +40,12 @@ schedules and the hypothesis equivalence suite pin:
 
 Backend selection (:func:`resolve_backend`): an explicit ``backend=``
 argument (name or instance) wins, then the ``MEMSCHED_KERNEL`` environment
-variable (``scalar`` / ``numpy`` / ``auto``), then auto-detection — numpy
-when importable, scalar otherwise.  Kernel instances are stateless; all
-per-state scratch (the per-class suffix-max arrays) lives on the
-``SchedulerState`` so one kernel object can serve any number of states.
+variable (``scalar`` / ``numpy`` / ``compiled`` / ``auto``), then
+auto-detection — compiled when numpy and a working C toolchain are
+present, then numpy, then scalar.  Kernel instances are stateless; all
+per-state scratch (the suffix-max staircase arrays, the C-layout CSR and
+placement mirrors) lives on the ``SchedulerState`` so one kernel object
+can serve any number of states.
 """
 
 from __future__ import annotations
@@ -261,6 +269,65 @@ class ScalarKernel:
                             duration, proc)
 
     # -- batches ---------------------------------------------------------
+    def _evaluate_batch_scalar(self, state: "SchedulerState",
+                               tasks: Sequence[Task],
+                               memory: "Memory") -> list[ESTBreakdown]:
+        """The scalar batch loop with the per-candidate lookup traffic
+        hoisted out: :meth:`evaluate` re-resolves the profile, the fit-memo
+        slot, the times table and half a dozen bound methods per candidate,
+        which the PR 8 phase timings flagged as the dominant cost of large
+        scalar flushes.  One binding of each per (batch, class) leaves only
+        the arithmetic in the loop — same operations in the same order, so
+        bit-identical to the one-at-a-time path."""
+        idx = memory.index
+        if state.platform.n_procs_of(memory) == 0:
+            return [infeasible_breakdown(task, memory) for task in tasks]
+        profile = state.mem[memory]
+        slot = state._fit[idx]
+        if slot[0] != profile.version:
+            slot[0] = profile.version
+            slot[1].clear()
+        fitd = slot[1]
+        fit_get = fitd.get
+        static_get = state._static.get
+        parts_of = state._precedence_parts
+        earliest_fit = profile.earliest_fit
+        resource_choice = state._resource_choice
+        times = state._flat.times
+        row_of = state._row
+        is_ready = state.is_ready
+        isfinite = math.isfinite
+        inf = math.inf
+        tn = _tuple_new
+        bd_cls = ESTBreakdown
+        out: list[ESTBreakdown] = []
+        append = out.append
+        for task in tasks:
+            if not is_ready(task):
+                append(infeasible_breakdown(task, memory))
+                continue
+            parts = static_get(task)
+            if parts is None:
+                parts = parts_of(task)
+            precedence, cmax, cross_in, need_task = parts[idx]
+            cached = fit_get(task)
+            if cached is not None:
+                task_mem, comm_fit = cached
+            else:
+                task_mem = earliest_fit(need_task)
+                comm_fit = (earliest_fit(cross_in)
+                            if cross_in > 0.0 or cmax > 0.0 else 0.0)
+                fitd[task] = (task_mem, comm_fit)
+            comm_mem = comm_fit + cmax if cross_in > 0.0 or cmax > 0.0 else 0.0
+            resource, est, duration, proc = resource_choice(
+                memory, precedence, task_mem, comm_mem,
+                times[row_of[task]][idx])
+            append(tn(bd_cls, (task, memory, resource, precedence, task_mem,
+                               comm_mem, cmax, est,
+                               est + duration if isfinite(est) else inf,
+                               comm_fit, duration, proc)))
+        return out
+
     def evaluate_class_batch(self, state: "SchedulerState",
                              tasks: Sequence[Task],
                              memory: "Memory") -> list[ESTBreakdown]:
@@ -269,9 +336,9 @@ class ScalarKernel:
         overload this with one array pass per batch."""
         st = obs.active()
         if st is None:
-            return [self.evaluate(state, task, memory) for task in tasks]
+            return self._evaluate_batch_scalar(state, tasks, memory)
         t0 = time.perf_counter()
-        out = [self.evaluate(state, task, memory) for task in tasks]
+        out = self._evaluate_batch_scalar(state, tasks, memory)
         _record_batch(self.name, "scalar", len(tasks),
                       time.perf_counter() - t0)
         return out
@@ -471,10 +538,9 @@ class NumpyKernel(ScalarKernel):
         if (len(tasks) < self.batch_cutoff
                 or state.platform.n_procs_of(memory) == 0):
             if st is None:
-                return [self.evaluate(state, task, memory)
-                        for task in tasks]
+                return self._evaluate_batch_scalar(state, tasks, memory)
             t0 = time.perf_counter()
-            out = [self.evaluate(state, task, memory) for task in tasks]
+            out = self._evaluate_batch_scalar(state, tasks, memory)
             _record_batch(self.name, "scalar", len(tasks),
                           time.perf_counter() - t0)
             return out
@@ -551,15 +617,271 @@ class NumpyKernel(ScalarKernel):
         return out
 
 
+class CompiledKernel(NumpyKernel):
+    """Compiled backend: the per-(batch, class) evaluation runs in C.
+
+    A ~200-line shared library (``_estkernel.c``, built on demand by
+    :mod:`repro.scheduling._cc` with the system C toolchain and loaded via
+    ctypes) performs the precedence gathers over the CSR parent arrays,
+    the suffix-max ``earliest_fit`` staircase queries, the heterogeneous
+    finish-time tie chains and the §5.1 class-selection EPS chain — zero
+    per-candidate Python object churn; only the *winning* breakdowns are
+    materialised back into :class:`ESTBreakdown` tuples.
+
+    Marshalling layout (all per-state, living in ``state._kernel_scratch``
+    so one kernel instance serves any number of states):
+
+    * static: the FlatGraph CSR arrays, the (n x k) times matrix and the
+      per-class processor lists as int64/float64 numpy arrays, built once
+      per state;
+    * dynamic: float64/int64 mirrors of the per-row ``_finish``/``_memidx``
+      placement views, updated incrementally by draining the state's
+      ``_commit_log`` (one committed row per commit) instead of re-copying
+      n-element lists per batch;
+    * per class: the profile staircase as contiguous ``xs``/suffix-max
+      arrays keyed on the profile ``version``, and the processor avail
+      array keyed on the avail vector's ``version``.
+
+    Unlike the numpy backend it does **not** read or populate the shared
+    ``(task, class)`` fit memo — the C pass recomputes fits from the
+    staircase, which is cheaper than the dict traffic and bit-identical by
+    construction, so mixing compiled batches with scalar singles stays
+    coherent.  The cutoff below which the scalar loop wins is much lower
+    than numpy's (one C call costs ~2us vs ~50us of array setup).
+    """
+
+    name = "compiled"
+    vectorized = True
+
+    def __init__(self, batch_cutoff: int = 16) -> None:
+        super().__init__(batch_cutoff=batch_cutoff)  # checks numpy
+        from . import _cc
+        self._lib = _cc.load_library()  # raises CompiledKernelUnavailable
+        self._np = require_numpy("the compiled kernel backend")
+        #: Placeholder pointer target for array arguments the C side never
+        #: dereferences (staircases of unbounded profiles, avail of
+        #: uniform classes).
+        self._dummy = self._np.zeros(1)
+
+    # -- per-state scratch ----------------------------------------------
+    def _cstatic(self, state: "SchedulerState"):
+        """The state's immutable arrays in C layout, built once per state."""
+        sc = state._kernel_scratch
+        st = sc.get("cstatic")
+        if st is None:
+            np = self._np
+            flat = state._flat
+            platform = state.platform
+            times = sc.get("times")
+            if times is None:
+                times = sc["times"] = np.array(flat.times, dtype=np.float64)
+            st = sc["cstatic"] = (
+                np.asarray(flat.parent_ptr, dtype=np.int64),
+                np.asarray(flat.parent_row, dtype=np.int64),
+                np.asarray(flat.parent_comm, dtype=np.float64),
+                np.asarray(flat.parent_size, dtype=np.float64),
+                np.asarray(flat.out_size, dtype=np.float64),
+                times,
+                np.asarray(platform.speeds, dtype=np.float64),
+                tuple(np.asarray(list(platform.procs(m)), dtype=np.int64)
+                      for m in state.memories),
+            )
+        return st
+
+    def _cdynamic(self, state: "SchedulerState"):
+        """Array mirrors of ``_finish``/``_memidx``, maintained by draining
+        the commit log (rows committed since the last drain)."""
+        sc = state._kernel_scratch
+        log = state._commit_log
+        dyn = sc.get("cdyn")
+        if dyn is None:
+            np = self._np
+            dyn = sc["cdyn"] = [
+                len(log),
+                np.asarray(state._finish, dtype=np.float64),
+                np.asarray(state._memidx, dtype=np.int64),
+            ]
+        elif dyn[0] < len(log):
+            fa, ma = dyn[1], dyn[2]
+            fin = state._finish
+            mem = state._memidx
+            for r in log[dyn[0]:]:
+                fa[r] = fin[r]
+                ma[r] = mem[r]
+            dyn[0] = len(log)
+        return dyn[1], dyn[2]
+
+    def _cavail(self, state: "SchedulerState"):
+        """Processor avail times as a float64 array, keyed on the avail
+        vector's version (commits and direct writes both bump it)."""
+        sc = state._kernel_scratch
+        avail = state.avail
+        cached = sc.get("cavail")
+        if cached is None or cached[0] != avail.version:
+            cached = sc["cavail"] = (
+                avail.version, self._np.array(avail, dtype=self._np.float64))
+        return cached[1]
+
+    def _cstaircase(self, state: "SchedulerState", idx: int):
+        """One class's staircase as contiguous ``(cap, nseg, xs, sm)`` with
+        ``sm[j] = max(vals[j:])`` non-increasing, keyed on the profile
+        ``version`` (compaction leaves the version — and the function the
+        arrays encode — unchanged, exactly like the numpy scratch)."""
+        profile = state.mem[state.memories[idx]]
+        cap = profile.capacity
+        if math.isinf(cap):
+            return cap, 1, self._dummy, self._dummy  # never dereferenced
+        sc = state._kernel_scratch
+        key = ("csfx", idx)
+        cached = sc.get(key)
+        if cached is None or cached[0] != profile.version:
+            np = self._np
+            vals = np.array(profile._vals, dtype=np.float64)
+            sm = np.ascontiguousarray(
+                np.maximum.accumulate(vals[::-1])[::-1])
+            xs = np.array(profile._xs, dtype=np.float64)
+            cached = sc[key] = (profile.version, xs, sm)
+        _, xs, sm = cached
+        return cap, len(xs), xs, sm
+
+    # -- C dispatch ------------------------------------------------------
+    def _eval_class_c(self, state: "SchedulerState", rows,
+                      memory: "Memory", bufs) -> None:
+        """One ``est_eval_class_batch`` call filling the ten column buffers
+        for (batch, class)."""
+        idx = memory.index
+        platform = state.platform
+        (parent_ptr, parent_row, parent_comm, parent_size, out_size,
+         times, speeds, procs_by_class) = self._cstatic(state)
+        finish, memidx = self._cdynamic(state)
+        cap, nseg, xs, sm = self._cstaircase(state, idx)
+        uniform = platform.uniform_classes[idx]
+        procs = procs_by_class[idx]
+        if uniform:
+            class_resource = state.class_resources()[idx]
+            avail = self._dummy
+        else:
+            class_resource = 0.0
+            avail = self._cavail(state)
+        (o_res, o_prec, o_tmem, o_cmem, o_cmax, o_est, o_eft, o_cfit,
+         o_dur, o_proc) = bufs
+        self._lib.est_eval_class_batch(
+            len(rows), rows.ctypes.data, idx, len(state.memories),
+            parent_ptr.ctypes.data, parent_row.ctypes.data,
+            parent_comm.ctypes.data, parent_size.ctypes.data,
+            out_size.ctypes.data, times.ctypes.data,
+            finish.ctypes.data, memidx.ctypes.data,
+            nseg, xs.ctypes.data, sm.ctypes.data, cap,
+            1 if uniform else 0, class_resource,
+            platform.max_class_speeds[idx],
+            len(procs), procs.ctypes.data, avail.ctypes.data,
+            speeds.ctypes.data,
+            o_res.ctypes.data, o_prec.ctypes.data, o_tmem.ctypes.data,
+            o_cmem.ctypes.data, o_cmax.ctypes.data, o_est.ctypes.data,
+            o_eft.ctypes.data, o_cfit.ctypes.data, o_dur.ctypes.data,
+            o_proc.ctypes.data)
+
+    # -- batch entry points ----------------------------------------------
+    def evaluate_class_batch(self, state: "SchedulerState",
+                             tasks: Sequence[Task],
+                             memory: "Memory") -> list[ESTBreakdown]:
+        if (len(tasks) < self.batch_cutoff
+                or state.platform.n_procs_of(memory) == 0):
+            return super().evaluate_class_batch(state, tasks, memory)
+        st = obs.active()
+        t0 = time.perf_counter() if st is not None else 0.0
+        np = self._np
+        B = len(tasks)
+        row = state._row
+        rows = np.asarray([row[t] for t in tasks], dtype=np.int64)
+        bufs = tuple(np.empty(B) for _ in range(9)) \
+            + (np.empty(B, dtype=np.int64),)
+        self._eval_class_c(state, rows, memory, bufs)
+        out = list(map(_tuple_new, repeat(ESTBreakdown),
+                       zip(tasks, repeat(memory),
+                           *(buf.tolist() for buf in bufs))))
+        if st is not None:
+            _record_batch(self.name, "vector", B,
+                          time.perf_counter() - t0)
+        return out
+
+    def best_est_batch(self, state: "SchedulerState",
+                       tasks: Sequence[Task]) -> list[Optional[ESTBreakdown]]:
+        """Batched §5.1 memory selection fully in C: one evaluation call
+        per class into a shared (k x B) EFT matrix, one ``est_select_best``
+        chain call, then winner-only breakdown materialisation."""
+        if len(tasks) < self.batch_cutoff:
+            return ScalarKernel.best_est_batch(self, state, tasks)
+        st = obs.active()
+        t0 = time.perf_counter() if st is not None else 0.0
+        np = self._np
+        B = len(tasks)
+        memories = state.memories
+        k = len(memories)
+        platform = state.platform
+        row = state._row
+        rows = np.asarray([row[t] for t in tasks], dtype=np.int64)
+        eft_mat = np.full((k, B), math.inf)
+        present = np.zeros(k, dtype=np.int64)
+        bufs_by_class: list = [None] * k
+        for memory in memories:
+            ci = memory.index
+            if platform.n_procs_of(memory) == 0:
+                continue
+            present[ci] = 1
+            # eft_mat[ci] is a contiguous row of the C-order matrix, so
+            # the C call writes the EFT column straight into the matrix
+            # est_select_best consumes.
+            bufs = (np.empty(B), np.empty(B), np.empty(B), np.empty(B),
+                    np.empty(B), np.empty(B), eft_mat[ci], np.empty(B),
+                    np.empty(B), np.empty(B, dtype=np.int64))
+            bufs_by_class[ci] = bufs
+            self._eval_class_c(state, rows, memory, bufs)
+        best_cls = np.empty(B, dtype=np.int64)
+        self._lib.est_select_best(B, k, eft_mat.ctypes.data,
+                                  present.ctypes.data, best_cls.ctypes.data)
+        cls_l = best_cls.tolist()
+        rows_cache: list = [None] * k
+        tn = _tuple_new
+        bd_cls = ESTBreakdown
+        out: list[Optional[ESTBreakdown]] = []
+        append = out.append
+        for b, task in enumerate(tasks):
+            ci = cls_l[b]
+            if ci < 0:
+                append(None)
+                continue
+            r = rows_cache[ci]
+            if r is None:
+                r = rows_cache[ci] = list(
+                    zip(tasks, repeat(memories[ci]),
+                        *(buf.tolist() for buf in bufs_by_class[ci])))
+            append(tn(bd_cls, r[b]))
+        if st is not None:
+            _record_batch(self.name, "vector", B,
+                          time.perf_counter() - t0)
+        return out
+
+
 KernelLike = Union[None, str, ScalarKernel]
 
 _SCALAR = ScalarKernel()
 _NUMPY: Optional[NumpyKernel] = None
+_COMPILED: Optional[CompiledKernel] = None
 
 
 def available_backends() -> tuple[str, ...]:
-    """Names accepted by :func:`resolve_backend` on this interpreter."""
-    return ("scalar", "numpy") if HAS_NUMPY else ("scalar",)
+    """Names accepted by :func:`resolve_backend` on this interpreter.
+
+    The first call may probe — and build — the compiled backend's shared
+    library; the probe's outcome is memoized in
+    :mod:`repro.scheduling._cc`, so later calls are free."""
+    if not HAS_NUMPY:
+        return ("scalar",)
+    from . import _cc
+    if _cc.compiled_available():
+        return ("scalar", "numpy", "compiled")
+    return ("scalar", "numpy")
 
 
 def resolve_backend(backend: KernelLike = None) -> ScalarKernel:
@@ -567,15 +889,21 @@ def resolve_backend(backend: KernelLike = None) -> ScalarKernel:
 
     Precedence: explicit ``backend`` (a name or a kernel instance) >
     ``MEMSCHED_KERNEL`` environment variable > ``auto``.  ``auto`` picks
-    numpy when importable and falls back to scalar otherwise; naming
-    ``numpy`` explicitly without numpy installed is an error.
+    the fastest backend this interpreter supports — ``compiled`` when
+    numpy and a working C toolchain are present, then ``numpy``, then
+    ``scalar``; naming ``numpy`` or ``compiled`` explicitly when
+    unavailable is an error.
     """
     if isinstance(backend, ScalarKernel):
         return backend
     name = backend if backend is not None else os.environ.get(ENV_VAR) or "auto"
     name = name.strip().lower()
     if name == "auto":
-        name = "numpy" if HAS_NUMPY else "scalar"
+        if not HAS_NUMPY:
+            name = "scalar"
+        else:
+            from . import _cc
+            name = "compiled" if _cc.compiled_available() else "numpy"
     if name == "scalar":
         return _SCALAR
     if name == "numpy":
@@ -583,6 +911,13 @@ def resolve_backend(backend: KernelLike = None) -> ScalarKernel:
         if _NUMPY is None:
             _NUMPY = NumpyKernel()  # raises when numpy is missing
         return _NUMPY
+    if name == "compiled":
+        global _COMPILED
+        if _COMPILED is None:
+            # Raises with the concrete reason when numpy or the C
+            # toolchain is missing.
+            _COMPILED = CompiledKernel()
+        return _COMPILED
     raise ValueError(
         f"unknown kernel backend {name!r}; expected one of "
         f"{('auto',) + available_backends()}")

@@ -239,9 +239,15 @@ class SchedulerState:
         # filters stale entries; commit additionally evicts the committed
         # task, bounding the memo to ready-but-uncommitted candidates.
         self._fit: list[list] = [[-1, {}] for _ in range(platform.n_classes)]
-        #: Backend scratch (e.g. the numpy suffix-max staircase arrays),
-        #: managed by the kernel, reset on copy().
+        #: Backend scratch (e.g. the numpy suffix-max staircase arrays,
+        #: the compiled backend's C-layout mirrors), managed by the
+        #: kernel, reset on copy().
         self._kernel_scratch: dict = {}
+        #: Rows committed since this state was created, in commit order —
+        #: the compiled backend drains it to update its array mirrors of
+        #: ``_finish``/``_memidx`` incrementally.  Reset together with the
+        #: scratch on copy(), so clones rebuild mirrors from the lists.
+        self._commit_log: list[int] = []
         # -- per-class dirty tracking ----------------------------------
         # Commits record which memory classes they actually mutated: one
         # serial per commit, and per class the serial of the last commit
@@ -502,15 +508,24 @@ class SchedulerState:
         row = self._row[task]
         self._finish[row] = finish
         self._memidx[row] = memory.index
+        self._commit_log.append(row)
 
-        profile = self.mem[memory]
+        midx = memory.index
         touched: set[int] = set()
+        # Profile mutations are collected per class and applied as one
+        # MemoryProfile.add_batch per touched profile below: same events
+        # in the same per-profile order as the historical per-edge add()
+        # calls (profiles are independent, so cross-profile interleaving
+        # is irrelevant), hence bit-identical staircases — with one merge
+        # pass and one version bump per profile per commit.
+        dest_events: list = []
+        src_events: dict[int, list] = {}
         # Outputs resident in mu from the task start until each consumer is
         # committed (release scheduled then).
         out_total = flat.out_size[row]
         if out_total > 0.0:
-            profile.add(out_total, est, None)
-            touched.add(memory.index)
+            dest_events.append((out_total, est, None))
+            touched.add(midx)
 
         order = flat.order
         parent_row = flat.parent_row
@@ -519,11 +534,11 @@ class SchedulerState:
             p_finish = self._finish[j]
             p_idx = self._memidx[j]
             size = flat.parent_size[e]
-            if p_idx == memory.index:
+            if p_idx == midx:
                 # Same-memory input: freed when this task finishes.
                 if size > 0.0:
-                    profile.add(-size, finish, None)
-                    touched.add(memory.index)
+                    dest_events.append((-size, finish, None))
+                    touched.add(midx)
             else:
                 # Cross-memory input transfer.  "late" (the paper's policy):
                 # share the window [EST - Cmax, EST), clipped to the
@@ -541,11 +556,19 @@ class SchedulerState:
                 )
                 if size > 0.0:
                     # Destination copy lives for transfer + execution.
-                    profile.add(size, comm_start, finish)
+                    dest_events.append((size, comm_start, finish))
                     # Source copy freed when the transfer completes.
-                    self.mem[self.memories[p_idx]].add(-size, comm_end, None)
-                    touched.add(memory.index)
+                    src = src_events.get(p_idx)
+                    if src is None:
+                        src = src_events[p_idx] = []
+                    src.append((-size, comm_end, None))
+                    touched.add(midx)
                     touched.add(p_idx)
+
+        if dest_events:
+            self.mem[memory].add_batch(dest_events)
+        for p_idx, events in src_events.items():
+            self.mem[self.memories[p_idx]].add_batch(events)
 
         # Record which classes this commit actually mutated.
         self.commit_serial += 1
@@ -595,6 +618,7 @@ class SchedulerState:
         clone._static = dict(self._static)
         clone._fit = [[ver, dict(d)] for ver, d in self._fit]
         clone._kernel_scratch = {}
+        clone._commit_log = []
         clone.commit_serial = self.commit_serial
         clone.class_touch_serial = list(self.class_touch_serial)
         clone.last_touched_classes = self.last_touched_classes

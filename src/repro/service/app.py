@@ -68,14 +68,16 @@ from ..scheduling.registry import (
     MEMORY_OBLIVIOUS,
     SCHEDULERS,
 )
+from ..scheduling.kernel import available_backends, resolve_backend
 from ..scheduling.state import InfeasibleScheduleError
 
 #: Protocol revision, reported by ``GET /healthz``.  v2 added the
 #: ``POST /cells`` distributed-experiment endpoint; v3 adds
 #: ``GET /metrics``, the ``metrics_summary`` healthz block, and
-#: ``X-Trace-Id``/``X-Span-Id`` propagation (all additive — v2 clients
-#: keep working unchanged).
-PROTOCOL_VERSION = 3
+#: ``X-Trace-Id``/``X-Span-Id`` propagation; v4 adds the ``kernel``
+#: healthz block (active/available EST kernel backends) — all additive,
+#: older clients keep working unchanged.
+PROTOCOL_VERSION = 4
 
 #: Algorithms accepting the ``comm_policy`` / ``lazy`` engine options (the
 #: memory-oblivious heuristics run on fixed unbounded settings).
@@ -1092,6 +1094,11 @@ class ServiceApp:
             "pool_restarts": self.n_pool_restarts,
             "cache": self.cache.stats(),
             "metrics_summary": self._metrics_summary(),
+            # Which EST kernel backend serves requests on this interpreter
+            # (operators can tell a degraded numpy/scalar fallback from the
+            # compiled fast path at a glance).
+            "kernel": {"active": resolve_backend(None).name,
+                       "available": list(available_backends())},
         }
         injector = faults.active()
         if injector is not None:

@@ -208,3 +208,82 @@ def test_peak_is_max_of_used(ops):
     assert p.peak() >= grid_max
     assert p.peak() == pytest.approx(
         max((_reference_used(ops, s) for _, s, _ in ops), default=0.0))
+
+
+# ----------------------------------------------------------------------
+# add_batch: the batched commit path must be bit-identical to sequential
+# add() calls — same staircase function, same earliest_fit answers
+# ----------------------------------------------------------------------
+float_event = st.tuples(
+    st.floats(min_value=-8.0, max_value=8.0, allow_nan=False,
+              allow_infinity=False),
+    st.floats(min_value=-2.0, max_value=20.0, allow_nan=False,
+              allow_infinity=False),
+    st.one_of(st.none(), st.floats(min_value=-1.0, max_value=25.0,
+                                   allow_nan=False, allow_infinity=False)),
+)
+
+
+def _canonical(profile):
+    profile.compact()
+    return list(profile._xs), list(profile._vals)
+
+
+class TestAddBatch:
+    def test_empty_and_noop_events(self):
+        p = MemoryProfile(100)
+        p.add_batch([])
+        p.add_batch([(0.0, 1.0, 5.0), (3.0, 7.0, 7.0), (2.0, 4.0, 2.0)])
+        assert p.version == 0
+        assert p.used_at(1.0) == 0.0
+
+    def test_single_event_matches_add(self):
+        a = MemoryProfile(100)
+        b = MemoryProfile(100)
+        a.add(5.0, 2.0, 9.0)
+        b.add_batch([(5.0, 2.0, 9.0)])
+        assert _canonical(a) == _canonical(b)
+
+    def test_one_version_bump_per_batch(self):
+        p = MemoryProfile(100)
+        p.add_batch([(5.0, 0.0, 4.0), (-2.0, 1.0, None), (3.0, 2.0, 8.0)])
+        assert p.version == 1
+
+    def test_commit_shaped_batch(self):
+        """The event shapes one scheduler commit produces: an output
+        allocation to +inf, same-memory releases, and a bounded transfer
+        window — against the sequential reference."""
+        events = [(7.5, 3.0, None), (-2.25, 10.0, None), (1.5, 1.0, 10.0)]
+        a = MemoryProfile(50)
+        b = MemoryProfile(50)
+        for ev in events:
+            a.add(*ev)
+        b.add_batch(events)
+        assert _canonical(a) == _canonical(b)
+        for need in (0.5, 5.0, 42.5, 49.0):
+            assert a.earliest_fit(need) == b.earliest_fit(need)
+
+    @given(st.lists(float_event, max_size=10),
+           st.lists(float_event, max_size=10),
+           st.floats(min_value=0.1, max_value=30.0, allow_nan=False))
+    def test_batches_match_sequential_adds(self, first, second, need):
+        """Two consecutive batches (with an earliest_fit query in between,
+        to exercise the block-max dirty tracking) produce the exact
+        staircase and answers of one-at-a-time adds."""
+        def end_of(start, length):
+            return None if length is None else max(0.0, start) + length
+
+        a = MemoryProfile(30.0)
+        b = MemoryProfile(30.0)
+        for amount, start, length in first:
+            a.add(amount, start, end_of(start, length))
+        b.add_batch([(amount, start, end_of(start, length))
+                     for amount, start, length in first])
+        assert a.earliest_fit(need) == b.earliest_fit(need)
+        for amount, start, length in second:
+            a.add(amount, start, end_of(start, length))
+        b.add_batch([(amount, start, end_of(start, length))
+                     for amount, start, length in second])
+        assert _canonical(a) == _canonical(b)
+        assert a.earliest_fit(need) == b.earliest_fit(need)
+        assert a.peak() == b.peak()

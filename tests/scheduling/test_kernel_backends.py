@@ -1,7 +1,8 @@
 """The pluggable EST kernel backends must be bit-identical: the vectorized
-numpy path and the scalar reference path commit byte-equal schedules on
-every heuristic across fuzzed (graph, platform, speeds, bound) instances,
-and the batch entry points return breakdown-for-breakdown equal results."""
+numpy path, the C compiled path and the scalar reference path commit
+byte-equal schedules on every heuristic across fuzzed (graph, platform,
+speeds, bound) instances, and the batch entry points return
+breakdown-for-breakdown equal results."""
 
 import math
 
@@ -12,8 +13,10 @@ from hypothesis import strategies as st
 from repro import Platform, heft
 from repro.dags import random_dag
 from repro.dags.toy import dex
+from repro.scheduling import _cc
 from repro.scheduling.kernel import (
     ENV_VAR,
+    CompiledKernel,
     NumpyKernel,
     ScalarKernel,
     available_backends,
@@ -27,8 +30,20 @@ from repro.scheduling.sufferage import memsufferage
 HEURISTICS = (memheft, memminmin, memsufferage)
 
 #: batch_cutoff=1 forces the vector path even on tiny ready sets, so small
-#: fuzzed instances exercise the array code, not the scalar fallback.
+#: fuzzed instances exercise the array/C code, not the scalar fallback.
 FORCED_NUMPY = NumpyKernel(batch_cutoff=1)
+
+HAS_COMPILED = _cc.compiled_available()
+FORCED_COMPILED = CompiledKernel(batch_cutoff=1) if HAS_COMPILED else None
+
+needs_compiled = pytest.mark.skipif(
+    not HAS_COMPILED, reason="no C toolchain for the compiled backend")
+
+#: Every vectorized kernel that must agree with the scalar reference.
+VEC_KERNELS = [
+    pytest.param(FORCED_NUMPY, id="numpy"),
+    pytest.param(FORCED_COMPILED, id="compiled", marks=needs_compiled),
+]
 
 
 def _snap(schedule, graph):
@@ -37,22 +52,16 @@ def _snap(schedule, graph):
             for p in (schedule.placement(t),)]
 
 
-def _assert_backends_agree(graph, platform, **kwargs):
-    try:
-        scalar = memheft(graph, platform, backend="scalar", **kwargs)
-    except InfeasibleScheduleError:
-        with pytest.raises(InfeasibleScheduleError):
-            memheft(graph, platform, backend=FORCED_NUMPY, **kwargs)
-        return
-    vec = memheft(graph, platform, backend=FORCED_NUMPY, **kwargs)
-    assert _snap(scalar, graph) == _snap(vec, graph)
-
-
 class TestResolveBackend:
     def test_names(self):
         assert resolve_backend("scalar").name == "scalar"
         assert resolve_backend("numpy").name == "numpy"
-        assert resolve_backend("auto").name == "numpy"  # numpy installed
+        expected_auto = "compiled" if HAS_COMPILED else "numpy"
+        assert resolve_backend("auto").name == expected_auto
+
+    @needs_compiled
+    def test_compiled_resolves(self):
+        assert resolve_backend("compiled").name == "compiled"
 
     def test_instance_passthrough(self):
         k = NumpyKernel(batch_cutoff=3)
@@ -61,6 +70,8 @@ class TestResolveBackend:
     def test_singletons(self):
         assert resolve_backend("scalar") is resolve_backend("scalar")
         assert resolve_backend("numpy") is resolve_backend("numpy")
+        if HAS_COMPILED:
+            assert resolve_backend("compiled") is resolve_backend("compiled")
 
     def test_env_variable(self, monkeypatch):
         monkeypatch.setenv(ENV_VAR, "scalar")
@@ -68,7 +79,8 @@ class TestResolveBackend:
         monkeypatch.setenv(ENV_VAR, "NumPy")  # case-insensitive
         assert resolve_backend(None).name == "numpy"
         monkeypatch.setenv(ENV_VAR, "")  # empty -> auto
-        assert resolve_backend(None).name == "numpy"
+        assert resolve_backend(None).name == \
+            ("compiled" if HAS_COMPILED else "numpy")
 
     def test_explicit_beats_env(self, monkeypatch):
         monkeypatch.setenv(ENV_VAR, "numpy")
@@ -79,28 +91,54 @@ class TestResolveBackend:
             resolve_backend("cuda")
 
     def test_available_backends(self):
-        assert available_backends() == ("scalar", "numpy")
+        expected = ("scalar", "numpy", "compiled") if HAS_COMPILED \
+            else ("scalar", "numpy")
+        assert available_backends() == expected
 
     def test_bad_cutoff_rejected(self):
         with pytest.raises(ValueError):
             NumpyKernel(batch_cutoff=0)
 
-    def test_scalar_is_not_vectorized(self):
+    def test_vectorized_flags(self):
         assert ScalarKernel.vectorized is False
         assert NumpyKernel.vectorized is True
+        assert CompiledKernel.vectorized is True
+
+
+class TestToolchainDisable:
+    """MEMSCHED_CC=none must disable the compiled backend outright: auto
+    falls back to numpy and naming it explicitly raises a pointed error
+    (the graceful-degradation half of the backend contract)."""
+
+    def test_disable_knob_falls_back(self, monkeypatch):
+        from repro.scheduling import kernel as kernel_mod
+        monkeypatch.setenv("MEMSCHED_CC", "none")
+        monkeypatch.setattr(kernel_mod, "_COMPILED", None)
+        _cc._reset_for_tests()
+        try:
+            assert available_backends() == ("scalar", "numpy")
+            assert resolve_backend("auto").name == "numpy"
+            with pytest.raises(ModuleNotFoundError, match="compiler"):
+                resolve_backend("compiled")
+            assert "compiler" in (_cc.unavailable_reason() or "")
+        finally:
+            monkeypatch.delenv("MEMSCHED_CC", raising=False)
+            _cc._reset_for_tests()
 
 
 class TestBatchParity:
-    """Kernel-level comparison: the batch entry points of both backends
-    return equal breakdowns at every step of a real scheduling run."""
+    """Kernel-level comparison: the batch entry points of every vectorized
+    backend return equal breakdowns at every step of a real scheduling
+    run."""
 
+    @pytest.mark.parametrize("vec", VEC_KERNELS)
     @pytest.mark.parametrize("platform", [
         Platform(2, 2, 80.0, 80.0),
         Platform(3, 1, math.inf, 50.0),
         Platform(2, 2, 120.0, 120.0, speeds=[1.0, 2.0, 0.5, 1.0]),
         Platform([1, 1, 1], [60.0, math.inf, 40.0]),
     ], ids=["bounded", "mixed", "hetero", "three-class"])
-    def test_batch_equals_scalar_along_a_run(self, platform):
+    def test_batch_equals_scalar_along_a_run(self, platform, vec):
         scalar = ScalarKernel()
         if platform.n_classes == 3:
             graph = _three_class_graph()
@@ -111,10 +149,10 @@ class TestBatchParity:
         while ready:
             for memory in state.memories:
                 a = scalar.evaluate_class_batch(state, ready, memory)
-                b = FORCED_NUMPY.evaluate_class_batch(state, ready, memory)
+                b = vec.evaluate_class_batch(state, ready, memory)
                 assert a == b
             assert (scalar.best_est_batch(state, ready)
-                    == FORCED_NUMPY.best_est_batch(state, ready))
+                    == vec.best_est_batch(state, ready))
             committed = None
             for task in ready:
                 bd = state.best_est(task)
@@ -142,16 +180,70 @@ class TestBatchParity:
         again = [scalar.evaluate(state, t, memory) for t in ready]
         assert batched == again
 
-    def test_below_cutoff_falls_back_to_scalar_loop(self):
+    @needs_compiled
+    def test_compiled_agrees_without_touching_fit_memo(self):
+        """The compiled backend recomputes fits in C instead of going
+        through the (task, class) memo — its results must still equal a
+        scalar evaluation that *does* populate the memo."""
+        graph = random_dag(size=30, rng=5)
+        platform = Platform(2, 2, 100.0, 100.0)
+        state = SchedulerState(graph, platform, backend=FORCED_COMPILED)
+        ready = list(state.ready_roots())
+        memory = state.memories[0]
+        compiled = FORCED_COMPILED.evaluate_class_batch(state, ready, memory)
+        scalar = [ScalarKernel().evaluate(state, t, memory) for t in ready]
+        assert compiled == scalar
+
+    @pytest.mark.parametrize("vec_cls", [
+        pytest.param(NumpyKernel, id="numpy"),
+        pytest.param(CompiledKernel, id="compiled", marks=needs_compiled),
+    ])
+    def test_below_cutoff_falls_back_to_scalar_loop(self, vec_cls):
         graph = dex()
         platform = Platform(1, 1, 5.0, 5.0)
         state = SchedulerState(graph, platform, backend="scalar")
-        big_cutoff = NumpyKernel(batch_cutoff=64)
+        big_cutoff = vec_cls(batch_cutoff=64)
         ready = list(state.ready_roots())
         a = big_cutoff.evaluate_class_batch(state, ready, state.memories[0])
         b = ScalarKernel().evaluate_class_batch(state, ready,
                                                 state.memories[0])
         assert a == b
+
+
+class TestTieChains:
+    """Engineered exact ties: every backend must resolve them to the same
+    operand as the Python reference chains."""
+
+    @pytest.mark.parametrize("vec", VEC_KERNELS)
+    def test_hetero_finish_tie_prefers_later_avail(self, vec):
+        # Two processors with different speeds whose finish times tie
+        # exactly: w=4 -> max(0, 0) + 4 == max(0, 2) + 4/2.  The reference
+        # chain keeps the later-available processor (p1).
+        graph = random_dag(size=6, rng=3)
+        platform = Platform(2, 0, math.inf, math.inf, speeds=[1.0, 2.0])
+        state = SchedulerState(graph, platform, backend="scalar")
+        state.avail[1] = 2.0
+        ready = list(state.ready_roots())
+        memory = state.memories[0]
+        a = ScalarKernel().evaluate_class_batch(state, ready, memory)
+        b = vec.evaluate_class_batch(state, ready, memory)
+        assert a == b
+
+    @pytest.mark.parametrize("vec", VEC_KERNELS)
+    def test_class_selection_eps_tie_keeps_first(self, vec):
+        # Blue and red EFTs within EPS of each other: the §5.1 chain keeps
+        # the earlier class, and the C chain must replicate that.
+        from repro.core.graph import TaskGraph
+        g = TaskGraph("tie")
+        g.add_task("a", w_blue=1.0, w_red=1.0 + 1e-10)
+        g.add_task("b", w_blue=2.0, w_red=2.0 - 1e-10)
+        platform = Platform(1, 1, math.inf, math.inf)
+        state = SchedulerState(g, platform, backend="scalar")
+        ready = list(state.ready_roots())
+        a = ScalarKernel().best_est_batch(state, ready)
+        b = vec.best_est_batch(state, ready)
+        assert a == b
+        assert all(bd.memory.index == 0 for bd in a)
 
 
 def _three_class_graph():
@@ -174,13 +266,15 @@ class TestEndToEndEquivalence:
         platform = Platform(2, 1, 150.0, 150.0)
         monkeypatch.setenv(ENV_VAR, "scalar")
         a = fn(graph, platform)
-        monkeypatch.setenv(ENV_VAR, "numpy")
-        b = fn(graph, platform)
-        assert _snap(a, graph) == _snap(b, graph)
+        for name in available_backends()[1:]:
+            monkeypatch.setenv(ENV_VAR, name)
+            b = fn(graph, platform)
+            assert _snap(a, graph) == _snap(b, graph)
 
+    @pytest.mark.parametrize("vec", VEC_KERNELS)
     @pytest.mark.parametrize("fn", HEURISTICS, ids=lambda f: f.__name__)
     @pytest.mark.parametrize("lazy", [True, False], ids=["lazy", "naive"])
-    def test_forced_vector_path_bit_identical(self, fn, lazy):
+    def test_forced_vector_path_bit_identical(self, fn, lazy, vec):
         graph = random_dag(size=35, rng=9)
         base = heft(graph, Platform(1, 1))
         bound = 0.8 * max(base.meta["peak_blue"], base.meta["peak_red"])
@@ -189,9 +283,9 @@ class TestEndToEndEquivalence:
             a = fn(graph, platform, lazy=lazy, backend="scalar")
         except InfeasibleScheduleError:
             with pytest.raises(InfeasibleScheduleError):
-                fn(graph, platform, lazy=lazy, backend=FORCED_NUMPY)
+                fn(graph, platform, lazy=lazy, backend=vec)
             return
-        b = fn(graph, platform, lazy=lazy, backend=FORCED_NUMPY)
+        b = fn(graph, platform, lazy=lazy, backend=vec)
         assert _snap(a, graph) == _snap(b, graph)
         assert a.meta["peaks"] == b.meta["peaks"]
 
@@ -202,10 +296,14 @@ class TestEndToEndEquivalence:
        alpha=st.floats(min_value=0.3, max_value=1.5),
        procs=st.sampled_from([(1, 1), (2, 1), (1, 3), (2, 2)]),
        speed_pick=st.sampled_from([None, (1.0, 2.0, 0.5, 1.0, 4.0, 0.25)]))
-def test_numpy_equals_scalar_fuzzed(size, seed, alpha, procs, speed_pick):
-    """The acceptance property: numpy-backend schedules are byte-identical
-    to scalar-backend schedules across fuzzed graphs, platforms, processor
-    speeds and memory bounds, on all three memory-aware heuristics."""
+def test_vector_backends_equal_scalar_fuzzed(size, seed, alpha, procs,
+                                             speed_pick):
+    """The acceptance property: numpy- and compiled-backend schedules are
+    byte-identical to scalar-backend schedules across fuzzed graphs,
+    platforms, processor speeds and memory bounds, on all three
+    memory-aware heuristics."""
+    vec_kernels = [FORCED_NUMPY] + \
+        ([FORCED_COMPILED] if HAS_COMPILED else [])
     graph = random_dag(size=size, rng=seed)
     n_procs = sum(procs)
     speeds = None if speed_pick is None else list(speed_pick[:n_procs])
@@ -217,9 +315,11 @@ def test_numpy_equals_scalar_fuzzed(size, seed, alpha, procs, speed_pick):
         try:
             scalar = fn(graph, platform, backend="scalar")
         except InfeasibleScheduleError:
-            with pytest.raises(InfeasibleScheduleError):
-                fn(graph, platform, backend=FORCED_NUMPY)
+            for vec in vec_kernels:
+                with pytest.raises(InfeasibleScheduleError):
+                    fn(graph, platform, backend=vec)
             continue
-        vec = fn(graph, platform, backend=FORCED_NUMPY)
-        assert _snap(scalar, graph) == _snap(vec, graph)
-        assert scalar.meta["peaks"] == vec.meta["peaks"]
+        for vec in vec_kernels:
+            got = fn(graph, platform, backend=vec)
+            assert _snap(scalar, graph) == _snap(got, graph)
+            assert scalar.meta["peaks"] == got.meta["peaks"]

@@ -108,7 +108,9 @@ class TestCellsEndpoint:
         status, _headers, body = app.handle("GET", "/healthz", b"")
         health = json.loads(body)
         assert health["cells"] == {"requests": 1, "executed": 2}
-        assert health["protocol"] == 3
+        assert health["protocol"] == 4
+        assert health["kernel"]["active"] in health["kernel"]["available"]
+        assert "scalar" in health["kernel"]["available"]
 
 
 class TestCellsOverTheWire:

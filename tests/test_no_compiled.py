@@ -1,0 +1,98 @@
+"""The compiled kernel backend is *optional*: with no usable C toolchain
+the package must auto-detect down to the numpy backend (and further to
+scalar without numpy), naming ``compiled`` explicitly must fail with a
+pointed error, and the fallback schedules must be bit-identical.  Run in a
+subprocess with ``MEMSCHED_CC=none`` — the knob the no-toolchain CI leg
+uses — so the probe-and-memoize path is exercised exactly as on a machine
+without a compiler."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+_SCRIPT = r"""
+import json
+
+from repro import Platform
+from repro.core.graph import TaskGraph
+from repro.scheduling.kernel import available_backends, resolve_backend
+from repro.scheduling.memheft import memheft
+from repro.scheduling.memminmin import memminmin
+from repro.scheduling.sufferage import memsufferage
+
+out = {}
+out["backends"] = list(available_backends())
+out["auto"] = resolve_backend(None).name
+
+g = TaskGraph("fallback")
+g.add_task("a", w_blue=2.0, w_red=3.0)
+g.add_task("b", w_blue=1.0, w_red=1.0)
+g.add_task("c", w_blue=3.0, w_red=2.0)
+g.add_dependency("a", "b", size=1.0, comm=2.0)
+g.add_dependency("a", "c", size=2.0, comm=1.0)
+platform = Platform(2, 1, 50.0, 50.0)
+
+out["makespans"] = {
+    name: fn(g, platform).makespan
+    for name, fn in (("memheft", memheft), ("memminmin", memminmin),
+                     ("memsufferage", memsufferage))
+}
+
+try:
+    resolve_backend("compiled")
+    out["compiled_backend_error"] = None
+except ModuleNotFoundError as exc:
+    out["compiled_backend_error"] = str(exc)
+
+print(json.dumps(out))
+"""
+
+
+@pytest.fixture(scope="module")
+def no_toolchain_result():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+    env.pop("MEMSCHED_KERNEL", None)
+    env["MEMSCHED_CC"] = "none"
+    proc = subprocess.run([sys.executable, "-c", _SCRIPT],
+                          capture_output=True, text=True, env=env,
+                          timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_auto_detect_falls_back_to_numpy(no_toolchain_result):
+    assert no_toolchain_result["backends"] == ["scalar", "numpy"]
+    assert no_toolchain_result["auto"] == "numpy"
+
+
+def test_explicit_compiled_raises_helpfully(no_toolchain_result):
+    msg = no_toolchain_result["compiled_backend_error"]
+    assert msg is not None
+    assert "compiler" in msg.lower()
+
+
+def test_fallback_matches_toolchain_interpreter(no_toolchain_result):
+    """The toolchain-less subprocess must produce the *same* makespans as
+    this interpreter (where auto-detection may pick the compiled backend):
+    the degradation is bit-identical, not just functional."""
+    from repro import Platform
+    from repro.core.graph import TaskGraph
+    from repro.scheduling.memheft import memheft
+    from repro.scheduling.memminmin import memminmin
+    from repro.scheduling.sufferage import memsufferage
+
+    g = TaskGraph("fallback")
+    g.add_task("a", w_blue=2.0, w_red=3.0)
+    g.add_task("b", w_blue=1.0, w_red=1.0)
+    g.add_task("c", w_blue=3.0, w_red=2.0)
+    g.add_dependency("a", "b", size=1.0, comm=2.0)
+    g.add_dependency("a", "c", size=2.0, comm=1.0)
+    platform = Platform(2, 1, 50.0, 50.0)
+    here = {"memheft": memheft(g, platform).makespan,
+            "memminmin": memminmin(g, platform).makespan,
+            "memsufferage": memsufferage(g, platform).makespan}
+    assert no_toolchain_result["makespans"] == here
