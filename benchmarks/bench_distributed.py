@@ -159,7 +159,6 @@ def main(argv=None) -> int:
     if args.json:
         from repro._util import atomic_write_json
         atomic_write_json(args.json, report)
-            fh.write("\n")
         print(f"wrote {args.json}")
     return 0
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI schema drift check: every committed ``BENCH_*.json`` report must
+carry the ``schema_version`` that ``benchmarks/README.md`` documents.
+
+The README declares one heading per report kind::
+
+    ## `BENCH_scaling.json` schema (`schema_version: 2`)
+
+and every report emits a top-level ``schema_version``.  A bench that
+bumps its schema without updating the documentation (or vice versa)
+fails here, before a downstream consumer discovers the drift.  Reports
+present in the README but absent on disk are fine (not every CI leg
+regenerates every report); reports on disk but missing from the README
+are not.  Usage::
+
+    python scripts/check_bench_schemas.py [BENCH_a.json BENCH_b.json ...]
+
+With no arguments, checks every ``BENCH_*.json`` in the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+_README = _REPO / "benchmarks" / "README.md"
+_HEADING = re.compile(
+    r"^##\s+`(BENCH_\w+\.json)`\s+schema\s+\(`schema_version:\s*(\d+)`\)",
+    re.MULTILINE)
+
+
+def documented_versions(readme: Path = _README) -> dict[str, int]:
+    """``{report filename: declared schema_version}`` parsed from the
+    README's schema headings."""
+    return {name: int(version)
+            for name, version in _HEADING.findall(readme.read_text())}
+
+
+def check(paths: list[Path], documented: dict[str, int]) -> list[str]:
+    problems = []
+    for path in paths:
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{path.name}: unreadable report: {exc}")
+            continue
+        actual = report.get("schema_version")
+        expected = documented.get(path.name)
+        if expected is None:
+            problems.append(
+                f"{path.name}: not documented in benchmarks/README.md "
+                f"(add a '## `{path.name}` schema (`schema_version: "
+                f"{actual}`)' section)")
+        elif actual != expected:
+            problems.append(
+                f"{path.name}: schema_version {actual!r} != {expected} "
+                f"documented in benchmarks/README.md")
+        else:
+            print(f"{path.name}: schema_version {actual} matches README")
+    return problems
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    paths = ([Path(a) for a in args] if args
+             else sorted(_REPO.glob("BENCH_*.json")))
+    if not paths:
+        print("no BENCH_*.json reports to check")
+        return 0
+    documented = documented_versions()
+    if not documented:
+        print("error: no schema headings found in benchmarks/README.md",
+              file=sys.stderr)
+        return 1
+    problems = check(paths, documented)
+    for p in problems:
+        print(f"BENCH SCHEMA DRIFT: {p}", file=sys.stderr)
+    if not problems:
+        print("all bench report schemas match benchmarks/README.md")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,11 @@ ROADMAP's long-open "needs a multi-core runner" item):
   identical results, traces must be structurally deterministic, and the
   live ``/metrics`` scrape must be valid exposition accounting for
   every request.
+* ``BENCH_online.json`` — the immediate-greedy online policy must keep
+  p99 per-arrival decision latency under ``--max-online-p99-ms`` and
+  makespan regret against the clairvoyant union schedule under
+  ``--max-online-regret`` percent, with byte-identical journals across
+  replays and the zero-release offline identity intact.
 
 Exit status 0 only when every present report passes; failures list every
 violated gate.  Usage::
@@ -261,6 +266,58 @@ def check_kernel_report(path: str, min_numpy: float, min_compiled: float,
     return problems
 
 
+def check_online_report(path: str, max_p99_ms: float,
+                        max_regret_pct: float) -> list[str]:
+    """Gate ``BENCH_online.json``: the immediate-greedy policy must keep
+    per-arrival p99 decision latency under ``max_p99_ms`` and makespan
+    regret against the clairvoyant union schedule under
+    ``max_regret_pct`` percent; two replays of the stream must have
+    produced byte-identical decision journals; and the zero-release
+    identity against the offline heuristic must hold."""
+    report = json.loads(Path(path).read_text())
+    problems = []
+
+    rows = report.get("policies") or []
+    immediate = next((r for r in rows if r.get("policy") == "immediate"),
+                     None)
+    if immediate is None:
+        problems.append(f"{path}: no immediate-policy row — run "
+                        "bench_online.py")
+    else:
+        if immediate["p99_ms"] > max_p99_ms:
+            problems.append(
+                f"{path}: immediate p99 decision latency "
+                f"{immediate['p99_ms']:g}ms > allowed {max_p99_ms:g}ms "
+                f"(n={immediate.get('n_arrivals')} arrivals)")
+        if immediate["regret_pct"] > max_regret_pct:
+            problems.append(
+                f"{path}: immediate makespan regret "
+                f"{immediate['regret_pct']:+.2f}% > allowed "
+                f"{max_regret_pct:g}%")
+
+    determinism = report.get("determinism")
+    if determinism is None:
+        problems.append(f"{path}: no 'determinism' section")
+    elif not determinism.get("identical_journal"):
+        problems.append(f"{path}: two replays produced different "
+                        "decision journals — online scheduling is not "
+                        "deterministic")
+
+    identity = report.get("identity")
+    if identity is None:
+        problems.append(f"{path}: no 'identity' section")
+    elif not identity.get("offline_identical"):
+        problems.append(f"{path}: zero-release online placements differ "
+                        "from the offline heuristic")
+
+    if not problems:
+        print(f"online   immediate: p99 {immediate['p99_ms']:g}ms <= "
+              f"{max_p99_ms:g}ms, regret {immediate['regret_pct']:+.2f}% "
+              f"<= {max_regret_pct:g}%, journals identical, "
+              f"offline identity holds OK")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.split("\n\n")[0])
@@ -276,6 +333,8 @@ def main(argv=None) -> int:
                         help="BENCH_faults.json to gate")
     parser.add_argument("--obs", metavar="PATH",
                         help="BENCH_obs.json to gate")
+    parser.add_argument("--online", metavar="PATH",
+                        help="BENCH_online.json to gate")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required parallel-vs-serial factor for the "
                              "in-process paths (default: 1.5)")
@@ -302,11 +361,18 @@ def main(argv=None) -> int:
     parser.add_argument("--max-obs-overhead", type=float, default=3.0,
                         help="allowed full-observability overhead in "
                              "percent on the serial sweep (default: 3)")
+    parser.add_argument("--max-online-p99-ms", type=float, default=50.0,
+                        help="allowed immediate-policy p99 per-arrival "
+                             "decision latency in ms (default: 50)")
+    parser.add_argument("--max-online-regret", type=float, default=25.0,
+                        help="allowed immediate-policy makespan regret "
+                             "in percent against the clairvoyant union "
+                             "schedule (default: 25)")
     args = parser.parse_args(argv)
     if not (args.scaling or args.service or args.distributed
-            or args.kernel or args.faults or args.obs):
+            or args.kernel or args.faults or args.obs or args.online):
         parser.error("nothing to check: pass --scaling/--service/"
-                     "--distributed/--kernel/--faults/--obs")
+                     "--distributed/--kernel/--faults/--obs/--online")
 
     problems: list[str] = []
     if args.scaling:
@@ -325,6 +391,9 @@ def main(argv=None) -> int:
                                         args.max_checkpoint_overhead)
     if args.obs:
         problems += check_obs_report(args.obs, args.max_obs_overhead)
+    if args.online:
+        problems += check_online_report(args.online, args.max_online_p99_ms,
+                                        args.max_online_regret)
     for p in problems:
         print(f"SPEEDUP GATE FAILED: {p}", file=sys.stderr)
     if not problems:

@@ -43,7 +43,7 @@ from .io.dot import to_dot
 from .io.gantt import ascii_gantt, memory_sparkline, schedule_summary
 from .io.json_io import load_graph, load_schedule, save_graph, save_schedule
 from .scheduling.kernel import available_backends, resolve_backend
-from .scheduling.registry import SCHEDULERS, get_scheduler
+from .scheduling.registry import ENGINE_OPTIONED, SCHEDULERS, get_scheduler
 from .scheduling.state import InfeasibleScheduleError
 
 
@@ -376,6 +376,106 @@ def _run_submit(args, client, graphs, platform, options) -> int:
     return 0
 
 
+def cmd_online_trace(args: argparse.Namespace) -> int:
+    from .online import poisson_trace, write_trace, zero_release
+
+    try:
+        trace = poisson_trace(args.n, seed=args.seed, rate=args.rate,
+                              ident=args.ident, size=args.size,
+                              width=args.width, density=args.density,
+                              jumps=args.jumps, tick=args.tick)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.zero_release:
+        trace = zero_release(trace)
+    write_trace(trace, args.output)
+    releases = [row["release"] for row in trace]
+    print(f"wrote {len(trace)} arrivals to {args.output} "
+          f"(releases {min(releases):g}..{max(releases):g}, "
+          f"{len(set(releases))} distinct)")
+    return 0
+
+
+def cmd_online_run(args: argparse.Namespace) -> int:
+    from .online import read_trace, simulate
+
+    try:
+        trace = read_trace(args.arrivals)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.arrivals!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    platform = _platform_from_args(args)
+    backend = resolve_backend(args.kernel) if args.kernel else None
+    try:
+        with _maybe_trace(args, "online-run", args.algo, args.policy,
+                          len(trace)):
+            result = simulate(trace, platform, algorithm=args.algo,
+                              policy=args.policy,
+                              comm_policy=args.comm_policy,
+                              backend=backend)
+    except (InfeasibleScheduleError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = result.latency_stats()
+    clairvoyant = result.clairvoyant_makespan()
+    regret = result.regret(clairvoyant)
+    print(f"{args.algo} policy={result.session.policy.name}: "
+          f"{len(trace)} jobs in {stats['n_rounds']} rounds")
+    print(f"makespan    {result.makespan:g}  "
+          f"(clairvoyant {clairvoyant:g}, regret {regret * 100.0:+.1f}%)")
+    print(f"decision ms p50={stats['p50_ms']:g} p99={stats['p99_ms']:g} "
+          f"max={stats['max_ms']:g}")
+    if args.journal:
+        from ._util import atomic_write_text
+        atomic_write_text(args.journal, result.journal())
+        print(f"wrote decision journal to {args.journal}")
+    return 0
+
+
+def cmd_online_replay(args: argparse.Namespace) -> int:
+    """Replay an arrival trace against a running service session —
+    byte-identical journals across replays of one trace are the CI
+    determinism gate."""
+    from .online import read_trace
+    from .service.client import ServiceClient, ServiceClientError
+
+    try:
+        trace = read_trace(args.arrivals)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.arrivals!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    platform = _platform_from_args(args)
+    try:
+        with ServiceClient(host=args.host, port=args.port,
+                           timeout=args.timeout) as client:
+            client.wait_until_ready(timeout=args.wait)
+            for k, row in enumerate(trace):
+                client.submit_job(
+                    row["graph"], session=args.session,
+                    release=float(row.get("release", 0.0)),
+                    job_id=row.get("job"),
+                    platform=platform if k == 0 else None,
+                    algorithm=args.algo if k == 0 else None,
+                    policy=args.policy if k == 0 else None,
+                    flush=(k == len(trace) - 1))
+            info = client.session_info(args.session)
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = info["summary"]
+    print(f"session {args.session!r}: {summary['n_planned']} of "
+          f"{summary['n_jobs']} jobs planned in {summary['n_rounds']} "
+          f"rounds, makespan {summary['makespan']:g}")
+    if args.journal:
+        from ._util import atomic_write_text
+        atomic_write_text(args.journal, info["journal"])
+        print(f"wrote decision journal to {args.journal}")
+    return 0
+
+
 def cmd_obs_report(args: argparse.Namespace) -> int:
     from .obs import report
 
@@ -403,6 +503,18 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
             rc = 1
         else:
             print(f"all {args.expect_cells} cells present in the trace")
+    if args.expect_arrivals is not None:
+        seen = set(report.arrival_indices(events))
+        missing = sorted(set(range(args.expect_arrivals)) - seen)
+        if missing:
+            shown = ", ".join(str(i) for i in missing[:10])
+            print(f"error: {len(missing)} of {args.expect_arrivals} "
+                  f"arrivals have no decision span (first: {shown})",
+                  file=sys.stderr)
+            rc = 1
+        else:
+            print(f"all {args.expect_arrivals} arrival decisions present "
+                  f"in the trace")
     return rc
 
 
@@ -535,6 +647,76 @@ def build_parser() -> argparse.ArgumentParser:
                         "X-Trace-Id")
     p.set_defaults(func=cmd_submit)
 
+    p = sub.add_parser("online",
+                       help="online arrivals: traces, simulation, replay")
+    online_sub = p.add_subparsers(dest="online_command", required=True)
+
+    po = online_sub.add_parser(
+        "trace", help="generate a seeded Poisson arrival trace (JSONL)")
+    po.add_argument("-n", type=int, default=50, help="number of jobs")
+    po.add_argument("--seed", type=int, default=0)
+    po.add_argument("--rate", type=float, default=1.0,
+                    help="arrival intensity (jobs per unit time)")
+    po.add_argument("--tick", type=float, default=0.0,
+                    help="quantize releases down to multiples of this "
+                         "(0 = exact arrival times)")
+    po.add_argument("--ident", default="poisson",
+                    help="seed namespace (distinct idents draw distinct "
+                         "streams for the same --seed)")
+    po.add_argument("--size", type=int, default=12, help="tasks per job")
+    po.add_argument("--width", type=float, default=0.4)
+    po.add_argument("--density", type=float, default=0.5)
+    po.add_argument("--jumps", type=int, default=3)
+    po.add_argument("--zero-release", action="store_true",
+                    help="force every release to 0 (the offline-identity "
+                         "workload)")
+    po.add_argument("-o", "--output", required=True,
+                    help="write the trace JSONL here")
+    po.set_defaults(func=cmd_online_trace)
+
+    po = online_sub.add_parser(
+        "run", help="simulate an arrival trace on one session timeline")
+    po.add_argument("arrivals", metavar="TRACE",
+                    help="arrival trace JSONL (see 'memsched online trace')")
+    po.add_argument("--algo", choices=sorted(ENGINE_OPTIONED),
+                    default="memheft")
+    po.add_argument("--policy", default="immediate", metavar="POLICY",
+                    help="arrival policy: immediate | batched:Q | replan:W")
+    po.add_argument("--comm-policy", choices=("late", "eager"),
+                    default="late")
+    po.add_argument("--kernel",
+                    choices=("auto", "scalar", "numpy", "compiled"),
+                    default=None,
+                    help="EST kernel backend (results are bit-identical)")
+    _add_platform_args(po)
+    po.add_argument("--journal", default=None, metavar="FILE",
+                    help="write the deterministic decision journal here")
+    po.add_argument("--trace", default=None, metavar="FILE",
+                    help="write a span trace (arrival/plan/decision spans; "
+                         "see 'memsched obs report --expect-arrivals')")
+    po.set_defaults(func=cmd_online_run)
+
+    po = online_sub.add_parser(
+        "replay",
+        help="replay an arrival trace into a running service session")
+    po.add_argument("arrivals", metavar="TRACE")
+    po.add_argument("--session", default="default",
+                    help="service session name (a fresh name replays onto "
+                         "a fresh timeline)")
+    po.add_argument("--algo", choices=sorted(ENGINE_OPTIONED),
+                    default="memheft")
+    po.add_argument("--policy", default="immediate", metavar="POLICY")
+    _add_platform_args(po)
+    po.add_argument("--host", default="127.0.0.1")
+    po.add_argument("--port", type=int, default=8123)
+    po.add_argument("--timeout", type=float, default=60.0)
+    po.add_argument("--wait", type=float, default=10.0,
+                    help="max seconds to wait for the service to come up")
+    po.add_argument("--journal", default=None, metavar="FILE",
+                    help="write the session's decision journal here "
+                         "(byte-identical across replays of one trace)")
+    po.set_defaults(func=cmd_online_replay)
+
     p = sub.add_parser("obs", help="observability utilities")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
     pr = obs_sub.add_parser(
@@ -544,6 +726,10 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--expect-cells", type=int, default=None, metavar="N",
                     help="fail (exit 1) unless the trace contains a cell "
                          "span for every grid index 0..N-1")
+    pr.add_argument("--expect-arrivals", type=int, default=None,
+                    metavar="N",
+                    help="fail (exit 1) unless the trace contains a "
+                         "decision span for every arrival index 0..N-1")
     pr.set_defaults(func=cmd_obs_report)
 
     return parser

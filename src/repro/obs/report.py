@@ -71,6 +71,20 @@ def cell_indices(events: list) -> set:
     return out
 
 
+def arrival_indices(events: list) -> set:
+    """The set of arrival indices with a per-arrival ``decision`` span
+    (attribute ``i`` is the arrival index) — what ``memsched obs report
+    --expect-arrivals N`` compares against the stream length to assert
+    every arrival's planning decision was traced."""
+    out = set()
+    for row in events:
+        if row["name"] == "decision":
+            attrs = row.get("attrs") or {}
+            if "i" in attrs:
+                out.add(attrs["i"])
+    return out
+
+
 def format_report(summary: dict) -> str:
     """Human rendering of :func:`summarize` (the ``memsched obs report``
     output)."""

@@ -1,0 +1,105 @@
+"""Seeded load generation for online sessions: Poisson arrival streams
+and trace files for bit-reproducible replay.
+
+All randomness is rooted in the experiment engine's sha256
+:func:`~repro.experiments.engine.cell_seed` discipline, so the same
+``(ident, seed)`` pair draws the same stream in any process on any
+platform: inter-arrival gaps come from ``random.Random(cell_seed(...))``
+(Mersenne Twister, stable across CPython versions), per-job graphs from
+:func:`repro.dags.daggen.random_dag` under per-job derived seeds.
+
+Trace rows are plain dicts ``{"job", "release", "graph"}`` with the
+graph in :func:`~repro.io.json_io.graph_to_dict` wire form; trace files
+are canonical JSONL, so two generations of the same trace are
+byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+from .._util import atomic_write_text
+from ..io.json_io import canonical_json, graph_to_dict
+
+
+def poisson_trace(n_jobs: int, *, seed: int = 0, rate: float = 1.0,
+                  ident: str = "poisson", size: int = 12,
+                  width: float = 0.4, density: float = 0.5,
+                  jumps: int = 3, tick: float = 0.0) -> list:
+    """A seeded Poisson arrival stream of ``n_jobs`` random DAGs.
+
+    ``rate`` is the arrival intensity (expected jobs per unit time);
+    release times accumulate exponential gaps and are rounded to
+    microsecond ticks (rounding keeps the wire form short and is itself
+    deterministic).  A nonzero ``tick`` additionally quantizes releases
+    *down* to multiples of ``tick`` — modelling a system that observes
+    arrivals at a polling granularity — so jobs landing in one tick
+    share a release time and plan together in one interleaved round
+    even under the ``immediate`` policy.  Graph shape knobs pass
+    through to ``random_dag``.  Requires numpy (the DAG generator
+    does).
+    """
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if not rate > 0.0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if tick < 0.0:
+        raise ValueError(f"tick must be >= 0, got {tick}")
+    # Both imports are deferred: daggen needs numpy, and the experiment
+    # engine's package pulls in the service client, which imports
+    # ``repro.online`` right back (the /jobs endpoint).
+    from ..dags.daggen import random_dag
+    from ..experiments.engine import cell_seed
+
+    gaps = random.Random(cell_seed("online-arrivals", ident, seed, rate))
+    rows = []
+    release = 0.0
+    for k in range(n_jobs):
+        release += gaps.expovariate(rate)
+        observed = int(release / tick) * tick if tick else release
+        graph = random_dag(size=size, width=width, density=density,
+                           jumps=jumps,
+                           rng=cell_seed("online-graph", ident, seed, k))
+        rows.append({
+            "job": f"job-{k:04d}",
+            "release": round(observed, 6),
+            "graph": graph_to_dict(graph),
+        })
+    return rows
+
+
+def zero_release(trace) -> list:
+    """The same job set with every release forced to 0.0 — the input of
+    the online-equals-offline identity property."""
+    return [dict(row, release=0.0) for row in trace]
+
+
+def write_trace(trace, path) -> None:
+    """Write a trace as canonical JSONL (one header row, one row per
+    job) — byte-stable for identical inputs."""
+    header = {"kind": "online-trace", "v": 1, "n_jobs": len(trace)}
+    lines = [canonical_json(header)]
+    lines.extend(canonical_json(row) for row in trace)
+    atomic_write_text(path, "\n".join(lines) + "\n")
+
+
+def read_trace(path) -> list:
+    """Load a trace written by :func:`write_trace` (header skipped);
+    raises ``ValueError`` on rows without the required fields."""
+    rows = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if not isinstance(row, dict):
+                raise ValueError(f"trace row is not an object: {line[:80]}")
+            if row.get("kind") == "online-trace":
+                continue
+            if "graph" not in row:
+                raise ValueError(f"trace row without 'graph': {line[:80]}")
+            rows.append(row)
+    return rows

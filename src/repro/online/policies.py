@@ -1,0 +1,108 @@
+"""Arrival policies: when a released job becomes *due* for planning.
+
+A policy maps a job's release time to the logical time at which the
+session commits its placements.  The session plans all pending jobs that
+share one due time in a single planning round, so a policy also controls
+how arrivals group:
+
+* ``immediate`` — plan every job the moment it is released
+  (``due = release``), one round per distinct release time;
+* ``batched:Q`` — quantize releases up to the next multiple of the
+  quantum ``Q`` and plan each quantum's arrivals together (a release
+  exactly on a boundary belongs to that boundary, so all-zero release
+  times still collapse into one round);
+* ``replan:W`` — greedy due times like ``immediate``, but each round may
+  first *revoke* up to ``W`` of the most recent uncommitted decisions
+  (placements whose start lies beyond the round's floor) and re-plan
+  them together with the new arrivals, warm-started from the kept
+  prefix of the decision log.
+
+Policies are pure and stateless; :func:`make_policy` parses the spec
+strings used by the CLI, the service and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class ImmediateGreedy:
+    """Plan each job at its release time."""
+
+    name = "immediate"
+    replan_window = 0
+
+    def due(self, release: float) -> float:
+        return release
+
+
+class BatchedQuantum:
+    """Pool arrivals until the next quantum boundary, then plan them
+    as one round."""
+
+    replan_window = 0
+
+    def __init__(self, quantum: float) -> None:
+        if not (quantum > 0.0 and math.isfinite(quantum)):
+            raise ValueError(f"batched quantum must be finite and > 0, "
+                             f"got {quantum!r}")
+        self.quantum = quantum
+        self.name = f"batched:{quantum:g}"
+
+    def due(self, release: float) -> float:
+        # ceil to the next boundary; a release exactly on a boundary
+        # (release 0 included) keeps that boundary as its due time.
+        q = self.quantum
+        steps = math.ceil(release / q - 1e-12)
+        return max(0.0, steps * q)
+
+
+class BoundedReplan:
+    """Greedy due times plus bounded revocation of the uncommitted
+    suffix: each round may tear up to ``window`` of the most recent
+    decisions whose start lies beyond the round's floor and re-plan
+    them together with the new arrivals."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"replan window must be >= 1, got {window!r}")
+        self.window = int(window)
+        self.name = f"replan:{self.window}"
+
+    @property
+    def replan_window(self) -> int:
+        return self.window
+
+    def due(self, release: float) -> float:
+        return release
+
+
+def make_policy(spec):
+    """Parse a policy spec: ``"immediate"``, ``"batched:Q"`` or
+    ``"replan:W"`` (an already-built policy object passes through)."""
+    if hasattr(spec, "due"):
+        return spec
+    if not isinstance(spec, str):
+        raise ValueError(f"policy spec must be a string, got {type(spec)}")
+    name, _, arg = spec.partition(":")
+    name = name.strip().lower()
+    if name == "immediate":
+        if arg:
+            raise ValueError("the immediate policy takes no argument")
+        return ImmediateGreedy()
+    if name == "batched":
+        try:
+            return BatchedQuantum(float(arg))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"invalid batched policy {spec!r} (want 'batched:Q' with "
+                f"a positive quantum): {exc}") from None
+    if name == "replan":
+        try:
+            return BoundedReplan(int(arg))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"invalid replan policy {spec!r} (want 'replan:W' with "
+                f"a positive integer window)") from None
+    raise ValueError(f"unknown arrival policy {name!r} "
+                     f"(known: immediate, batched:Q, replan:W)")

@@ -42,6 +42,7 @@ import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
+from urllib.parse import parse_qs
 
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -60,6 +61,7 @@ from ..io.json_io import (
     journal_decode,
     journal_encode,
     platform_from_dict,
+    platform_to_dict,
     schedule_to_dict,
     to_cell_wire,
 )
@@ -70,14 +72,19 @@ from ..scheduling.registry import (
 )
 from ..scheduling.kernel import available_backends, resolve_backend
 from ..scheduling.state import InfeasibleScheduleError
+from ..online import OnlineSession
 
 #: Protocol revision, reported by ``GET /healthz``.  v2 added the
 #: ``POST /cells`` distributed-experiment endpoint; v3 adds
 #: ``GET /metrics``, the ``metrics_summary`` healthz block, and
 #: ``X-Trace-Id``/``X-Span-Id`` propagation; v4 adds the ``kernel``
-#: healthz block (active/available EST kernel backends) — all additive,
-#: older clients keep working unchanged.
-PROTOCOL_VERSION = 4
+#: healthz block (active/available EST kernel backends); v5 adds the
+#: stateful online-session surface — ``POST /jobs`` (submit a graph
+#: with a release time into a named session), ``GET /jobs`` (session
+#: summary + decision journal), ``GET /jobs/{id}`` — and the
+#: ``sessions`` healthz block.  All additive, older clients keep
+#: working unchanged.
+PROTOCOL_VERSION = 5
 
 #: Algorithms accepting the ``comm_policy`` / ``lazy`` engine options (the
 #: memory-oblivious heuristics run on fixed unbounded settings).
@@ -89,7 +96,8 @@ _DEFAULT_OPTIONS = {"comm_policy": "late", "lazy": True}
 #: anything else collapses into ``other`` so scrapes stay bounded no
 #: matter what clients probe.
 _KNOWN_ENDPOINTS = frozenset(
-    {"/schedule", "/batch", "/cells", "/algorithms", "/healthz", "/metrics"})
+    {"/schedule", "/batch", "/cells", "/algorithms", "/healthz", "/metrics",
+     "/jobs"})
 
 
 class ServiceError(Exception):
@@ -555,6 +563,17 @@ class ScheduleCache:
 _JSON_HEADERS = {"Content-Type": "application/json"}
 
 
+class _SessionEntry:
+    """One named online session plus the lock that serializes it."""
+
+    __slots__ = ("session", "lock", "created_at")
+
+    def __init__(self, session: OnlineSession) -> None:
+        self.session = session
+        self.lock = threading.Lock()
+        self.created_at = time.monotonic()
+
+
 class ServiceApp:
     """Routes service requests; owns the cache and the worker count."""
 
@@ -589,6 +608,12 @@ class ServiceApp:
         # per-process cache: decoded payloads + worker cell caches, keyed
         # by payload digest (see _cells_unit; bounded there).
         self._cells_local_cache: dict = {}
+        # Online sessions (name -> _SessionEntry).  The outer lock only
+        # guards the registry; each entry carries its own lock so rounds
+        # in different sessions run concurrently while one session's
+        # submissions serialize (OnlineSession is not thread-safe).
+        self._sessions: dict[str, _SessionEntry] = {}
+        self._sessions_lock = threading.Lock()
 
     def close(self) -> None:
         """Shut down the batch worker pool and the cache journal
@@ -671,17 +696,23 @@ class ServiceApp:
         """
         with self._count_lock:
             self.n_requests += 1
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         st = obs.active()
         if st is None:
-            return self._route(method, path, body, ctx)
-        endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+            return self._route(method, path, query, body, ctx)
+        if path in _KNOWN_ENDPOINTS:
+            endpoint = path
+        elif path.startswith("/jobs/"):
+            endpoint = "/jobs"   # /jobs/{id} must not explode the label set
+        else:
+            endpoint = "other"
         inflight = st.registry.gauge("memsched_http_inflight_requests")
         inflight.inc()
         t0 = time.perf_counter()
         try:
             with obs.span("request", endpoint=endpoint):
-                status, headers, out = self._route(method, path, body, ctx)
+                status, headers, out = self._route(method, path, query,
+                                                   body, ctx)
         finally:
             inflight.dec()
         st.registry.histogram("memsched_http_request_seconds",
@@ -691,7 +722,7 @@ class ServiceApp:
                             endpoint=endpoint, status=str(status)).inc()
         return status, headers, out
 
-    def _route(self, method: str, path: str, body: bytes,
+    def _route(self, method: str, path: str, query: str, body: bytes,
                ctx: Optional[tuple]) -> tuple[int, dict, bytes]:
         try:
             if path == "/schedule":
@@ -703,6 +734,8 @@ class ServiceApp:
             if path == "/cells":
                 self._require(method, "POST", path)
                 return self._handle_cells(body, ctx)
+            if path == "/jobs" or path.startswith("/jobs/"):
+                return self._handle_jobs(method, path, query, body)
             if path == "/algorithms":
                 self._require(method, "GET", path)
                 return self._handle_algorithms()
@@ -821,6 +854,154 @@ class ServiceApp:
         out_body = (b'{"cached":' + canonical_json(cached_flags).encode()
                     + b',"results":[' + joined + b"]}")
         return 200, dict(_JSON_HEADERS), out_body
+
+    # ------------------------------------------------------------------
+    # online sessions: POST /jobs, GET /jobs, GET /jobs/{id}
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _query_params(query: str) -> dict:
+        return {k: v[-1] for k, v in parse_qs(query).items()}
+
+    def _session_entry(self, name: str) -> _SessionEntry:
+        with self._sessions_lock:
+            entry = self._sessions.get(name)
+        if entry is None:
+            raise ServiceError(404, "unknown_session",
+                               f"no online session named {name!r}")
+        return entry
+
+    def _ensure_session(self, name: str, payload: dict) -> _SessionEntry:
+        """Get-or-create the named session; the first request fixes its
+        platform/algorithm/policy, later requests may restate them but a
+        conflicting restatement is a 409 (silent drift would make two
+        clients disagree about what timeline they share)."""
+        with self._sessions_lock:
+            entry = self._sessions.get(name)
+            if entry is not None:
+                self._check_session_config(name, entry.session, payload)
+                return entry
+            platform_d = payload.get("platform")
+            if not isinstance(platform_d, dict):
+                raise ServiceError(
+                    400, "bad_request",
+                    f"the first request for session {name!r} must carry "
+                    f"'platform'")
+            try:
+                platform = platform_from_dict(platform_d)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ServiceError(400, "bad_platform",
+                                   f"invalid platform: {exc}") from exc
+            options = payload.get("options") or {}
+            if not isinstance(options, dict):
+                raise ServiceError(400, "bad_request",
+                                   "'options' must be an object")
+            comm_policy = options.get("comm_policy", "late")
+            if comm_policy not in ("late", "eager"):
+                raise ServiceError(
+                    400, "bad_request",
+                    f"options.comm_policy must be 'late' or 'eager', "
+                    f"got {comm_policy!r}")
+            try:
+                session = OnlineSession(
+                    platform,
+                    algorithm=payload.get("algorithm", "memheft"),
+                    policy=payload.get("policy", "immediate"),
+                    comm_policy=comm_policy)
+            except ValueError as exc:
+                raise ServiceError(400, "bad_request", str(exc)) from exc
+            entry = self._sessions[name] = _SessionEntry(session)
+            return entry
+
+    @staticmethod
+    def _check_session_config(name: str, session: OnlineSession,
+                              payload: dict) -> None:
+        stated = {
+            "algorithm": (payload.get("algorithm"), session.algorithm),
+            "policy": (payload.get("policy"), session.policy.name),
+        }
+        options = payload.get("options")
+        if isinstance(options, dict) and "comm_policy" in options:
+            stated["options.comm_policy"] = (options["comm_policy"],
+                                             session.comm_policy)
+        if isinstance(payload.get("platform"), dict):
+            stated["platform"] = (payload["platform"],
+                                  platform_to_dict(session.platform))
+        for key, (got, have) in stated.items():
+            if got is not None and got != have:
+                raise ServiceError(
+                    409, "session_mismatch",
+                    f"session {name!r} runs with {key}={have!r}; this "
+                    f"request restates {key}={got!r}")
+
+    def _handle_jobs(self, method: str, path: str, query: str,
+                     body: bytes) -> tuple[int, dict, bytes]:
+        if path == "/jobs" and method == "POST":
+            return self._jobs_submit(body)
+        self._require(method, "GET", path)
+        name = self._query_params(query).get("session", "default")
+        entry = self._session_entry(name)
+        if path == "/jobs":
+            with entry.lock:
+                out = {"session": name,
+                       "summary": entry.session.summary(),
+                       "journal": entry.session.journal()}
+            return 200, dict(_JSON_HEADERS), canonical_json(out).encode()
+        job_id = path[len("/jobs/"):]
+        with entry.lock:
+            job = entry.session.jobs.get(job_id)
+            out = None if job is None else dict(job.to_dict(), session=name)
+        if out is None:
+            raise ServiceError(404, "unknown_job",
+                               f"session {name!r} has no job {job_id!r}")
+        return 200, dict(_JSON_HEADERS), canonical_json(out).encode()
+
+    def _jobs_submit(self, body: bytes) -> tuple[int, dict, bytes]:
+        payload = self._parse_body(body)
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "bad_request",
+                               "/jobs body must be a JSON object")
+        name = payload.get("session", "default")
+        if not isinstance(name, str) or not name:
+            raise ServiceError(400, "bad_request",
+                               "'session' must be a non-empty string")
+        release = payload.get("release_time", payload.get("release", 0.0))
+        if isinstance(release, bool) or not isinstance(release, (int, float)):
+            raise ServiceError(400, "bad_request",
+                               "'release_time' must be a number")
+        graph_d = payload.get("graph")
+        if not isinstance(graph_d, dict):
+            raise ServiceError(400, "bad_request",
+                               "'graph' must be a graph object")
+        try:
+            graph = graph_from_dict(graph_d)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(400, "bad_graph",
+                               f"invalid graph: {exc}") from exc
+        entry = self._ensure_session(name, payload)
+        with entry.lock:
+            session = entry.session
+            try:
+                job_id = session.submit(graph, release=float(release),
+                                        job_id=payload.get("job_id"))
+                planned = session.poll(float(release))
+                if payload.get("flush"):
+                    planned += session.flush()
+            except InfeasibleScheduleError as exc:
+                raise ServiceError(422, "infeasible", str(exc)) from exc
+            except ValueError as exc:
+                raise ServiceError(400, "bad_request", str(exc)) from exc
+            job = session.jobs[job_id]
+            out = {
+                "session": name,
+                "job_id": job_id,
+                "arrival_index": job.arrival_index,
+                "state": job.state,
+                "planned": planned,
+                "decision_ms": job.decision_ms,
+                "n_pending": session.n_pending,
+                "makespan": session.makespan,
+            }
+        return 200, dict(_JSON_HEADERS), canonical_json(out).encode("utf-8")
 
     def _handle_cells(self, body: bytes, ctx: Optional[tuple] = None):
         """``POST /cells`` — execute a chunk of registered experiment cell
@@ -1080,6 +1261,18 @@ class ServiceApp:
             "observability": obs.active() is not None,
         }
 
+    def _sessions_summary(self) -> dict:
+        """Monitoring view of the online sessions (len() reads under the
+        GIL are safe without the per-session locks; the numbers are a
+        snapshot, not a transaction)."""
+        with self._sessions_lock:
+            entries = list(self._sessions.values())
+        return {
+            "count": len(entries),
+            "jobs": sum(len(e.session.jobs) for e in entries),
+            "pending": sum(e.session.n_pending for e in entries),
+        }
+
     def _handle_healthz(self) -> tuple[int, dict, bytes]:
         health = {
             "status": "ok",
@@ -1099,6 +1292,7 @@ class ServiceApp:
             # compiled fast path at a glance).
             "kernel": {"active": resolve_backend(None).name,
                        "available": list(available_backends())},
+            "sessions": self._sessions_summary(),
         }
         injector = faults.active()
         if injector is not None:

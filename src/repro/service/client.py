@@ -20,6 +20,7 @@ import socket
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
+from urllib.parse import quote
 
 from .. import faults, obs
 from ..core.graph import TaskGraph
@@ -365,6 +366,55 @@ class ServiceClient:
                 0, "transport",
                 f"/cells stream from {self.host}:{self.port} broke: "
                 f"{exc}") from exc
+
+    def submit_job(self, graph: GraphLike, *, session: str = "default",
+                   release: float = 0.0, job_id: Optional[str] = None,
+                   platform: Optional[PlatformLike] = None,
+                   algorithm: Optional[str] = None,
+                   policy: Optional[str] = None,
+                   options: Optional[dict] = None,
+                   flush: bool = False) -> dict:
+        """``POST /jobs`` — submit one graph into a named online session.
+
+        The first submission for a session must carry ``platform`` (and
+        may set ``algorithm``/``policy``/``options``); later submissions
+        inherit the session's configuration and a conflicting
+        restatement raises a 409.  Returns the wire dict: ``job_id``,
+        ``arrival_index``, ``state``, the ids ``planned`` by this call,
+        ``decision_ms``, ``n_pending`` and the session ``makespan``.
+        """
+        payload: dict = {"session": session, "release_time": release,
+                         "graph": (graph if isinstance(graph, dict)
+                                   else graph_to_dict(graph))}
+        if job_id is not None:
+            payload["job_id"] = job_id
+        if platform is not None:
+            payload["platform"] = (platform if isinstance(platform, dict)
+                                   else platform_to_dict(platform))
+        if algorithm is not None:
+            payload["algorithm"] = algorithm
+        if policy is not None:
+            payload["policy"] = policy
+        if options is not None:
+            payload["options"] = options
+        if flush:
+            payload["flush"] = True
+        status, headers, body = self._request("POST", "/jobs", payload)
+        return self._parse(status, body, headers)
+
+    def get_job(self, job_id: str, *, session: str = "default") -> dict:
+        """``GET /jobs/{id}`` — one job's state and placements."""
+        status, headers, body = self._request(
+            "GET", f"/jobs/{quote(job_id)}?session={quote(session)}")
+        return self._parse(status, body, headers)
+
+    def session_info(self, session: str = "default") -> dict:
+        """``GET /jobs`` — session summary plus its decision journal
+        (canonical JSONL under the ``"journal"`` key, byte-comparable
+        across replays of the same trace)."""
+        status, headers, body = self._request(
+            "GET", f"/jobs?session={quote(session)}")
+        return self._parse(status, body, headers)
 
     def algorithms(self) -> list[dict]:
         status, headers, body = self._request("GET", "/algorithms")

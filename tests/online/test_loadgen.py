@@ -1,0 +1,98 @@
+"""Load generation must be bit-reproducible: the same (ident, seed)
+draws the same trace in this process and in a fresh interpreter."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.online import poisson_trace, read_trace, write_trace, zero_release
+
+pytest.importorskip("numpy")
+
+
+def test_same_seed_same_trace():
+    a = poisson_trace(8, seed=5, rate=2.0)
+    b = poisson_trace(8, seed=5, rate=2.0)
+    assert a == b
+
+
+def test_different_seed_different_trace():
+    a = poisson_trace(8, seed=5, rate=2.0)
+    b = poisson_trace(8, seed=6, rate=2.0)
+    assert [r["release"] for r in a] != [r["release"] for r in b]
+
+
+def test_releases_monotone_and_rounded():
+    trace = poisson_trace(20, seed=1, rate=3.0)
+    releases = [r["release"] for r in trace]
+    assert releases == sorted(releases)
+    assert all(r == round(r, 6) for r in releases)
+
+
+def test_tick_quantizes_down():
+    plain = poisson_trace(20, seed=1, rate=3.0)
+    ticked = poisson_trace(20, seed=1, rate=3.0, tick=2.5)
+    for p, t in zip(plain, ticked):
+        assert t["release"] <= p["release"]
+        assert t["release"] == round(int(p["release"] / 2.5) * 2.5, 6)
+    # quantization merges neighbours into shared release times
+    assert len({r["release"] for r in ticked}) < \
+        len({r["release"] for r in plain})
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"n_jobs": 0},
+    {"n_jobs": 3, "rate": 0.0},
+    {"n_jobs": 3, "rate": -1.0},
+    {"n_jobs": 3, "tick": -0.5},
+])
+def test_rejects_bad_parameters(kwargs):
+    with pytest.raises(ValueError):
+        poisson_trace(**kwargs)
+
+
+def test_zero_release_preserves_jobs():
+    trace = poisson_trace(6, seed=2)
+    zeroed = zero_release(trace)
+    assert all(r["release"] == 0.0 for r in zeroed)
+    assert [r["graph"] for r in zeroed] == [r["graph"] for r in trace]
+    # the original trace is untouched
+    assert any(r["release"] > 0.0 for r in trace)
+
+
+def test_write_read_roundtrip(tmp_path):
+    trace = poisson_trace(5, seed=9, rate=1.5)
+    path = tmp_path / "trace.jsonl"
+    write_trace(trace, path)
+    assert read_trace(path) == trace
+
+
+def test_write_is_byte_stable(tmp_path):
+    trace = poisson_trace(5, seed=9)
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    write_trace(trace, a)
+    write_trace(trace, b)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_read_rejects_rows_without_graph(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"job": "j", "release": 0.0}\n')
+    with pytest.raises(ValueError, match="graph"):
+        read_trace(path)
+
+
+def test_determinism_across_processes(tmp_path):
+    """A fresh interpreter regenerates the byte-identical trace file —
+    the property the CI online job's replay determinism rests on."""
+    here = tmp_path / "here.jsonl"
+    write_trace(poisson_trace(6, seed=13, rate=2.0, tick=2.5), here)
+    there = tmp_path / "there.jsonl"
+    script = (
+        "from repro.online import poisson_trace, write_trace\n"
+        f"write_trace(poisson_trace(6, seed=13, rate=2.0, tick=2.5), "
+        f"{str(there)!r})\n"
+    )
+    subprocess.run([sys.executable, "-c", script], check=True)
+    assert here.read_bytes() == there.read_bytes()

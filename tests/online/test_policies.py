@@ -1,0 +1,89 @@
+"""Arrival policy semantics: due-time mapping, spec parsing, errors."""
+
+import pytest
+
+from repro.online import (
+    BatchedQuantum,
+    BoundedReplan,
+    ImmediateGreedy,
+    make_policy,
+)
+
+
+class TestImmediate:
+    def test_due_is_release(self):
+        policy = ImmediateGreedy()
+        for release in (0.0, 0.5, 17.25):
+            assert policy.due(release) == release
+
+    def test_no_replan_window(self):
+        assert ImmediateGreedy().replan_window == 0
+
+
+class TestBatched:
+    def test_due_ceils_to_next_boundary(self):
+        policy = BatchedQuantum(5.0)
+        assert policy.due(0.1) == 5.0
+        assert policy.due(4.99) == 5.0
+        assert policy.due(5.01) == 10.0
+
+    def test_release_on_boundary_keeps_boundary(self):
+        # All-zero release times must collapse into one round at t=0
+        # (the offline-identity property depends on this).
+        policy = BatchedQuantum(5.0)
+        assert policy.due(0.0) == 0.0
+        assert policy.due(5.0) == 5.0
+        assert policy.due(10.0) == 10.0
+
+    @pytest.mark.parametrize("quantum", [0.0, -1.0, float("inf"),
+                                         float("nan")])
+    def test_rejects_bad_quantum(self, quantum):
+        with pytest.raises(ValueError):
+            BatchedQuantum(quantum)
+
+
+class TestReplan:
+    def test_due_is_release(self):
+        policy = BoundedReplan(4)
+        assert policy.due(3.5) == 3.5
+        assert policy.replan_window == 4
+
+    @pytest.mark.parametrize("window", [0, -3])
+    def test_rejects_bad_window(self, window):
+        with pytest.raises(ValueError):
+            BoundedReplan(window)
+
+
+class TestMakePolicy:
+    def test_parses_all_specs(self):
+        assert make_policy("immediate").name == "immediate"
+        assert make_policy("batched:2.5").name == "batched:2.5"
+        assert make_policy("batched:2.5").quantum == 2.5
+        assert make_policy("replan:8").name == "replan:8"
+        assert make_policy("replan:8").window == 8
+
+    def test_case_and_whitespace_tolerant(self):
+        assert make_policy("Immediate").name == "immediate"
+        assert make_policy(" batched :4").name == "batched:4"
+
+    def test_policy_object_passes_through(self):
+        policy = BatchedQuantum(3.0)
+        assert make_policy(policy) is policy
+
+    @pytest.mark.parametrize("spec", [
+        "immediate:3",      # immediate takes no argument
+        "batched",          # missing quantum
+        "batched:zero",     # non-numeric quantum
+        "batched:-2",       # negative quantum
+        "replan",           # missing window
+        "replan:1.5",       # non-integer window
+        "replan:0",         # window < 1
+        "fifo",             # unknown name
+    ])
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            make_policy(spec)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            make_policy(42)

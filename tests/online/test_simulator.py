@@ -1,0 +1,80 @@
+"""Event-driven simulator: event ordering, determinism, latency stats,
+regret plumbing."""
+
+import pytest
+
+from repro import Platform
+from repro.online import poisson_trace, simulate
+from repro.io.json_io import graph_to_dict
+
+pytest.importorskip("numpy")
+
+PLATFORM = Platform(n_blue=2, n_red=2)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return poisson_trace(10, seed=4, rate=2.0, tick=2.5, size=8)
+
+
+def test_simulate_plans_every_job(trace):
+    result = simulate(trace, PLATFORM)
+    assert result.session.summary()["n_planned"] == len(trace)
+    assert result.session.n_pending == 0
+    assert result.makespan > 0.0
+
+
+def test_events_chronological_and_complete(trace):
+    result = simulate(trace, PLATFORM)
+    times = [e["t"] for e in result.events]
+    assert times == sorted(times)
+    releases = [e for e in result.events if e["kind"] == "release"]
+    completes = [e for e in result.events if e["kind"] == "complete"]
+    assert len(releases) == len(trace)
+    assert len(completes) == len(trace)
+    # a job can only complete after it was released
+    released_at = {e["job"]: e["t"] for e in releases}
+    for e in completes:
+        assert e["t"] >= released_at[e["job"]]
+
+
+def test_same_trace_same_journal(trace):
+    a = simulate(trace, PLATFORM)
+    b = simulate(trace, PLATFORM)
+    assert a.journal() == b.journal()
+    assert a.makespan == b.makespan
+    assert [e["t"] for e in a.events] == [e["t"] for e in b.events]
+
+
+def test_wire_dict_graphs_accepted(trace):
+    """Trace rows may carry graphs in wire-dict form (what read_trace
+    yields) — the result must match the TaskGraph-object run."""
+    wire = [dict(row, graph=graph_to_dict(row["graph"]))
+            if not isinstance(row["graph"], dict) else row
+            for row in trace]
+    assert simulate(wire, PLATFORM).journal() == \
+        simulate(trace, PLATFORM).journal()
+
+
+def test_latency_stats_shape(trace):
+    stats = simulate(trace, PLATFORM).latency_stats()
+    assert stats["n_rounds"] >= 1
+    assert 0.0 <= stats["p50_ms"] <= stats["p99_ms"] <= stats["max_ms"]
+
+
+def test_regret_accepts_precomputed_baseline(trace):
+    result = simulate(trace, PLATFORM)
+    assert result.regret(result.makespan) == 0.0
+    assert result.regret(result.makespan / 2.0) == pytest.approx(1.0)
+    assert result.regret(0.0) == 0.0   # degenerate baseline guard
+
+
+def test_policies_share_the_stream(trace):
+    """Different policies see the same arrivals; batched plans in at
+    most as many rounds as immediate."""
+    immediate = simulate(trace, PLATFORM, policy="immediate")
+    batched = simulate(trace, PLATFORM, policy="batched:10")
+    assert batched.session.summary()["n_rounds"] <= \
+        immediate.session.summary()["n_rounds"]
+    assert batched.session.summary()["n_planned"] == \
+        immediate.session.summary()["n_planned"]

@@ -16,6 +16,7 @@ from repro.experiments.engine import remote_worker
 from repro.experiments.sweep import _normalized_cell
 from repro.io.json_io import from_cell_wire, to_cell_wire
 from repro.service import ServiceApp, ServiceClient, ThreadedServer
+from repro.service.app import PROTOCOL_VERSION
 from repro.service.client import ServiceClientError
 
 
@@ -108,7 +109,7 @@ class TestCellsEndpoint:
         status, _headers, body = app.handle("GET", "/healthz", b"")
         health = json.loads(body)
         assert health["cells"] == {"requests": 1, "executed": 2}
-        assert health["protocol"] == 4
+        assert health["protocol"] == PROTOCOL_VERSION
         assert health["kernel"]["active"] in health["kernel"]["available"]
         assert "scalar" in health["kernel"]["available"]
 
